@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks of the simulator itself: host throughput
+// in simulated cycles and instructions per second, per kernel variant.
+#include <benchmark/benchmark.h>
+
+#include "kernels/runner.hpp"
+#include "rvasm/assembler.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace copift;
+
+void run_variant(benchmark::State& state, kernels::KernelId id, kernels::Variant variant) {
+  kernels::KernelConfig cfg;
+  cfg.n = 1024;
+  cfg.block = 64;
+  const auto generated = kernels::generate(id, variant, cfg);
+  std::uint64_t cycles = 0;
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    sim::Cluster cluster(rvasm::assemble(generated.source));
+    kernels::populate_inputs(cluster, generated);
+    const auto result = cluster.run();
+    cycles += result.cycles;
+    instrs += cluster.counters().retired();
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim_instrs/s"] =
+      benchmark::Counter(static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+void BM_ExpBaseline(benchmark::State& s) {
+  run_variant(s, kernels::KernelId::kExp, kernels::Variant::kBaseline);
+}
+void BM_ExpCopift(benchmark::State& s) {
+  run_variant(s, kernels::KernelId::kExp, kernels::Variant::kCopift);
+}
+void BM_PiLcgCopift(benchmark::State& s) {
+  run_variant(s, kernels::KernelId::kPiLcg, kernels::Variant::kCopift);
+}
+void BM_LogCopift(benchmark::State& s) {
+  run_variant(s, kernels::KernelId::kLog, kernels::Variant::kCopift);
+}
+
+void BM_Assemble(benchmark::State& s) {
+  kernels::KernelConfig cfg;
+  cfg.n = 1024;
+  cfg.block = 64;
+  const auto generated =
+      kernels::generate(kernels::KernelId::kExp, kernels::Variant::kCopift, cfg);
+  for (auto _ : s) {
+    auto program = rvasm::assemble(generated.source);
+    benchmark::DoNotOptimize(program.text.size());
+  }
+}
+
+BENCHMARK(BM_ExpBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExpCopift)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PiLcgCopift)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LogCopift)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "kernels/runner.hpp"
+
+namespace copift::bench {
+
+inline constexpr kernels::KernelId kPaperOrder[] = {
+    // Paper Fig. 2 orders kernels by increasing expected speedup S'.
+    kernels::KernelId::kPiXoshiro, kernels::KernelId::kPolyXoshiro,
+    kernels::KernelId::kPiLcg,     kernels::KernelId::kPolyLcg,
+    kernels::KernelId::kLog,       kernels::KernelId::kExp,
+};
+
+/// Steady-state measurement configuration used by the Fig. 2 benches.
+struct SteadyConfig {
+  std::uint32_t n1 = 1920;
+  std::uint32_t n2 = 3840;
+  std::uint32_t block = 96;
+};
+
+inline kernels::SteadyMetrics steady(kernels::KernelId id, kernels::Variant variant,
+                                     const SteadyConfig& sc = {}) {
+  kernels::KernelConfig cfg;
+  cfg.block = sc.block;
+  return kernels::steady_metrics(id, variant, cfg, sc.n1, sc.n2);
+}
+
+inline double geomean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return values.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace copift::bench

@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 2a: steady-state IPC of baseline vs COPIFT codes,
+// with the expected IPC (I', dashed line in the paper) per kernel.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+
+int main() {
+  using namespace copift;
+  using namespace copift::bench;
+  std::printf("Fig. 2a: steady-state IPC (base vs COPIFT), kernels ordered by S'\n\n");
+  std::printf("%-18s %8s %8s %8s %10s\n", "Kernel", "base", "COPIFT", "gain", "expect I'");
+  std::vector<double> gains;
+  std::vector<double> cop_ipcs;
+  for (const auto id : kPaperOrder) {
+    const auto base = steady(id, kernels::Variant::kBaseline);
+    const auto cop = steady(id, kernels::Variant::kCopift);
+    // Expected I' from the dynamic instruction mixes (paper Eq. 2).
+    kernels::KernelConfig cfg;
+    cfg.n = 1920;
+    cfg.block = 96;
+    const auto cop_run = kernels::run_kernel(kernels::generate(id, kernels::Variant::kCopift, cfg));
+    core::SpeedupModel model;
+    model.copift = {cop_run.region.int_retired, cop_run.region.fp_retired};
+    std::printf("%-18s %8.2f %8.2f %7.2fx %10.2f\n", kernels::kernel_name(id).c_str(),
+                base.ipc, cop.ipc, cop.ipc / base.ipc, model.i_prime());
+    gains.push_back(cop.ipc / base.ipc);
+    cop_ipcs.push_back(cop.ipc);
+  }
+  double peak = 0;
+  for (const double v : cop_ipcs) peak = std::max(peak, v);
+  std::printf("\ngeomean IPC improvement: %.2fx   (paper: 1.62x)\n", geomean(gains));
+  std::printf("peak COPIFT IPC:         %.2f    (paper: 1.75)\n", peak);
+  return 0;
+}

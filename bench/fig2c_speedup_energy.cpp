@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 2c: speedup and energy improvement of COPIFT over
+// the optimized RV32G baselines, with the expected speedup S' (dashed).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+
+int main() {
+  using namespace copift;
+  using namespace copift::bench;
+  std::printf("Fig. 2c: speedup and energy improvement (COPIFT vs base)\n\n");
+  std::printf("%-18s %9s %10s %10s\n", "Kernel", "speedup", "E-improv", "expect S'");
+  std::vector<double> speedups;
+  std::vector<double> energies;
+  double peak_speedup = 0.0;
+  double peak_energy = 0.0;
+  for (const auto id : kPaperOrder) {
+    const auto base = steady(id, kernels::Variant::kBaseline);
+    const auto cop = steady(id, kernels::Variant::kCopift);
+    const double speedup = base.cycles_per_item / cop.cycles_per_item;
+    const double energy = base.energy_pj_per_item / cop.energy_pj_per_item;
+    // Expected speedup S' from dynamic mixes (paper Eq. 1).
+    kernels::KernelConfig cfg;
+    cfg.n = 1920;
+    cfg.block = 96;
+    const auto b = kernels::run_kernel(kernels::generate(id, kernels::Variant::kBaseline, cfg));
+    const auto c = kernels::run_kernel(kernels::generate(id, kernels::Variant::kCopift, cfg));
+    core::SpeedupModel model;
+    model.base = {b.region.int_retired, b.region.fp_retired};
+    model.copift = {c.region.int_retired, c.region.fp_retired};
+    std::printf("%-18s %8.2fx %9.2fx %10.2f\n", kernels::kernel_name(id).c_str(), speedup,
+                energy, model.s_prime());
+    speedups.push_back(speedup);
+    energies.push_back(energy);
+    peak_speedup = std::max(peak_speedup, speedup);
+    peak_energy = std::max(peak_energy, energy);
+  }
+  std::printf("\ngeomean speedup:            %.2fx  (paper: 1.47x)\n", geomean(speedups));
+  std::printf("peak speedup:               %.2fx  (paper: 2.05x, exp)\n", peak_speedup);
+  std::printf("geomean energy improvement: %.2fx  (paper: 1.37x)\n", geomean(energies));
+  std::printf("peak energy improvement:    %.2fx  (paper: 1.93x, exp)\n", peak_energy);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 3: IPC of the poly_lcg COPIFT kernel for various
+// problem and block sizes, with the ">99.5%" annotations (smallest problem
+// reaching 99.5% of a block size's maximum IPC) and the per-problem "peak"
+// block size.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace copift;
+  using namespace copift::bench;
+  const std::vector<std::uint32_t> blocks = {32, 48, 64, 96, 128, 192, 256};
+  const std::vector<std::uint32_t> problems = {768,   1536,  3072,  6144,
+                                               12288, 24576, 49152, 98304};
+  std::printf("Fig. 3: poly_lcg COPIFT IPC over problem size x block size\n\n");
+  std::printf("%8s |", "n \\ B");
+  for (const auto b : blocks) std::printf(" %6u", b);
+  std::printf("   peak\n");
+
+  std::vector<std::vector<double>> grid(problems.size(), std::vector<double>(blocks.size()));
+  for (std::size_t pi = 0; pi < problems.size(); ++pi) {
+    std::printf("%8u |", problems[pi]);
+    double best = 0.0;
+    std::uint32_t best_block = 0;
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      kernels::KernelConfig cfg;
+      cfg.n = problems[pi];
+      cfg.block = blocks[bi];
+      // Verify the smaller runs; skip the golden check on the largest for
+      // time (the same code path is verified at smaller sizes).
+      const bool verify = problems[pi] <= 6144;
+      const auto run = kernels::run_kernel(kernels::generate(
+          kernels::KernelId::kPolyLcg, kernels::Variant::kCopift, cfg), {}, verify);
+      grid[pi][bi] = run.ipc();
+      std::printf(" %6.3f", run.ipc());
+      if (run.ipc() > best) {
+        best = run.ipc();
+        best_block = blocks[bi];
+      }
+    }
+    std::printf("   B=%u\n", best_block);
+  }
+
+  std::printf("\n>99.5%% annotations (smallest n reaching 99.5%% of each block's max IPC):\n");
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    double max_ipc = 0.0;
+    for (std::size_t pi = 0; pi < problems.size(); ++pi) max_ipc = std::max(max_ipc, grid[pi][bi]);
+    for (std::size_t pi = 0; pi < problems.size(); ++pi) {
+      if (grid[pi][bi] >= 0.995 * max_ipc) {
+        std::printf("  B=%-4u reaches >99.5%% of max IPC (%.3f) at n=%u\n", blocks[bi],
+                    max_ipc, problems[pi]);
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): IPC rises with n; the peak block size grows with n;\n"
+      "IPC converges to the steady-state value reported in Fig. 2a.\n");
+  return 0;
+}

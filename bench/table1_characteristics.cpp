@@ -1,0 +1,111 @@
+// Reproduces paper Table I: characteristics of the evaluated kernels.
+//
+// Static integer/FP instruction counts come from the generated steady-state
+// loop bodies (normalized per baseline unroll group: 4 elements for exp/log,
+// 8 samples for the Monte Carlo kernels); the load/store deltas compare the
+// COPIFT body with the baseline; buffer counts and maximum block sizes
+// reflect the kernels' actual TCDM arenas; I', S'' and S' are the paper's
+// analytical estimates (Eq. 1-3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "rvasm/assembler.hpp"
+
+namespace {
+
+using namespace copift;
+using core::InstrMix;
+using kernels::KernelId;
+using kernels::Variant;
+
+struct BodyCounts {
+  InstrMix mix;
+  unsigned int_ldst = 0;
+  unsigned fp_ldst = 0;
+};
+
+/// Dynamic per-unroll-group instruction counts from a steady-state run
+/// (marginal between two problem sizes, so prologue/setup cancel out).
+BodyCounts body_counts(KernelId id, Variant variant, std::uint32_t block) {
+  kernels::KernelConfig c1;
+  c1.n = 10 * block;
+  c1.block = block;
+  kernels::KernelConfig c2 = c1;
+  c2.n = 20 * block;
+  const auto r1 = kernels::run_kernel(kernels::generate(id, variant, c1));
+  const auto r2 = kernels::run_kernel(kernels::generate(id, variant, c2));
+  const double group = kernels::is_transcendental(id) ? 4.0 : 8.0;
+  const double groups = (c2.n - c1.n) / group;
+  BodyCounts out;
+  const auto per_group = [groups](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>((b - a) / groups + 0.5);
+  };
+  out.mix.n_int = per_group(r1.region.int_retired, r2.region.int_retired);
+  out.mix.n_fp = per_group(r1.region.fp_retired, r2.region.fp_retired);
+  out.int_ldst = static_cast<unsigned>(
+      per_group(r1.region.int_load + r1.region.int_store,
+                r2.region.int_load + r2.region.int_store));
+  out.fp_ldst = static_cast<unsigned>(per_group(
+      r1.region.fp_load + r1.region.fp_store, r2.region.fp_load + r2.region.fp_store));
+  return out;
+}
+
+/// TCDM bytes per element of block buffering in the COPIFT variants
+/// (from the kernels' arena layouts) and buffer/replica counts.
+struct BufferInfo {
+  unsigned logical_buffers;   // distinct spill buffers (paper "#Buff." step 4)
+  unsigned replicas_total;    // buffers after multi-buffering (steps 5-6)
+  unsigned bytes_per_element; // arena + in/out bytes per element
+};
+
+BufferInfo buffer_info(KernelId id) {
+  switch (id) {
+    case KernelId::kExp:
+      // arena: [ki | w | t] x 3 slots (8 B each) + x,y blocks resident.
+      return {3, 9, 3 * 3 * 8 + 16};
+    case KernelId::kLog:
+      // izk cells (16 B/elem) + idx (8 B/elem), double-buffered; x,y blocks.
+      return {2, 4, 2 * (16 + 8) + 12};
+    default:
+      // MC: raw (x, y) pair cells, double-buffered; no in/out arrays.
+      return {1, 2, 2 * 16};
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kBlock = 96;
+  // The paper reports counts per baseline unroll group.
+  std::printf("Table I: characteristics of the evaluated kernels (paper Table I)\n");
+  std::printf("Counts per unroll group (exp/log: 4 elements, MC: 8 samples)\n\n");
+  std::printf(
+      "%-18s | %5s %5s %5s | %7s %6s | %7s %6s | %6s | %5s %5s | %5s %5s %5s\n",
+      "Kernel", "#Int", "#FP", "TI", "IntL/S", "#Buff", "FPL/S", "#Repl", "MaxBlk",
+      "c#Int", "c#FP", "I'", "S''", "S'");
+  for (const auto id : copift::bench::kPaperOrder) {
+    const auto base = body_counts(id, Variant::kBaseline, kBlock);
+    const auto cop = body_counts(id, Variant::kCopift, kBlock);
+    core::SpeedupModel model;
+    model.base = base.mix;
+    model.copift = cop.mix;
+    const BufferInfo buf = buffer_info(id);
+    const std::uint64_t max_block = (96 * 1024ull) / buf.bytes_per_element;
+    std::printf(
+        "%-18s | %5llu %5llu %5.2f | %+7d %6u | %+7d %6u | %6llu | %5llu %5llu |"
+        " %5.2f %5.2f %5.2f\n",
+        kernels::kernel_name(id).c_str(), (unsigned long long)base.mix.n_int,
+        (unsigned long long)base.mix.n_fp, base.mix.thread_imbalance(),
+        static_cast<int>(cop.int_ldst) - static_cast<int>(base.int_ldst),
+        buf.logical_buffers,
+        static_cast<int>(cop.fp_ldst) - static_cast<int>(base.fp_ldst),
+        buf.replicas_total, (unsigned long long)max_block,
+        (unsigned long long)cop.mix.n_int, (unsigned long long)cop.mix.n_fp,
+        model.i_prime(), model.s_double_prime(), model.s_prime());
+  }
+  std::printf(
+      "\nPaper reference rows (expf 43/52 TI 0.83 ... pi_xoshiro128p 172/56 TI 0.33);\n"
+      "see EXPERIMENTS.md for the side-by-side comparison.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Quickstart: assemble a small program for the simulated Snitch cluster,
+// run it, and inspect performance counters — the library's core workflow.
+//
+//   $ ./examples/quickstart
+//
+// The program computes a dot product two ways: a plain RV32G loop, and a
+// dual-issue version using SSR streams + an FREP loop, and prints the IPC
+// of both (the COPIFT building blocks, before any kernel-level machinery).
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "rvasm/assembler.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+constexpr unsigned kN = 256;
+
+const char* kPlain = R"(
+.data
+.align 3
+result: .space 8
+xvec: .space 2048          # 256 doubles
+yvec: .space 2048
+.text
+_start:
+  la a0, xvec
+  la a1, yvec
+  li t0, 256
+  fcvt.d.w fa0, zero       # acc = 0
+  csrwi region, 1
+loop:
+  fld fa1, 0(a0)
+  fld fa2, 0(a1)
+  fmadd.d fa0, fa1, fa2, fa0
+  addi a0, a0, 8
+  addi a1, a1, 8
+  addi t0, t0, -1
+  bnez t0, loop
+  csrwi region, 2
+  la a2, result
+  fsd fa0, 0(a2)
+  csrr t1, fpss            # drain the FP subsystem
+  ecall
+)";
+
+const char* kStreamed = R"(
+.data
+.align 3
+result: .space 8
+xvec: .space 2048
+yvec: .space 2048
+.text
+_start:
+  csrsi ssr, 1             # map ft0/ft1 to stream lanes
+  li t0, 255
+  scfgwi t0, 1             # lane0 bound0 = N-1
+  scfgwi t0, 33            # lane1 bound0 = N-1
+  li t0, 8
+  scfgwi t0, 5             # lane0 stride = 8
+  scfgwi t0, 37            # lane1 stride = 8
+  fcvt.d.w fa0, zero
+  fcvt.d.w fa1, zero
+  fcvt.d.w fa2, zero
+  fcvt.d.w fa3, zero
+  csrwi region, 1
+  la t0, xvec
+  scfgwi t0, 24            # lane0 RPTR -> x
+  la t0, yvec
+  scfgwi t0, 56            # lane1 RPTR -> y
+  li t0, 63                # 64 FREP iterations x 4 accumulators
+  frep.o t0, 4
+  fmadd.d fa0, ft0, ft1, fa0
+  fmadd.d fa1, ft0, ft1, fa1
+  fmadd.d fa2, ft0, ft1, fa2
+  fmadd.d fa3, ft0, ft1, fa3
+  csrr t1, fpss            # wait for the FREP to finish
+  csrci ssr, 1
+  fadd.d fa0, fa0, fa1
+  fadd.d fa2, fa2, fa3
+  fadd.d fa0, fa0, fa2
+  csrwi region, 2
+  la a2, result
+  fsd fa0, 0(a2)
+  csrr t1, fpss
+  ecall
+)";
+
+double run_one(const char* src, const char* name) {
+  using namespace copift;
+  sim::Cluster cluster(rvasm::assemble(src));
+  // Fill x[i] = i/64, y[i] = 2 - i/128.
+  const auto x = cluster.program().symbol("xvec");
+  const auto y = cluster.program().symbol("yvec");
+  for (unsigned i = 0; i < kN; ++i) {
+    cluster.memory().store64(x + i * 8, bit_cast<std::uint64_t>(i / 64.0));
+    cluster.memory().store64(y + i * 8, bit_cast<std::uint64_t>(2.0 - i / 128.0));
+  }
+  cluster.run();
+  const double result =
+      bit_cast<double>(cluster.memory().load64(cluster.program().symbol("result")));
+  const auto delta =
+      cluster.regions()[1].snapshot.minus(cluster.regions()[0].snapshot);
+  std::printf("%-22s dot=%10.4f  cycles=%5llu  IPC=%.2f\n", name, result,
+              static_cast<unsigned long long>(delta.cycles), delta.ipc());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("COPIFT quickstart: dot product on the simulated Snitch cluster\n\n");
+  const double a = run_one(kPlain, "plain RV32G loop:");
+  const double b = run_one(kStreamed, "SSR + FREP dual-issue:");
+  std::printf("\nresults match: %s\n", a == b ? "yes" : "NO (bug!)");
+  std::printf("The streamed version eliminates loads and loop overhead entirely;\n"
+              "the integer core is free to run other work while the FREP replays.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/bits.hpp"
+
+// Header-only; this translation unit exists so the library has an archive
+// member and the header is compiled standalone at least once.
+namespace copift {
+
+static_assert(bits(0xDEADBEEFu, 8, 8) == 0xBEu);
+static_assert(sign_extend(0xFFFu, 12) == -1);
+static_assert(sign_extend(0x7FFu, 12) == 2047);
+static_assert(fits_signed(-2048, 12) && !fits_signed(2048, 12));
+static_assert(rotl32(0x80000001u, 1) == 0x00000003u);
+static_assert(align_up(13, 8) == 16);
+static_assert(log2_exact(64) == 6);
+
+}  // namespace copift

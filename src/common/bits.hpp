@@ -1,0 +1,80 @@
+// Bit-manipulation helpers shared across the ISA, assembler and simulator.
+//
+// All helpers are constexpr and operate on explicitly-sized integer types so
+// that instruction encodings are reproducible across hosts.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace copift {
+
+/// Extract bits [lo, lo+width) of `value` (little-endian bit order).
+constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned width) noexcept {
+  if (width >= 32) return value >> lo;
+  return (value >> lo) & ((std::uint32_t{1} << width) - 1U);
+}
+
+/// Extract the single bit at position `pos`.
+constexpr std::uint32_t bit(std::uint32_t value, unsigned pos) noexcept {
+  return (value >> pos) & 1U;
+}
+
+/// Place `value`'s low `width` bits at position `lo` of a zeroed word.
+constexpr std::uint32_t place(std::uint32_t value, unsigned lo, unsigned width) noexcept {
+  const std::uint32_t mask = width >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << width) - 1U);
+  return (value & mask) << lo;
+}
+
+/// Sign-extend the low `width` bits of `value` to a signed 32-bit integer.
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned width) noexcept {
+  const unsigned shift = 32U - width;
+  return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+/// True iff `value` fits in a signed immediate of `width` bits.
+constexpr bool fits_signed(std::int64_t value, unsigned width) noexcept {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True iff `value` fits in an unsigned immediate of `width` bits.
+constexpr bool fits_unsigned(std::int64_t value, unsigned width) noexcept {
+  return value >= 0 && value < (std::int64_t{1} << width);
+}
+
+/// Rotate a 32-bit value left by `amount` (mod 32).
+constexpr std::uint32_t rotl32(std::uint32_t value, unsigned amount) noexcept {
+  return std::rotl(value, static_cast<int>(amount));
+}
+
+/// Bit-cast between equally sized trivially-copyable types (e.g. FP <-> raw).
+template <typename To, typename From>
+constexpr To bit_cast(const From& from) noexcept {
+  static_assert(sizeof(To) == sizeof(From));
+  return std::bit_cast<To>(from);
+}
+
+/// Round `value` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint32_t align_up(std::uint32_t value, std::uint32_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// True iff `value` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Integer log2 for powers of two.
+constexpr unsigned log2_exact(std::uint64_t value) noexcept {
+  unsigned result = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+}  // namespace copift

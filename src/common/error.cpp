@@ -1,0 +1,9 @@
+#include "common/error.hpp"
+
+namespace copift {
+
+void check(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace copift

@@ -1,0 +1,34 @@
+// Address-space layout of the simulated Snitch cluster.
+//
+// Mirrors the open-source Snitch cluster memory map at cluster granularity:
+// instruction memory, tightly-coupled data memory (TCDM / L1 scratchpad) and
+// an external DRAM region reachable through the cluster DMA.
+#pragma once
+
+#include <cstdint>
+
+namespace copift {
+
+inline constexpr std::uint32_t kTextBase = 0x0000'1000;
+inline constexpr std::uint32_t kTextSize = 64 * 1024;
+
+inline constexpr std::uint32_t kTcdmBase = 0x1000'0000;
+inline constexpr std::uint32_t kTcdmSize = 128 * 1024;  // paper: L1 scratchpad
+
+inline constexpr std::uint32_t kDramBase = 0x8000'0000;
+inline constexpr std::uint32_t kDramSize = 32 * 1024 * 1024;
+
+/// Initial stack pointer: top of TCDM, 16-byte aligned.
+inline constexpr std::uint32_t kStackTop = kTcdmBase + kTcdmSize;
+
+inline constexpr bool in_tcdm(std::uint32_t addr) {
+  return addr >= kTcdmBase && addr < kTcdmBase + kTcdmSize;
+}
+inline constexpr bool in_dram(std::uint32_t addr) {
+  return addr >= kDramBase && addr < kDramBase + kDramSize;
+}
+inline constexpr bool in_text(std::uint32_t addr) {
+  return addr >= kTextBase && addr < kTextBase + kTextSize;
+}
+
+}  // namespace copift

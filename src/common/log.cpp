@@ -1,0 +1,28 @@
+#include "common/log.hpp"
+
+namespace copift {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace copift

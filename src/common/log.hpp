@@ -1,0 +1,34 @@
+// Minimal leveled logger used by the simulator's trace mode.
+//
+// The logger is intentionally tiny: benchmarks run with logging compiled in
+// but disabled, so the guard must be a cheap branch.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace copift {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+/// Global log level; defaults to kWarn. Not thread-safe by design (the
+/// simulator is single-threaded).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Log a message if `level` is enabled. Usage:
+///   copift::log(LogLevel::kTrace, [&]{ return "cycle " + std::to_string(c); });
+/// The lambda keeps message formatting off the hot path when disabled.
+template <typename MessageFn>
+void log(LogLevel level, MessageFn&& fn) {
+  if (static_cast<int>(level) <= static_cast<int>(log_level())) {
+    detail::emit(level, fn());
+  }
+}
+
+}  // namespace copift

@@ -1,0 +1,204 @@
+#include "core/dfg.hpp"
+
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "isa/reg.hpp"
+
+namespace copift::core {
+
+using isa::ExecUnit;
+using isa::RegClass;
+
+Domain domain_of(const isa::Instr& instr) noexcept {
+  return instr.meta().offloaded() ? Domain::kFp : Domain::kInt;
+}
+
+namespace {
+
+constexpr std::size_t kNoWriter = static_cast<std::size_t>(-1);
+
+struct StoreRecord {
+  std::size_t node;
+  std::uint8_t base_reg;
+  std::size_t base_version;  // node that last wrote the base reg (kNoWriter = invariant)
+  std::int32_t offset;
+  unsigned size;
+};
+
+unsigned access_size(const isa::Instr& instr) {
+  switch (instr.mnemonic) {
+    case isa::Mnemonic::kLb:
+    case isa::Mnemonic::kLbu:
+    case isa::Mnemonic::kSb:
+      return 1;
+    case isa::Mnemonic::kLh:
+    case isa::Mnemonic::kLhu:
+    case isa::Mnemonic::kSh:
+      return 2;
+    case isa::Mnemonic::kFld:
+    case isa::Mnemonic::kFsd:
+      return 8;
+    default:
+      return 4;
+  }
+}
+
+}  // namespace
+
+Dfg Dfg::build(std::span<const isa::Instr> body) {
+  Dfg g;
+  g.nodes_.reserve(body.size());
+  // Last writer per register.
+  std::array<std::size_t, isa::kNumIntRegs> int_writer;
+  std::array<std::size_t, isa::kNumFpRegs> fp_writer;
+  int_writer.fill(kNoWriter);
+  fp_writer.fill(kNoWriter);
+  std::vector<StoreRecord> stores;
+
+  const auto add_reg_edge = [&g](std::size_t from, std::size_t to, DepKind kind,
+                                 std::uint8_t reg) {
+    if (from == kNoWriter || from == to) return;
+    DfgEdge e;
+    e.from = from;
+    e.to = to;
+    e.kind = kind;
+    e.reg = reg;
+    g.edges_.push_back(e);
+  };
+
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const isa::Instr& instr = body[i];
+    const auto& meta = instr.meta();
+    DfgNode node;
+    node.index = i;
+    node.instr = instr;
+    node.domain = domain_of(instr);
+    g.nodes_.push_back(node);
+
+    // Register flow dependencies.
+    const auto handle_src = [&](RegClass cls, std::uint8_t reg) {
+      if (cls == RegClass::kInt && reg != 0) {
+        add_reg_edge(int_writer[reg], i, DepKind::kIntReg, reg);
+      } else if (cls == RegClass::kFp) {
+        add_reg_edge(fp_writer[reg], i, DepKind::kFpReg, reg);
+      }
+    };
+    handle_src(meta.rs1_class, instr.rs1);
+    handle_src(meta.rs2_class, instr.rs2);
+    handle_src(meta.rs3_class, instr.rs3);
+
+    // Memory flow dependencies (store -> load, same base register version,
+    // overlapping byte range; distinct base registers assumed no-alias).
+    if (meta.is_load()) {
+      const std::size_t base_version = int_writer[instr.rs1];
+      const unsigned size = access_size(instr);
+      for (const StoreRecord& s : stores) {
+        if (s.base_reg != instr.rs1 || s.base_version != base_version) continue;
+        const std::int32_t lo = instr.imm;
+        const std::int32_t hi = lo + static_cast<std::int32_t>(size);
+        const std::int32_t slo = s.offset;
+        const std::int32_t shi = slo + static_cast<std::int32_t>(s.size);
+        if (lo < shi && slo < hi) {
+          DfgEdge e;
+          e.from = s.node;
+          e.to = i;
+          e.kind = DepKind::kMemory;
+          g.edges_.push_back(e);
+        }
+      }
+    }
+    if (meta.is_store()) {
+      stores.push_back(StoreRecord{i, instr.rs1, int_writer[instr.rs1], instr.imm,
+                                   access_size(instr)});
+    }
+
+    // Record destination writer.
+    if (meta.rd_class == RegClass::kInt && instr.rd != 0) {
+      int_writer[instr.rd] = i;
+    } else if (meta.rd_class == RegClass::kFp) {
+      fp_writer[instr.rd] = i;
+    }
+  }
+
+  // Classify cross-domain edges (paper Types 1-3).
+  const auto base_written_in_body = [&](std::size_t node_index) {
+    const isa::Instr& instr = g.nodes_[node_index].instr;
+    // Was the base register written by an earlier body instruction?
+    for (const DfgEdge& e : g.edges_) {
+      if (e.to == node_index && e.kind == DepKind::kIntReg && e.reg == instr.rs1) return true;
+    }
+    return false;
+  };
+  for (DfgEdge& e : g.edges_) {
+    if (g.nodes_[e.from].domain == g.nodes_[e.to].domain) continue;
+    const DfgNode& fp_node = g.nodes_[e.from].domain == Domain::kFp ? g.nodes_[e.from]
+                                                                    : g.nodes_[e.to];
+    const bool fp_is_mem = fp_node.instr.meta().is_load() || fp_node.instr.meta().is_store();
+    if (e.kind == DepKind::kMemory) {
+      e.cross = fp_is_mem && base_written_in_body(fp_node.index) ? CrossDepType::kType1
+                                                                 : CrossDepType::kType2;
+    } else if (fp_is_mem && e.reg == fp_node.instr.rs1 &&
+               g.nodes_[e.to].index == fp_node.index) {
+      // Integer-computed address feeding an FP load/store.
+      e.cross = CrossDepType::kType1;
+    } else {
+      e.cross = CrossDepType::kType3;
+    }
+  }
+  return g;
+}
+
+std::vector<DfgEdge> Dfg::cross_edges() const {
+  std::vector<DfgEdge> out;
+  for (const DfgEdge& e : edges_) {
+    if (nodes_[e.from].domain != nodes_[e.to].domain) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dfg::preds(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (const DfgEdge& e : edges_) {
+    if (e.to == node) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dfg::succs(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (const DfgEdge& e : edges_) {
+    if (e.from == node) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::size_t Dfg::num_int_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.domain == Domain::kInt ? 1 : 0;
+  return n;
+}
+
+std::size_t Dfg::num_fp_nodes() const noexcept { return nodes_.size() - num_int_nodes(); }
+
+std::string Dfg::dump() const {
+  std::ostringstream os;
+  for (const auto& node : nodes_) {
+    os << node.index << " [" << (node.domain == Domain::kFp ? "FP " : "INT") << "] "
+       << isa::disassemble(node.instr);
+    bool first = true;
+    for (const DfgEdge& e : edges_) {
+      if (e.to != node.index) continue;
+      os << (first ? "   <- " : ", ") << e.from;
+      if (e.cross != CrossDepType::kNone) {
+        os << "(T" << static_cast<int>(e.cross) << ")";
+      }
+      first = false;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace copift::core

@@ -1,0 +1,90 @@
+// Data-flow graph construction over a straight-line instruction sequence
+// (a loop body), with classification of integer<->FP dependencies.
+//
+// This implements Step 1 of the COPIFT methodology (paper Section II-A):
+// build the DFG of the RISC-V assembly and identify all dependencies between
+// integer and FP instructions, classified as
+//   Type 1 — dynamic memory dependencies (FP load/store whose address is
+//            computed by integer instructions inside the body),
+//   Type 2 — static memory dependencies (FP load/store at a statically
+//            determined address that integer code also accesses),
+//   Type 3 — register dependencies (FP conversion/move/comparison
+//            instructions bridging the register files).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace copift::core {
+
+/// Which thread an instruction belongs to under the COPIFT split.
+enum class Domain : std::uint8_t { kInt, kFp };
+
+/// Dependency edge kinds.
+enum class DepKind : std::uint8_t {
+  kIntReg,   // through an integer register
+  kFpReg,    // through an FP register
+  kMemory,   // through memory (store -> load on potentially same location)
+};
+
+/// Paper classification for integer<->FP (cross-domain) edges.
+enum class CrossDepType : std::uint8_t {
+  kNone,   // not a cross-domain edge
+  kType1,  // dynamic memory dependency
+  kType2,  // static memory dependency
+  kType3,  // register dependency
+};
+
+struct DfgNode {
+  std::size_t index = 0;        // position in the instruction sequence
+  isa::Instr instr;
+  Domain domain = Domain::kInt;
+};
+
+struct DfgEdge {
+  std::size_t from = 0;  // producer node index
+  std::size_t to = 0;    // consumer node index
+  DepKind kind = DepKind::kIntReg;
+  std::uint8_t reg = 0;  // register for register edges
+  CrossDepType cross = CrossDepType::kNone;
+};
+
+class Dfg {
+ public:
+  /// Build the DFG of a straight-line body. Memory dependencies are inferred
+  /// conservatively: a load depends on the latest prior store whose base
+  /// register + offset may alias (same base register, or unknown).
+  static Dfg build(std::span<const isa::Instr> body);
+
+  [[nodiscard]] const std::vector<DfgNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<DfgEdge>& edges() const noexcept { return edges_; }
+
+  /// Edges crossing the integer/FP domain boundary.
+  [[nodiscard]] std::vector<DfgEdge> cross_edges() const;
+
+  /// Predecessor node indices of `node`.
+  [[nodiscard]] std::vector<std::size_t> preds(std::size_t node) const;
+  /// Successor node indices of `node`.
+  [[nodiscard]] std::vector<std::size_t> succs(std::size_t node) const;
+
+  [[nodiscard]] std::size_t num_int_nodes() const noexcept;
+  [[nodiscard]] std::size_t num_fp_nodes() const noexcept;
+
+  /// Human-readable dump (one node per line with dependency annotations).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<DfgNode> nodes_;
+  std::vector<DfgEdge> edges_;
+};
+
+/// Domain of a single instruction under the COPIFT split: everything the
+/// FPSS executes is FP, the rest is integer.
+[[nodiscard]] Domain domain_of(const isa::Instr& instr) noexcept;
+
+}  // namespace copift::core

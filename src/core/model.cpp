@@ -1,0 +1,28 @@
+#include "core/model.hpp"
+
+#include "common/error.hpp"
+#include "core/dfg.hpp"
+
+namespace copift::core {
+
+InstrMix count_mix(std::span<const isa::Instr> body) {
+  InstrMix mix;
+  for (const isa::Instr& instr : body) {
+    if (domain_of(instr) == Domain::kFp) {
+      ++mix.n_fp;
+    } else {
+      ++mix.n_int;
+    }
+  }
+  return mix;
+}
+
+InstrMix count_mix(const rvasm::Program& program, std::string_view begin_label,
+                   std::string_view end_label) {
+  const std::size_t begin = program.text_index(program.symbol(begin_label));
+  const std::size_t end = program.text_index(program.symbol(end_label));
+  if (end < begin) throw Error("end label precedes begin label");
+  return count_mix(std::span<const isa::Instr>(program.text.data() + begin, end - begin));
+}
+
+}  // namespace copift::core

@@ -1,0 +1,72 @@
+// Analytical performance model (paper Equations 1-3).
+//
+// From the integer/FP instruction counts of the baseline and COPIFT loop
+// bodies, the paper derives:
+//   TI  = min(n_int, n_fp) / max(n_int, n_fp)         (thread imbalance)
+//   S'  = (n_int^base + n_fp^base) / max(n_int^copift, n_fp^copift)
+//   S'' = 1 + TI                                        (base-only estimate)
+//   I'  = (n_int^copift + n_fp^copift) / max(n_int^copift, n_fp^copift)
+// These are the "expected" dashed lines in paper Fig. 2 and the last three
+// columns of Table I.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "isa/instr.hpp"
+#include "rvasm/program.hpp"
+
+namespace copift::core {
+
+/// Integer/FP instruction counts of a loop body.
+struct InstrMix {
+  std::uint64_t n_int = 0;
+  std::uint64_t n_fp = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return n_int + n_fp; }
+  [[nodiscard]] std::uint64_t max_thread() const noexcept { return n_int > n_fp ? n_int : n_fp; }
+  [[nodiscard]] std::uint64_t min_thread() const noexcept { return n_int < n_fp ? n_int : n_fp; }
+
+  /// Thread imbalance TI in [0, 1].
+  [[nodiscard]] double thread_imbalance() const noexcept {
+    return max_thread() == 0 ? 0.0
+                             : static_cast<double>(min_thread()) / static_cast<double>(max_thread());
+  }
+};
+
+/// Count the integer/FP mix of an instruction span (FP = offloaded to the
+/// FPSS; FREP/SSR-config/barrier instructions count as integer).
+InstrMix count_mix(std::span<const isa::Instr> body);
+
+/// Count the mix of the instructions between two labels of a program.
+InstrMix count_mix(const rvasm::Program& program, std::string_view begin_label,
+                   std::string_view end_label);
+
+/// The paper's analytical estimates for one kernel.
+struct SpeedupModel {
+  InstrMix base;
+  InstrMix copift;
+
+  /// Expected speedup S' (Eq. 1).
+  [[nodiscard]] double s_prime() const noexcept {
+    return copift.max_thread() == 0
+               ? 0.0
+               : static_cast<double>(base.total()) / static_cast<double>(copift.max_thread());
+  }
+  /// Base-only speedup estimate S'' = 1 + TI (Eq. 3).
+  [[nodiscard]] double s_double_prime() const noexcept {
+    return 1.0 + base.thread_imbalance();
+  }
+  /// Expected IPC improvement I' (Eq. 2).
+  [[nodiscard]] double i_prime() const noexcept {
+    return copift.max_thread() == 0
+               ? 0.0
+               : static_cast<double>(copift.total()) / static_cast<double>(copift.max_thread());
+  }
+  /// Expected steady-state COPIFT IPC assuming the slower thread issues
+  /// every cycle: IPC = I' (per Eq. 2 with the slow thread at IPC 1).
+  [[nodiscard]] double expected_ipc() const noexcept { return i_prime(); }
+};
+
+}  // namespace copift::core

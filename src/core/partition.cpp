@@ -1,0 +1,153 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace copift::core {
+
+namespace {
+
+std::vector<DfgEdge> collect_cut_edges(const Dfg& dfg, const std::vector<std::size_t>& phase_of) {
+  std::vector<DfgEdge> cut;
+  for (const DfgEdge& e : dfg.edges()) {
+    if (phase_of[e.from] != phase_of[e.to]) cut.push_back(e);
+  }
+  return cut;
+}
+
+}  // namespace
+
+Partition partition(const Dfg& dfg) {
+  const auto& nodes = dfg.nodes();
+  const std::size_t n = nodes.size();
+
+  // Pass 1: greedy level assignment. Levels map 1:1 to phases; each level's
+  // domain is fixed by the first node assigned to it.
+  std::vector<std::size_t> level(n, 0);
+  std::map<std::size_t, Domain> level_domain;
+  // Adjacency (predecessors) once.
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (const DfgEdge& e : dfg.edges()) preds[e.to].push_back(e.from);
+
+  for (std::size_t i = 0; i < n; ++i) {  // program order is a topological order
+    std::size_t lvl = 0;
+    for (std::size_t p : preds[i]) {
+      const std::size_t need = level[p] + (nodes[p].domain != nodes[i].domain ? 1 : 0);
+      lvl = std::max(lvl, need);
+    }
+    // Bump until the level's domain matches this node's domain.
+    while (true) {
+      const auto it = level_domain.find(lvl);
+      if (it == level_domain.end()) {
+        level_domain[lvl] = nodes[i].domain;
+        break;
+      }
+      if (it->second == nodes[i].domain) break;
+      ++lvl;
+    }
+    level[i] = lvl;
+  }
+
+  // Compact level numbering (some levels may be empty after bumping).
+  std::map<std::size_t, std::size_t> remap;
+  for (std::size_t i = 0; i < n; ++i) remap[level[i]] = 0;
+  std::size_t next = 0;
+  for (auto& [lvl, idx] : remap) idx = next++;
+  std::vector<std::size_t> phase_of(n);
+  for (std::size_t i = 0; i < n; ++i) phase_of[i] = remap[level[i]];
+  const std::size_t num_phases = next;
+
+  // Pass 2: local improvement — try moving each node to any other phase of
+  // the same domain that preserves precedence, keeping the move if it
+  // strictly reduces the number of cut edges.
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (const DfgEdge& e : dfg.edges()) succs[e.from].push_back(e.to);
+  std::vector<Domain> phase_domain(num_phases, Domain::kInt);
+  for (std::size_t i = 0; i < n; ++i) phase_domain[phase_of[i]] = nodes[i].domain;
+
+  const auto cut_count_for = [&](std::size_t node, std::size_t phase) {
+    std::size_t cut = 0;
+    for (std::size_t p : preds[node]) cut += phase_of[p] != phase ? 1 : 0;
+    for (std::size_t s : succs[node]) cut += phase_of[s] != phase ? 1 : 0;
+    return cut;
+  };
+  bool improved = true;
+  unsigned rounds = 0;
+  while (improved && rounds++ < 8) {
+    improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t lo = 0;
+      auto hi = static_cast<std::int64_t>(num_phases) - 1;
+      for (std::size_t p : preds[i]) {
+        lo = std::max(lo, phase_of[p] + (nodes[p].domain != nodes[i].domain ? 1 : 0));
+      }
+      for (std::size_t s : succs[i]) {
+        const std::int64_t limit = static_cast<std::int64_t>(phase_of[s]) -
+                                   (nodes[s].domain != nodes[i].domain ? 1 : 0);
+        hi = std::min(hi, limit);
+      }
+      if (hi < static_cast<std::int64_t>(lo)) continue;
+      const std::size_t current_cut = cut_count_for(i, phase_of[i]);
+      for (std::size_t cand = lo; cand <= static_cast<std::size_t>(hi) && cand < num_phases;
+           ++cand) {
+        if (phase_domain[cand] != nodes[i].domain || cand == phase_of[i]) continue;
+        if (cut_count_for(i, cand) < current_cut) {
+          phase_of[i] = cand;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Assemble result (dropping phases that became empty).
+  Partition result;
+  std::map<std::size_t, std::size_t> finalmap;
+  for (std::size_t i = 0; i < n; ++i) finalmap[phase_of[i]] = 0;
+  next = 0;
+  for (auto& [old_phase, new_phase] : finalmap) new_phase = next++;
+  result.phases.resize(next);
+  result.phase_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = finalmap[phase_of[i]];
+    result.phase_of[i] = p;
+    result.phases[p].domain = nodes[i].domain;
+    result.phases[p].nodes.push_back(i);
+  }
+  result.cut_edges = collect_cut_edges(dfg, result.phase_of);
+  validate(result, dfg);
+  return result;
+}
+
+void validate(const Partition& partition, const Dfg& dfg) {
+  for (const DfgEdge& e : dfg.edges()) {
+    if (partition.phase_of[e.from] > partition.phase_of[e.to]) {
+      throw TransformError("partition violates precedence: edge " + std::to_string(e.from) +
+                           " -> " + std::to_string(e.to));
+    }
+  }
+  for (std::size_t p = 0; p < partition.phases.size(); ++p) {
+    for (std::size_t node : partition.phases[p].nodes) {
+      if (dfg.nodes()[node].domain != partition.phases[p].domain) {
+        throw TransformError("phase " + std::to_string(p) + " mixes domains");
+      }
+    }
+  }
+}
+
+std::string Partition::dump(const Dfg& dfg) const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    os << "Phase " << p << " (" << (phases[p].domain == Domain::kFp ? "FP" : "Int") << "):";
+    for (std::size_t node : phases[p].nodes) os << ' ' << node;
+    os << "\n";
+  }
+  os << "cut edges: " << cut_edges.size() << "\n";
+  (void)dfg;
+  return os.str();
+}
+
+}  // namespace copift::core

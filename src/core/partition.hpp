@@ -1,0 +1,47 @@
+// Phase partitioning (Step 2 of the COPIFT methodology).
+//
+// Partitions the DFG into subgraphs ("phases") of uniform domain such that a
+// total (acyclic) precedence order exists among them, and heuristically
+// minimizes the number of edges cut between phases — each cut edge becomes a
+// block-sized spill buffer after loop tiling (Step 4), so fewer cuts mean
+// less spill traffic and memory (paper Section II-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dfg.hpp"
+
+namespace copift::core {
+
+struct Phase {
+  Domain domain = Domain::kInt;
+  std::vector<std::size_t> nodes;  // node indices, in original program order
+};
+
+struct Partition {
+  std::vector<Phase> phases;               // in precedence order
+  std::vector<std::size_t> phase_of;       // node index -> phase index
+  std::vector<DfgEdge> cut_edges;          // edges crossing phase boundaries
+
+  [[nodiscard]] std::size_t num_cut_edges() const noexcept { return cut_edges.size(); }
+  [[nodiscard]] std::string dump(const Dfg& dfg) const;
+};
+
+/// Partition `dfg` into alternating integer/FP phases.
+///
+/// Algorithm: greedy level assignment in topological (program) order —
+/// a node's phase is the smallest phase >= all its producers' phases whose
+/// domain matches, i.e. level(n) = max over preds p of
+/// (level(p) + (domain(p) != domain(n))), bumped until the phase's domain
+/// matches — followed by a local-improvement pass that moves single nodes to
+/// later compatible phases when that reduces the cut size.
+Partition partition(const Dfg& dfg);
+
+/// Check the invariant that the phase order is a valid precedence relation:
+/// every edge goes from a phase to the same or a later phase. Throws
+/// TransformError on violation.
+void validate(const Partition& partition, const Dfg& dfg);
+
+}  // namespace copift::core

@@ -1,0 +1,78 @@
+#include "core/schedule.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "isa/reg.hpp"
+
+namespace copift::core {
+
+std::uint64_t PipelineSchedule::tcdm_bytes(std::uint64_t block) const noexcept {
+  std::uint64_t total = io_bytes_per_element * block;
+  for (const auto& b : buffers) total += b.bytes(block);
+  return total;
+}
+
+std::uint64_t PipelineSchedule::max_block(std::uint64_t l1_budget) const noexcept {
+  const std::uint64_t per_element = tcdm_bytes(1);
+  return per_element == 0 ? 0 : l1_budget / per_element;
+}
+
+std::string PipelineSchedule::dump() const {
+  std::ostringstream os;
+  os << num_phases << " phases, pipeline depth " << depth() << "\n";
+  for (const auto& b : buffers) {
+    os << "  buffer " << b.name << ": phase " << b.producer_phase << " -> " << b.consumer_phase
+       << ", " << b.bytes_per_element << " B/elem x" << b.replicas << "\n";
+  }
+  return os.str();
+}
+
+PipelineSchedule plan_pipeline(const Partition& partition, const Dfg& dfg,
+                               std::uint64_t io_bytes_per_element) {
+  PipelineSchedule sched;
+  sched.num_phases = partition.phases.size();
+  sched.io_bytes_per_element = io_bytes_per_element;
+
+  // Group cut edges by (value, producer phase, consumer phase): all reads of
+  // the same produced value share one buffer. For register edges the value
+  // is identified by (producer node, register); memory edges by the
+  // producing store.
+  struct Key {
+    std::size_t producer_node;
+    std::size_t producer_phase;
+    std::size_t consumer_phase;
+    bool operator<(const Key& other) const {
+      if (producer_node != other.producer_node) return producer_node < other.producer_node;
+      if (producer_phase != other.producer_phase) return producer_phase < other.producer_phase;
+      return consumer_phase < other.consumer_phase;
+    }
+  };
+  std::map<Key, DfgEdge> groups;
+  for (const DfgEdge& e : partition.cut_edges) {
+    Key key{e.from, partition.phase_of[e.from], partition.phase_of[e.to]};
+    groups.emplace(key, e);
+  }
+
+  for (const auto& [key, e] : groups) {
+    BufferPlan b;
+    b.producer_phase = key.producer_phase;
+    b.consumer_phase = key.consumer_phase;
+    b.replicas = static_cast<unsigned>(key.consumer_phase - key.producer_phase) + 1;
+    const auto& producer = dfg.nodes()[e.from];
+    if (e.kind == DepKind::kIntReg) {
+      b.name = isa::int_reg_name(e.reg) + "@" + std::to_string(e.from);
+      b.bytes_per_element = 4;
+    } else if (e.kind == DepKind::kFpReg) {
+      b.name = isa::fp_reg_name(e.reg) + "@" + std::to_string(e.from);
+      b.bytes_per_element = 8;
+    } else {
+      b.name = "mem@" + std::to_string(e.from);
+      b.bytes_per_element = producer.instr.meta().unit == isa::ExecUnit::kStore ? 4 : 8;
+    }
+    sched.buffers.push_back(b);
+  }
+  return sched;
+}
+
+}  // namespace copift::core

@@ -1,0 +1,69 @@
+// Loop tiling, software pipelining and buffer planning
+// (Steps 4-5 of the COPIFT methodology).
+//
+// After partitioning, each cut edge carries one value per element between
+// phases; tiling turns it into a block-sized spill buffer, and software
+// pipelining (offsetting phase p by p block iterations, paper Fig. 1g)
+// requires the buffer to be replicated `distance + 1` times, where distance
+// is the number of phases between producer and consumer (paper Section II-A,
+// Step 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace copift::core {
+
+/// One spill buffer introduced by Step 4, with its Step-5 replication.
+struct BufferPlan {
+  std::string name;
+  std::size_t producer_phase = 0;
+  std::size_t consumer_phase = 0;
+  unsigned bytes_per_element = 8;
+  unsigned replicas = 1;  // = consumer_phase - producer_phase + 1
+
+  /// TCDM bytes needed for block size B.
+  [[nodiscard]] std::uint64_t bytes(std::uint64_t block) const noexcept {
+    return static_cast<std::uint64_t>(replicas) * bytes_per_element * block;
+  }
+};
+
+/// The steady-state software-pipeline schedule (paper Fig. 1g/1j): in block
+/// iteration j', phase p processes data block j' - p.
+struct PipelineSchedule {
+  std::size_t num_phases = 0;
+  std::vector<BufferPlan> buffers;
+  // Extra per-block TCDM bytes not tied to a cut edge (e.g. input/output
+  // blocks resident in L1).
+  std::uint64_t io_bytes_per_element = 0;
+
+  /// Pipeline depth: number of prologue (and epilogue) block iterations.
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return num_phases == 0 ? 0 : num_phases - 1;
+  }
+
+  /// Which data block phase `p` works on during steady-state iteration `j`
+  /// (negative => phase idle, prologue).
+  [[nodiscard]] std::int64_t block_for(std::size_t phase, std::int64_t j) const noexcept {
+    return j - static_cast<std::int64_t>(phase);
+  }
+
+  /// Total TCDM bytes for block size B (buffers + I/O blocks).
+  [[nodiscard]] std::uint64_t tcdm_bytes(std::uint64_t block) const noexcept;
+
+  /// Largest block size fitting in `l1_budget` bytes (0 if none fits).
+  [[nodiscard]] std::uint64_t max_block(std::uint64_t l1_budget) const noexcept;
+
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Derive the pipeline schedule and buffer plan from a partition: one buffer
+/// per cut edge (register edges spill their register; memory edges reuse the
+/// memory slot), replicated by phase distance + 1.
+PipelineSchedule plan_pipeline(const Partition& partition, const Dfg& dfg,
+                               std::uint64_t io_bytes_per_element = 0);
+
+}  // namespace copift::core

@@ -1,0 +1,110 @@
+#include "core/streams.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace copift::core {
+
+std::vector<std::uint32_t> AffineStream::enumerate() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(total_elements());
+  std::array<std::uint32_t, 4> idx{};
+  for (;;) {
+    std::uint32_t addr = base;
+    for (unsigned d = 0; d < dims; ++d) {
+      addr += static_cast<std::uint32_t>(strides[d]) * idx[d];
+    }
+    out.push_back(addr);
+    unsigned d = 0;
+    for (; d < dims; ++d) {
+      if (++idx[d] < bounds[d]) break;
+      idx[d] = 0;
+    }
+    if (d == dims) break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Can `a` and `b` fuse? Both must have the same direction, dimensionality,
+/// bounds and strides, and the combination must leave a free dimension.
+bool fusable(const AffineStream& a, const AffineStream& b) {
+  if (a.dir != b.dir || a.dims != b.dims || a.dims >= 4) return false;
+  for (unsigned d = 0; d < a.dims; ++d) {
+    if (a.bounds[d] != b.bounds[d] || a.strides[d] != b.strides[d]) return false;
+  }
+  return true;
+}
+
+/// Fuse stream `b` into multi-stream `a` (a may already have an outer fused
+/// dimension with stride == b.base - previous base).
+AffineStream fuse_two(const AffineStream& a, const AffineStream& b) {
+  AffineStream out = a;
+  out.name = a.name + "+" + b.name;
+  const unsigned outer = a.dims;
+  out.dims = a.dims + 1;
+  out.bounds[outer] = 2;
+  out.strides[outer] = static_cast<std::int32_t>(b.base - a.base);
+  return out;
+}
+
+/// Try to extend an already-fused stream (whose outer dim interleaves
+/// members) with one more member at constant outer stride.
+bool extend_fused(AffineStream& fused, const AffineStream& next, unsigned inner_dims) {
+  const unsigned outer = inner_dims;
+  const auto expected = static_cast<std::uint32_t>(
+      fused.base + fused.strides[outer] * fused.bounds[outer]);
+  if (next.base != expected) return false;
+  fused.bounds[outer] += 1;
+  fused.name += "+" + next.name;
+  return true;
+}
+
+}  // namespace
+
+FusionResult fuse_streams(const std::vector<AffineStream>& streams, unsigned max_lanes) {
+  FusionResult result;
+  std::vector<bool> used(streams.size(), false);
+  // Greedy: take each unused stream, gather all compatible streams with the
+  // same shape, sort them by base, and fuse runs with a constant base delta.
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (used[i]) continue;
+    std::vector<std::size_t> group{i};
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      if (!used[j] && fusable(streams[i], streams[j])) group.push_back(j);
+    }
+    std::sort(group.begin(), group.end(), [&](std::size_t a, std::size_t b) {
+      return streams[a].base < streams[b].base;
+    });
+    // Fuse the longest constant-delta run starting at the first element;
+    // remaining members start a new lane on the next outer iteration.
+    while (!group.empty()) {
+      std::vector<std::size_t> members{group.front()};
+      AffineStream fused = streams[group.front()];
+      const unsigned inner_dims = fused.dims;
+      for (std::size_t k = 1; k < group.size(); ++k) {
+        if (members.size() == 1) {
+          fused = fuse_two(fused, streams[group[k]]);
+          members.push_back(group[k]);
+        } else if (extend_fused(fused, streams[group[k]], inner_dims)) {
+          members.push_back(group[k]);
+        } else {
+          break;
+        }
+      }
+      for (std::size_t m : members) used[m] = true;
+      group.erase(group.begin(), group.begin() + static_cast<std::ptrdiff_t>(members.size()));
+      result.lanes.push_back(fused);
+      result.members.push_back(members);
+    }
+  }
+  if (result.lanes.size() > max_lanes) {
+    throw TransformError("stream fusion needs " + std::to_string(result.lanes.size()) +
+                         " lanes but only " + std::to_string(max_lanes) + " are available");
+  }
+  return result;
+}
+
+}  // namespace copift::core

@@ -1,0 +1,53 @@
+// Stream fusion (Step 6 of the COPIFT methodology).
+//
+// Each Snitch core has only 3 SSR lanes but a COPIFT kernel typically needs
+// more logical streams (paper: 6 for expf). Stream fusion merges multiple
+// lower-dimensional affine streams into one higher-dimensional stream
+// (paper Fig. 1i): two 1-D streams with identical element stride and count
+// and bases b1 < b2 fuse into a 2-D stream with outer bound 2 and outer
+// stride b2 - b1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace copift::core {
+
+enum class StreamDir : std::uint8_t { kRead, kWrite };
+
+/// A logical affine stream (up to 4-D, dim 0 innermost), as programmed into
+/// an SSR lane: bounds are iteration counts (not minus one).
+struct AffineStream {
+  std::string name;
+  StreamDir dir = StreamDir::kRead;
+  std::uint32_t base = 0;
+  unsigned dims = 1;
+  std::array<std::uint32_t, 4> bounds = {1, 1, 1, 1};
+  std::array<std::int32_t, 4> strides = {8, 0, 0, 0};
+
+  [[nodiscard]] std::uint64_t total_elements() const noexcept {
+    std::uint64_t n = 1;
+    for (unsigned d = 0; d < dims; ++d) n *= bounds[d];
+    return n;
+  }
+
+  /// Enumerate every address the stream touches, in order (test oracle and
+  /// fusion-equivalence checking).
+  [[nodiscard]] std::vector<std::uint32_t> enumerate() const;
+};
+
+/// Result of fusing logical streams onto the available lanes.
+struct FusionResult {
+  std::vector<AffineStream> lanes;            // <= max_lanes fused streams
+  std::vector<std::vector<std::size_t>> members;  // input indices per lane
+};
+
+/// Fuse `streams` into at most `max_lanes` physical streams. Streams are
+/// only fused when the interleaved element order is expressible as a single
+/// affine stream (identical shape and direction). Throws TransformError if
+/// the streams cannot be packed into `max_lanes` lanes.
+FusionResult fuse_streams(const std::vector<AffineStream>& streams, unsigned max_lanes = 3);
+
+}  // namespace copift::core

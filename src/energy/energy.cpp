@@ -1,0 +1,41 @@
+#include "energy/energy.hpp"
+
+namespace copift::energy {
+
+EnergyReport EnergyModel::evaluate(const sim::ActivityCounters& c) const {
+  EnergyReport r;
+  r.cycles = c.cycles;
+  const auto n = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  r.constant_pj = (params_.base_pj_per_cycle + params_.dma_idle_pj_per_cycle) * n(c.cycles);
+
+  const double int_issues = n(c.int_retired);
+  r.int_core_pj = params_.int_issue_pj * int_issues +
+                  params_.int_alu_pj * n(c.int_alu) +
+                  params_.int_mul_pj * n(c.int_mul) +
+                  params_.int_div_pj_per_cycle * n(c.int_div) +
+                  params_.branch_pj * n(c.branches + c.jumps) +
+                  params_.offload_pj * n(c.fp_retired - c.frep_replays + c.ssr_cfg + c.frep_cfg);
+
+  r.fpss_pj = params_.fp_issue_pj * n(c.fp_retired) +
+              params_.fp_add_pj * n(c.fp_add) +
+              params_.fp_mul_pj * n(c.fp_mul) +
+              params_.fp_fma_pj * n(c.fp_fma) +
+              params_.fp_divsqrt_pj * n(c.fp_divsqrt) +
+              params_.fp_cmp_pj * n(c.fp_cmp + c.fp_class) +
+              params_.fp_cvt_pj * n(c.fp_cvt) +
+              params_.fp_move_pj * n(c.fp_move + c.fp_minmax);
+
+  r.memory_pj = params_.tcdm_access_pj * n(c.tcdm_reads + c.tcdm_writes) +
+                params_.ssr_element_pj * n(c.ssr_elements + c.issr_indices);
+
+  r.icache_pj = params_.l0_hit_pj * n(c.l0_hits) + params_.l0_refill_pj * n(c.l0_refills);
+
+  r.dma_pj = params_.dma_active_pj_per_cycle * n(c.dma_busy_cycles) +
+             params_.dma_byte_pj * n(c.dma_bytes);
+
+  r.total_pj = r.constant_pj + r.int_core_pj + r.fpss_pj + r.memory_pj + r.icache_pj + r.dma_pj;
+  return r;
+}
+
+}  // namespace copift::energy

@@ -1,0 +1,35 @@
+// Floating-point register file (32 x 64-bit, NaN-boxed singles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace copift::fpu {
+
+class FpRegFile {
+ public:
+  [[nodiscard]] std::uint64_t read(unsigned index) const noexcept { return regs_[index]; }
+  void write(unsigned index, std::uint64_t value) noexcept { regs_[index] = value; }
+
+  [[nodiscard]] double read_d(unsigned index) const noexcept {
+    return copift::bit_cast<double>(regs_[index]);
+  }
+  void write_d(unsigned index, double value) noexcept {
+    regs_[index] = copift::bit_cast<std::uint64_t>(value);
+  }
+
+  /// Singles are NaN-boxed in the upper 32 bits per the RISC-V spec.
+  [[nodiscard]] float read_s(unsigned index) const noexcept {
+    return copift::bit_cast<float>(static_cast<std::uint32_t>(regs_[index]));
+  }
+  void write_s(unsigned index, float value) noexcept {
+    regs_[index] = 0xFFFFFFFF00000000ULL | copift::bit_cast<std::uint32_t>(value);
+  }
+
+ private:
+  std::array<std::uint64_t, 32> regs_{};
+};
+
+}  // namespace copift::fpu

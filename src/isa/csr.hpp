@@ -1,0 +1,22 @@
+// CSR numbers understood by the simulated Snitch core.
+#pragma once
+
+#include <cstdint>
+
+namespace copift::isa {
+
+/// Standard performance counters.
+inline constexpr std::uint16_t kCsrMcycle = 0xB00;
+inline constexpr std::uint16_t kCsrMinstret = 0xB02;
+
+/// Snitch SSR enable CSR: bit 0 enables the remapping of ft0..ft2 to the
+/// stream lanes (write 1 with csrsi to enable, csrci to disable). Disabling
+/// waits for all stream writebacks to drain.
+inline constexpr std::uint16_t kCsrSsr = 0x7C0;
+
+/// FPSS status CSR: reads return the number of offloaded-but-uncompleted FP
+/// instructions. Reading it with rd != x0 stalls until the FPSS is idle —
+/// the full-barrier used at kernel boundaries.
+inline constexpr std::uint16_t kCsrFpss = 0x7C1;
+
+}  // namespace copift::isa

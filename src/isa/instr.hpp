@@ -1,0 +1,39 @@
+// Decoded instruction representation used by the assembler, the simulator
+// (predecoded program image) and the COPIFT analysis toolkit.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/mnemonic.hpp"
+
+namespace copift::isa {
+
+/// A fully decoded instruction. `imm` holds, depending on format: the
+/// sign-extended immediate, the CSR number (kICsr*), the shift amount
+/// (kIShift), or the FREP/SSR-config immediate.
+struct Instr {
+  Mnemonic mnemonic = Mnemonic::kEcall;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] const InstrInfo& meta() const noexcept { return info(mnemonic); }
+
+  friend bool operator==(const Instr& a, const Instr& b) = default;
+};
+
+/// Encode a decoded instruction into its 32-bit word. Throws EncodingError
+/// on out-of-range immediates or operands.
+std::uint32_t encode(const Instr& instr);
+
+/// Decode a 32-bit instruction word. Throws EncodingError if the word does
+/// not match any supported instruction.
+Instr decode(std::uint32_t word);
+
+/// Render an instruction as assembly text (branch/jump targets printed as
+/// pc-relative offsets).
+std::string disassemble(const Instr& instr);
+
+}  // namespace copift::isa

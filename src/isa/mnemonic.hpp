@@ -1,0 +1,192 @@
+// Instruction set: RV32G (I, M, F, D, Zicsr) plus the Snitch custom
+// extensions (Xfrep, Xssr, Xdma) and the paper's Xcopift extension.
+//
+// Xcopift re-encodes the "D" conversion/comparison/classify instructions in
+// the custom-1 opcode space with altered semantics: all operands live in the
+// FP register file, so the instructions can execute under FREP without
+// touching integer-core state (paper Section II-B). `copift.barrier` makes
+// the integer thread wait for completion of all FP instructions offloaded
+// before the most recent `frep.o` — the synchronization the schedule in
+// paper Fig. 1j relies on between pipelined block iterations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "isa/reg.hpp"
+
+namespace copift::isa {
+
+enum class Mnemonic : std::uint16_t {
+  // ---- RV32I ----
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // ---- Zicsr ----
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // ---- M ----
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // ---- F ----
+  kFlw, kFsw,
+  kFmaddS, kFmsubS, kFnmsubS, kFnmaddS,
+  kFaddS, kFsubS, kFmulS, kFdivS, kFsqrtS,
+  kFsgnjS, kFsgnjnS, kFsgnjxS, kFminS, kFmaxS,
+  kFcvtWS, kFcvtWuS, kFmvXW, kFeqS, kFltS, kFleS, kFclassS,
+  kFcvtSW, kFcvtSWu, kFmvWX,
+  // ---- D ----
+  kFld, kFsd,
+  kFmaddD, kFmsubD, kFnmsubD, kFnmaddD,
+  kFaddD, kFsubD, kFmulD, kFdivD, kFsqrtD,
+  kFsgnjD, kFsgnjnD, kFsgnjxD, kFminD, kFmaxD,
+  kFcvtSD, kFcvtDS,
+  kFeqD, kFltD, kFleD, kFclassD,
+  kFcvtWD, kFcvtWuD, kFcvtDW, kFcvtDWu,
+  // ---- Xfrep (Snitch hardware loop) ----
+  kFrepO,  // frep.o rs1, n_instr : repeat next n_instr FP instrs (rs1)+1 times
+  kFrepI,  // frep.i rs1, n_instr : inner-loop variant (repeat each instr)
+  // ---- Xssr (stream semantic register configuration) ----
+  kScfgwi,  // scfgwi rs1, imm    : write SSR config word [imm] <- rs1
+  kScfgri,  // scfgri rd, imm     : read SSR config word [imm] -> rd
+  // ---- Xdma (cluster DMA engine) ----
+  kDmsrc,   // dmsrc rs1          : set DMA source address
+  kDmdst,   // dmdst rs1          : set DMA destination address
+  kDmcpy,   // dmcpy rd, rs1      : start copy of rs1 bytes, rd <- txn id
+  kDmstat,  // dmstat rd          : rd <- number of pending DMA transfers
+  // ---- Xcopift (paper Section II-B, custom-1 opcode space) ----
+  kFcvtWDCop,   // fcvt.w.d.cop  fd, fs  : double -> int32, result in FP RF
+  kFcvtWuDCop,  // fcvt.wu.d.cop fd, fs
+  kFcvtDWCop,   // fcvt.d.w.cop  fd, fs  : int32 bit-pattern in fs -> double
+  kFcvtDWuCop,  // fcvt.d.wu.cop fd, fs
+  kFeqDCop,     // feq.d.cop fd, fs1, fs2 : compare, 0.0/1.0 result in FP RF
+  kFltDCop,     // flt.d.cop fd, fs1, fs2
+  kFleDCop,     // fle.d.cop fd, fs1, fs2
+  kFclassDCop,  // fclass.d.cop fd, fs
+  kCopiftBarrier,  // copift.barrier : wait for FP work issued before last frep.o
+  kCount
+};
+
+inline constexpr std::size_t kNumMnemonics = static_cast<std::size_t>(Mnemonic::kCount);
+
+/// Functional unit an instruction executes on. Determines latency and the
+/// energy event charged by the power model.
+enum class ExecUnit : std::uint8_t {
+  kIntAlu,   // single-cycle integer ALU
+  kMul,      // shared multiplier (pipelined, multi-cycle)
+  kDiv,      // iterative divider
+  kLoad,     // integer LSU load (TCDM)
+  kStore,    // integer LSU store
+  kBranch,   // conditional branch
+  kJump,     // jal/jalr
+  kCsr,      // CSR access
+  kSys,      // fence/ecall/ebreak
+  kFpu,      // FP compute (fpu_class() refines)
+  kFpLoad,   // FP load (flw/fld)
+  kFpStore,  // FP store (fsw/fsd)
+  kFrep,     // FREP configuration
+  kSsrCfg,   // SSR configuration
+  kDma,      // DMA engine command
+  kBarrier,  // copift.barrier
+};
+
+/// Refinement of ExecUnit::kFpu used for latency/energy lookup.
+enum class FpuClass : std::uint8_t {
+  kNone,
+  kAdd,     // fadd/fsub
+  kMul,     // fmul
+  kFma,     // fmadd/fmsub/fnmadd/fnmsub
+  kDivSqrt, // fdiv/fsqrt (iterative)
+  kCmp,     // feq/flt/fle
+  kCvt,     // conversions
+  kMove,    // fmv.x.w / fmv.w.x / fsgnj (register moves)
+  kMinMax,  // fmin/fmax
+  kClass,   // fclass
+};
+
+/// Assembly syntax / encoding format.
+enum class Format : std::uint8_t {
+  kR,       // rd, rs1, rs2                 (funct3+funct7 fixed)
+  kR4,      // rd, rs1, rs2, rs3            (FP fused multiply-add, rm dynamic)
+  kRFpRm,   // rd, rs1, rs2, rm dynamic     (fadd.d ...)
+  kRFp1Rm,  // rd, rs1; rs2-field fixed, rm dynamic (fsqrt, fcvt)
+  kRFp1,    // rd, rs1; rs2-field fixed, funct3 fixed (fclass, fmv)
+  kI,       // rd, rs1, imm12
+  kIShift,  // rd, rs1, shamt5              (funct7 fixed)
+  kILoad,   // rd, imm12(rs1)
+  kS,       // rs2, imm12(rs1)
+  kB,       // rs1, rs2, pc-relative imm13
+  kU,       // rd, imm20 (upper)
+  kJ,       // rd, pc-relative imm21
+  kICsr,    // rd, csr, rs1
+  kICsrImm, // rd, csr, zimm5
+  kFixed,   // entire word fixed (ecall, ebreak, copift.barrier)
+  kRdOnly,  // rd                           (dmstat)
+  kRs1Only, // rs1                          (dmsrc, dmdst)
+  kRdRs1,   // rd, rs1                      (dmcpy)
+  kRs1Imm,  // rs1, imm12                   (frep.o, scfgwi)
+  kRdImm,   // rd, imm12                    (scfgri)
+};
+
+/// Static metadata for one mnemonic.
+struct InstrInfo {
+  std::string_view name;
+  Format format = Format::kFixed;
+  ExecUnit unit = ExecUnit::kSys;
+  FpuClass fpu_class = FpuClass::kNone;
+  RegClass rd_class = RegClass::kNone;
+  RegClass rs1_class = RegClass::kNone;
+  RegClass rs2_class = RegClass::kNone;
+  RegClass rs3_class = RegClass::kNone;
+  bool xcopift = false;  // member of the paper's Xcopift extension
+  // Encoding match: fixed fields assembled into (match, mask) over the 32-bit
+  // instruction word. Operand fields are zero in both `match` and `mask`.
+  std::uint32_t match = 0;
+  std::uint32_t mask = 0;
+
+  /// True if this instruction is dispatched to the FP subsystem (Snitch
+  /// offloads every FP instruction, including FP loads/stores and Xcopift).
+  [[nodiscard]] bool offloaded() const noexcept {
+    return unit == ExecUnit::kFpu || unit == ExecUnit::kFpLoad ||
+           unit == ExecUnit::kFpStore;
+  }
+
+  /// Offloaded instruction that consumes an integer-RF operand at issue
+  /// (FP loads/stores take the address from rs1; fcvt.d.w / fmv.w.x take the
+  /// value). Together with writes_int_rf these are the paper's Type-1/2/3
+  /// dual-issue blockers.
+  [[nodiscard]] bool reads_int_rf() const noexcept {
+    return offloaded() &&
+           (rs1_class == RegClass::kInt || rs2_class == RegClass::kInt);
+  }
+
+  /// Offloaded instruction producing a result in the integer RF
+  /// (comparisons, fclass, fcvt.w.d, fmv.x.w) — the integer core must wait.
+  [[nodiscard]] bool writes_int_rf() const noexcept {
+    return offloaded() && rd_class == RegClass::kInt;
+  }
+
+  [[nodiscard]] bool is_load() const noexcept {
+    return unit == ExecUnit::kLoad || unit == ExecUnit::kFpLoad;
+  }
+  [[nodiscard]] bool is_store() const noexcept {
+    return unit == ExecUnit::kStore || unit == ExecUnit::kFpStore;
+  }
+  [[nodiscard]] bool is_control_flow() const noexcept {
+    return unit == ExecUnit::kBranch || unit == ExecUnit::kJump;
+  }
+};
+
+/// Metadata for a mnemonic. O(1) table lookup.
+const InstrInfo& info(Mnemonic m) noexcept;
+
+/// Find a mnemonic by assembly name ("fmadd.d"). Case-sensitive, lower case.
+std::optional<Mnemonic> mnemonic_by_name(std::string_view name);
+
+/// Short helper: assembly name of a mnemonic.
+std::string_view name(Mnemonic m) noexcept;
+
+}  // namespace copift::isa

@@ -1,0 +1,59 @@
+#include "isa/reg.hpp"
+
+#include <array>
+
+namespace copift::isa {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumIntRegs> kIntAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<std::string_view, kNumFpRegs> kFpAbiNames = {
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0",
+    "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5",
+    "fs6", "fs7", "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+std::optional<unsigned> parse_numeric(std::string_view token, char prefix) {
+  if (token.size() < 2 || token.size() > 3 || token[0] != prefix) return std::nullopt;
+  unsigned value = 0;
+  for (char c : token.substr(1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value >= 32) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string int_reg_name(unsigned index) {
+  return index < kNumIntRegs ? std::string(kIntAbiNames[index]) : "x?";
+}
+
+std::string fp_reg_name(unsigned index) {
+  return index < kNumFpRegs ? std::string(kFpAbiNames[index]) : "f?";
+}
+
+std::optional<unsigned> parse_int_reg(std::string_view token) {
+  if (auto n = parse_numeric(token, 'x')) return n;
+  if (token == "fp") return 8;  // alias for s0
+  for (unsigned i = 0; i < kNumIntRegs; ++i) {
+    if (token == kIntAbiNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> parse_fp_reg(std::string_view token) {
+  if (token.size() >= 2 && token[0] == 'f' && token[1] >= '0' && token[1] <= '9') {
+    if (auto n = parse_numeric(token, 'f')) return n;
+  }
+  for (unsigned i = 0; i < kNumFpRegs; ++i) {
+    if (token == kFpAbiNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace copift::isa

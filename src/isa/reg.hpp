@@ -1,0 +1,37 @@
+// Register names and classes for RV32G plus the Snitch FP subsystem.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace copift::isa {
+
+/// Which register file an operand lives in.
+enum class RegClass : std::uint8_t { kNone, kInt, kFp };
+
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+
+/// SSR data registers: Snitch remaps ft0..ft2 to stream lanes when SSRs are
+/// enabled. These constants identify the architectural FP register indices.
+inline constexpr unsigned kNumSsrLanes = 3;
+inline constexpr std::uint8_t kSsrReg0 = 0;  // ft0
+inline constexpr std::uint8_t kSsrReg1 = 1;  // ft1
+inline constexpr std::uint8_t kSsrReg2 = 2;  // ft2
+
+/// Render an integer register as its ABI name (x10 -> "a0").
+std::string int_reg_name(unsigned index);
+
+/// Render an FP register as its ABI name (f10 -> "fa0").
+std::string fp_reg_name(unsigned index);
+
+/// Parse an integer register name: accepts both "x13" and ABI names ("a3").
+/// Returns std::nullopt if the token is not an integer register.
+std::optional<unsigned> parse_int_reg(std::string_view token);
+
+/// Parse an FP register name: accepts both "f13" and ABI names ("fa3").
+std::optional<unsigned> parse_fp_reg(std::string_view token);
+
+}  // namespace copift::isa

@@ -1,0 +1,27 @@
+#include "kernels/codegen.hpp"
+
+#include <iomanip>
+
+#include "common/bits.hpp"
+
+namespace copift::kernels {
+
+std::string dword_of(std::uint64_t bits) {
+  std::ostringstream os;
+  os << ".dword 0x" << std::hex << std::setw(16) << std::setfill('0') << bits;
+  return os.str();
+}
+
+std::string dword_of(double value) { return dword_of(copift::bit_cast<std::uint64_t>(value)); }
+
+void emit_add_imm(AsmBuilder& b, const std::string& dst, const std::string& src,
+                  std::int64_t imm, const std::string& tmp) {
+  if (imm >= -2048 && imm <= 2047) {
+    b.l(cat("addi ", dst, ", ", src, ", ", imm));
+  } else {
+    b.l(cat("li ", tmp, ", ", imm));
+    b.l(cat("add ", dst, ", ", src, ", ", tmp));
+  }
+}
+
+}  // namespace copift::kernels

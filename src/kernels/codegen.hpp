@@ -1,0 +1,58 @@
+// Small helper for emitting assembly text from C++ kernel generators.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace copift::kernels {
+
+class AsmBuilder {
+ public:
+  /// Append one instruction/directive line (indented).
+  AsmBuilder& l(const std::string& line) {
+    os_ << "  " << line << "\n";
+    return *this;
+  }
+  /// Append a label definition.
+  AsmBuilder& label(const std::string& name) {
+    os_ << name << ":\n";
+    return *this;
+  }
+  /// Append a comment line.
+  AsmBuilder& c(const std::string& text) {
+    os_ << "  # " << text << "\n";
+    return *this;
+  }
+  /// Append raw text (multi-line allowed).
+  AsmBuilder& raw(const std::string& text) {
+    os_ << text;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Variadic string concatenation: cat("lw a0, ", off, "(", base, ")").
+template <typename... Parts>
+std::string cat(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Emit a double constant as a `.dword` with its bit pattern.
+std::string dword_of(double value);
+/// Emit a raw 64-bit word as a `.dword`.
+std::string dword_of(std::uint64_t bits);
+
+/// Emit `dst = src + imm`, falling back to li+add through `tmp` when the
+/// immediate exceeds the addi range (large COPIFT block sizes). `tmp` may
+/// equal `dst` when `dst != src`.
+void emit_add_imm(AsmBuilder& b, const std::string& dst, const std::string& src,
+                  std::int64_t imm, const std::string& tmp);
+
+}  // namespace copift::kernels

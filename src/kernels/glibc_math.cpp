@@ -1,0 +1,125 @@
+#include "kernels/glibc_math.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace copift::kernels {
+
+// ---------------------------------------------------------------------------
+// exp
+// ---------------------------------------------------------------------------
+
+ExpConstants exp_constants() noexcept {
+  constexpr double kN = kExpTableSize;
+  ExpConstants c{};
+  c.inv_ln2_n = 0x1.71547652b82fep+0 * kN;  // log2(e) * N
+  c.shift = 0x1.8p52;
+  // glibc e_exp2f_data poly, pre-scaled by the table size.
+  c.c0 = 0x1.c6af84b912394p-5 / kN / kN / kN;
+  c.c1 = 0x1.ebfce50fac4f3p-3 / kN / kN;
+  c.c2 = 0x1.62e42ff0c52d6p-1 / kN;
+  return c;
+}
+
+const std::array<std::uint64_t, kExpTableSize>& exp_table() noexcept {
+  static const auto table = [] {
+    std::array<std::uint64_t, kExpTableSize> t{};
+    for (unsigned i = 0; i < kExpTableSize; ++i) {
+      const double v = std::exp2(static_cast<double>(i) / kExpTableSize);
+      t[i] = copift::bit_cast<std::uint64_t>(v) -
+             (static_cast<std::uint64_t>(i) << (52 - kExpTableBits));
+    }
+    return t;
+  }();
+  return table;
+}
+
+double ref_exp(double x) noexcept {
+  const ExpConstants cst = exp_constants();
+  const auto& tab = exp_table();
+  const double z = cst.inv_ln2_n * x;
+  const double kd = z + cst.shift;
+  // The assembly reads the low word of kd with `lw` (paper Fig. 1b inst. 5).
+  const auto ki = static_cast<std::uint32_t>(copift::bit_cast<std::uint64_t>(kd));
+  const std::uint64_t t = tab[ki & (kExpTableSize - 1)];
+  // 32-bit exponent adjustment, exactly as `slli a0,a0,15; add` performs it.
+  const auto lo = static_cast<std::uint32_t>(t);
+  const auto hi = static_cast<std::uint32_t>(t >> 32) + (ki << 15);
+  const double s = copift::bit_cast<double>((static_cast<std::uint64_t>(hi) << 32) | lo);
+  const double kd2 = kd - cst.shift;
+  const double r = z - kd2;
+  const double p1 = std::fma(cst.c0, r, cst.c1);
+  const double p2 = std::fma(cst.c2, r, 1.0);
+  const double r2 = r * r;
+  const double y = std::fma(p1, r2, p2);
+  return y * s;
+}
+
+void ref_exp(std::span<const double> x, std::span<double> y) noexcept {
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) y[i] = ref_exp(x[i]);
+}
+
+// ---------------------------------------------------------------------------
+// log
+// ---------------------------------------------------------------------------
+
+LogConstants log_constants() noexcept {
+  LogConstants c{};
+  c.ln2 = 0x1.62e42fefa39efp-1;
+  // log(1+r) ~= r + a2*r^2 + a1*r^3 + a0*r^4 over |r| <= 0.05.
+  c.a0 = -0.25;
+  c.a1 = 1.0 / 3.0;
+  c.a2 = -0.5;
+  c.off = 0x3f330000u;
+  return c;
+}
+
+const std::array<LogTableEntry, kLogTableSize>& log_table() noexcept {
+  static const auto table = [] {
+    std::array<LogTableEntry, kLogTableSize> t{};
+    const LogConstants cst = log_constants();
+    for (unsigned i = 0; i < kLogTableSize; ++i) {
+      // Midpoint of the i-th mantissa subinterval of z in [0.699, 1.398).
+      const std::uint32_t bits = cst.off + (i << (23 - kLogTableBits)) +
+                                 (1u << (23 - kLogTableBits - 1));
+      const auto c = static_cast<double>(copift::bit_cast<float>(bits));
+      t[i].invc = 1.0 / c;
+      t[i].logc = std::log(c);
+    }
+    return t;
+  }();
+  return table;
+}
+
+LogDecomposition log_decompose(float x) noexcept {
+  const LogConstants cst = log_constants();
+  const auto ix = copift::bit_cast<std::uint32_t>(x);
+  const std::uint32_t tmp = ix - cst.off;
+  LogDecomposition d{};
+  d.index = (tmp >> (23 - kLogTableBits)) & (kLogTableSize - 1);
+  d.k = static_cast<std::int32_t>(tmp) >> 23;
+  d.iz_bits = ix - (tmp & 0xff800000u);
+  return d;
+}
+
+double ref_log(float x) noexcept {
+  const LogConstants cst = log_constants();
+  const auto& tab = log_table();
+  const LogDecomposition d = log_decompose(x);
+  const auto z = static_cast<double>(copift::bit_cast<float>(d.iz_bits));
+  const LogTableEntry e = tab[d.index];
+  const double r = std::fma(z, e.invc, -1.0);
+  const double y0 = std::fma(static_cast<double>(d.k), cst.ln2, e.logc);
+  const double r2 = r * r;
+  const double p = std::fma(cst.a1, r, cst.a2);
+  const double y = std::fma(cst.a0, r2, p);
+  const double yr = y0 + r;
+  return std::fma(y, r2, yr);
+}
+
+void ref_log(std::span<const float> x, std::span<double> y) noexcept {
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) y[i] = ref_log(x[i]);
+}
+
+}  // namespace copift::kernels

@@ -1,0 +1,73 @@
+// Reference implementations of the transcendental kernels, following the
+// GNU C Library's table-based algorithms (glibc v2.40 sysdeps/ieee754):
+//   exp: 32-entry exp2 table + degree-3 polynomial (__expf path, performed
+//        in double precision on double inputs, matching paper Fig. 1b),
+//   log: 16-entry {invc, logc} table + degree-3 polynomial (__logf path).
+//
+// These are bit-exact oracles for the assembly kernels: both use the same
+// constants, the same table and the same FMA contraction order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace copift::kernels {
+
+// ---- exp (paper Fig. 1a: y[i] = expf(x[i]), evaluated in double) ----
+
+inline constexpr unsigned kExpTableBits = 5;
+inline constexpr unsigned kExpTableSize = 1u << kExpTableBits;  // 32
+
+/// Polynomial/scaling constants of the glibc expf algorithm (N = 32).
+struct ExpConstants {
+  double inv_ln2_n;  // N / ln(2)
+  double shift;      // 0x1.8p52 round-to-int shift
+  double c0, c1, c2; // poly coefficients (c3 == 1.0)
+};
+
+[[nodiscard]] ExpConstants exp_constants() noexcept;
+
+/// T[i] = asuint64(2^(i/N)) - (i << (52 - kExpTableBits)).
+[[nodiscard]] const std::array<std::uint64_t, kExpTableSize>& exp_table() noexcept;
+
+/// One element of the reference kernel (exactly the Fig. 1b dataflow).
+[[nodiscard]] double ref_exp(double x) noexcept;
+
+/// Vector form.
+void ref_exp(std::span<const double> x, std::span<double> y) noexcept;
+
+// ---- log (double variant of the glibc logf algorithm) ----
+
+inline constexpr unsigned kLogTableBits = 4;
+inline constexpr unsigned kLogTableSize = 1u << kLogTableBits;  // 16
+
+struct LogConstants {
+  double ln2;
+  double a0, a1, a2;  // poly coefficients
+  std::uint32_t off;  // exponent bias offset 0x3f330000
+};
+
+[[nodiscard]] LogConstants log_constants() noexcept;
+
+struct LogTableEntry {
+  double invc;
+  double logc;
+};
+
+[[nodiscard]] const std::array<LogTableEntry, kLogTableSize>& log_table() noexcept;
+
+/// Index and scaled mantissa extraction (the integer thread's work).
+struct LogDecomposition {
+  std::uint32_t index;   // table index
+  std::int32_t k;        // exponent
+  std::uint32_t iz_bits; // float bits of the scaled mantissa z
+};
+[[nodiscard]] LogDecomposition log_decompose(float x) noexcept;
+
+/// One element of the reference kernel (float input, double result).
+[[nodiscard]] double ref_log(float x) noexcept;
+
+void ref_log(std::span<const float> x, std::span<double> y) noexcept;
+
+}  // namespace copift::kernels

@@ -1,0 +1,17 @@
+// Internal interfaces between the per-kernel generator translation units.
+#pragma once
+
+#include <string>
+
+#include "kernels/kernels.hpp"
+
+namespace copift::kernels {
+
+std::string generate_exp(Variant variant, const KernelConfig& config);
+std::string generate_log(Variant variant, const KernelConfig& config);
+
+/// Monte Carlo family: `poly` selects the polynomial-integration problem
+/// (pi otherwise); `xoshiro` selects the PRNG (LCG otherwise).
+std::string generate_mc(Variant variant, const KernelConfig& config, bool poly, bool xoshiro);
+
+}  // namespace copift::kernels

@@ -1,0 +1,52 @@
+#include "kernels/kernels.hpp"
+
+#include "common/error.hpp"
+#include "kernels/kernel_internal.hpp"
+
+namespace copift::kernels {
+
+std::string kernel_name(KernelId id) {
+  switch (id) {
+    case KernelId::kExp: return "exp";
+    case KernelId::kLog: return "log";
+    case KernelId::kPolyLcg: return "poly_lcg";
+    case KernelId::kPiLcg: return "pi_lcg";
+    case KernelId::kPolyXoshiro: return "poly_xoshiro128p";
+    case KernelId::kPiXoshiro: return "pi_xoshiro128p";
+  }
+  return "?";
+}
+
+bool is_transcendental(KernelId id) {
+  return id == KernelId::kExp || id == KernelId::kLog;
+}
+
+GeneratedKernel generate(KernelId id, Variant variant, const KernelConfig& config) {
+  GeneratedKernel g;
+  g.id = id;
+  g.variant = variant;
+  g.config = config;
+  switch (id) {
+    case KernelId::kExp:
+      g.source = generate_exp(variant, config);
+      break;
+    case KernelId::kLog:
+      g.source = generate_log(variant, config);
+      break;
+    case KernelId::kPolyLcg:
+      g.source = generate_mc(variant, config, /*poly=*/true, /*xoshiro=*/false);
+      break;
+    case KernelId::kPiLcg:
+      g.source = generate_mc(variant, config, /*poly=*/false, /*xoshiro=*/false);
+      break;
+    case KernelId::kPolyXoshiro:
+      g.source = generate_mc(variant, config, /*poly=*/true, /*xoshiro=*/true);
+      break;
+    case KernelId::kPiXoshiro:
+      g.source = generate_mc(variant, config, /*poly=*/false, /*xoshiro=*/true);
+      break;
+  }
+  return g;
+}
+
+}  // namespace copift::kernels

@@ -1,0 +1,58 @@
+// Kernel registry: the six paper kernels, each in an optimized RV32G
+// baseline variant and a COPIFT variant (paper Table I).
+//
+// Each generator returns complete assembly for the simulated cluster:
+//   _start -> setup -> [region marker 1] main loop [region marker 2]
+//          -> drain FPSS -> store results -> ecall
+// Inputs (x arrays, seeds) are poked into data-section symbols by the
+// harness (see runner.hpp); results are read back from the `result` symbol.
+//
+// Convention of labels used by the analysis/bench code:
+//   body_begin / body_end — the steady-state loop body (Table I counting)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace copift::kernels {
+
+enum class KernelId {
+  kExp,          // y[i] = exp(x[i]) (glibc-style, paper Fig. 1)
+  kLog,          // y[i] = log(x[i]) (uses ISSR + fcvt.d.w.cop)
+  kPolyLcg,      // MC integration of a degree-5 polynomial, LCG PRNG
+  kPiLcg,        // MC pi estimation, LCG PRNG
+  kPolyXoshiro,  // MC polynomial, xoshiro128+ PRNG
+  kPiXoshiro,    // MC pi, xoshiro128+ PRNG
+};
+
+enum class Variant { kBaseline, kCopift };
+
+inline constexpr KernelId kAllKernels[] = {KernelId::kExp,     KernelId::kLog,
+                                           KernelId::kPolyLcg, KernelId::kPiLcg,
+                                           KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
+
+[[nodiscard]] std::string kernel_name(KernelId id);
+[[nodiscard]] bool is_transcendental(KernelId id);  // exp/log vs Monte Carlo
+
+struct KernelConfig {
+  /// Problem size: elements (exp/log) or samples (MC). Must be a multiple of
+  /// the block size; MC requires multiples of kMcUnroll.
+  std::uint32_t n = 1024;
+  /// COPIFT block size B (ignored by baselines). Must divide n.
+  std::uint32_t block = 32;
+  /// PRNG seed for the MC kernels / input generator seed for exp/log.
+  std::uint32_t seed = 42;
+};
+
+struct GeneratedKernel {
+  std::string source;
+  KernelId id;
+  Variant variant;
+  KernelConfig config;
+};
+
+/// Generate the assembly for a kernel variant. Throws copift::Error on
+/// invalid configurations (non-divisible block, FREP body too large, ...).
+GeneratedKernel generate(KernelId id, Variant variant, const KernelConfig& config);
+
+}  // namespace copift::kernels

@@ -1,0 +1,121 @@
+#include "kernels/montecarlo.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace copift::kernels {
+
+const std::array<double, 6>& mc_poly_coeffs() noexcept {
+  static const std::array<double, 6> coeffs = {1.0 / 6, 1.0 / 6, 1.0 / 6,
+                                               1.0 / 6, 1.0 / 6, 1.0 / 6};
+  return coeffs;
+}
+
+double mc_poly(double x, PolyScheme scheme) noexcept {
+  const auto& c = mc_poly_coeffs();
+  if (scheme == PolyScheme::kHorner) {
+    // Horner with FMAs, highest degree first (c[5]*x^5 + ... + c[0]).
+    double acc = c[5];
+    for (int i = 4; i >= 0; --i) acc = std::fma(acc, x, c[i]);
+    return acc;
+  }
+  if (scheme == PolyScheme::kEstrin) {
+    const double x2 = x * x;
+    const double t0 = std::fma(c[1], x, c[0]);
+    const double t1 = std::fma(c[3], x, c[2]);
+    const double t2 = std::fma(c[5], x, c[4]);
+    const double x4 = x2 * x2;
+    const double r = std::fma(t1, x2, t0);
+    return std::fma(t2, x4, r);
+  }
+  // Even/odd split, mirroring the COPIFT FREP body's dataflow exactly (the
+  // kernel evaluates it in the raw PRN domain; that differs only by exact
+  // power-of-two coefficient scalings, which commute with FMA rounding).
+  const double t = x * x;
+  double e = std::fma(c[4], t, c[2]);
+  double o = std::fma(c[5], t, c[3]);
+  e = std::fma(e, t, c[0]);
+  o = std::fma(o, t, c[1]);
+  return std::fma(o, x, e);
+}
+
+bool pi_hit(std::uint32_t xraw, std::uint32_t yraw) noexcept {
+  const double x = to_unit_double(xraw);
+  const double y = to_unit_double(yraw);
+  const double xx = x * x;
+  const double tt = std::fma(y, y, xx);
+  return tt < 1.0;
+}
+
+bool poly_hit(std::uint32_t xraw, std::uint32_t yraw, PolyScheme scheme) noexcept {
+  const double x = to_unit_double(xraw);
+  const double y = to_unit_double(yraw);
+  return y < mc_poly(x, scheme);
+}
+
+namespace {
+
+template <typename Prng, typename HitFn>
+std::uint64_t run_mc(std::vector<Prng> streams, std::uint64_t samples, HitFn&& hit) {
+  if (samples % kMcUnroll != 0) throw Error("sample count must be a multiple of the unroll");
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < samples / kMcUnroll; ++i) {
+    for (unsigned u = 0; u < kMcUnroll; ++u) {
+      const std::uint32_t x = streams[u].next();
+      const std::uint32_t y = streams[u].next();
+      hits += hit(x, y) ? 1 : 0;
+    }
+  }
+  return hits;
+}
+
+std::vector<Lcg> lcg_streams(std::uint32_t seed) {
+  std::vector<Lcg> s;
+  for (unsigned u = 0; u < kMcUnroll; ++u) s.emplace_back(seed + u);
+  return s;
+}
+
+// xoshiro state is too large for one stream per unroll slot (4 registers per
+// generator); the kernel keeps one x-generator and one y-generator in
+// registers, so the reference does too.
+template <typename HitFn>
+std::uint64_t run_mc_xoshiro(std::uint32_t seed, std::uint64_t samples, HitFn&& hit) {
+  if (samples % kMcUnroll != 0) throw Error("sample count must be a multiple of the unroll");
+  Xoshiro128Plus gx = Xoshiro128Plus::seeded(seed);
+  Xoshiro128Plus gy = Xoshiro128Plus::seeded(seed + 1);
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::uint32_t x = gx.next();
+    const std::uint32_t y = gy.next();
+    hits += hit(x, y) ? 1 : 0;
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::uint64_t ref_pi_hits_lcg(std::uint32_t seed, std::uint64_t samples) {
+  return run_mc(lcg_streams(seed), samples,
+                [](std::uint32_t x, std::uint32_t y) { return pi_hit(x, y); });
+}
+
+std::uint64_t ref_poly_hits_lcg(std::uint32_t seed, std::uint64_t samples, PolyScheme scheme) {
+  return run_mc(lcg_streams(seed), samples,
+                [scheme](std::uint32_t x, std::uint32_t y) { return poly_hit(x, y, scheme); });
+}
+
+std::uint64_t ref_pi_hits_xoshiro(std::uint32_t seed, std::uint64_t samples) {
+  return run_mc_xoshiro(seed, samples,
+                        [](std::uint32_t x, std::uint32_t y) { return pi_hit(x, y); });
+}
+
+std::uint64_t ref_poly_hits_xoshiro(std::uint32_t seed, std::uint64_t samples,
+                                    PolyScheme scheme) {
+  return run_mc_xoshiro(seed, samples, [scheme](std::uint32_t x, std::uint32_t y) {
+    return poly_hit(x, y, scheme);
+  });
+}
+
+}  // namespace copift::kernels

@@ -1,0 +1,47 @@
+// Hit-and-miss Monte Carlo integration references (paper Section III-A).
+//
+// Two integration problems x two PRNGs:
+//  - pi:   count (x, y) with x^2 + y^2 < 1           -> pi ~= 4 * hits / N
+//  - poly: count (x, y) with y < P(x), P a degree-5
+//          polynomial with values in [1/6, 1]        -> integral ~= hits / N
+//
+// Each unrolled assembly slot u in [0, kMcUnroll) owns an independent PRNG
+// stream seeded with `seed + u`; samples are drawn slot-major per iteration.
+// The references replicate that exact draw order so hit counts match the
+// simulation bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "kernels/prng.hpp"
+
+namespace copift::kernels {
+
+inline constexpr unsigned kMcUnroll = 8;
+
+/// Degree-5 polynomial P(x), coefficients all 1/6 so P maps [0,1) into
+/// [1/6, 1]. Multiple FMA dataflows are provided because the baseline kernel
+/// evaluates Horner while the COPIFT kernel evaluates an even/odd split (for
+/// ILP under FREP) — hit counts are compared bit-exactly, so the reference
+/// must mirror the exact FMA contraction order of each variant. (kEstrin is
+/// kept for the scheduling experiments/tests.)
+enum class PolyScheme { kHorner, kEstrin, kEvenOdd };
+[[nodiscard]] double mc_poly(double x, PolyScheme scheme = PolyScheme::kHorner) noexcept;
+[[nodiscard]] const std::array<double, 6>& mc_poly_coeffs() noexcept;
+
+/// Hit counts for `samples` total samples (must be a multiple of kMcUnroll).
+/// Every sample draws x then y from its slot's stream.
+[[nodiscard]] std::uint64_t ref_pi_hits_lcg(std::uint32_t seed, std::uint64_t samples);
+[[nodiscard]] std::uint64_t ref_poly_hits_lcg(std::uint32_t seed, std::uint64_t samples,
+                                              PolyScheme scheme = PolyScheme::kHorner);
+[[nodiscard]] std::uint64_t ref_pi_hits_xoshiro(std::uint32_t seed, std::uint64_t samples);
+[[nodiscard]] std::uint64_t ref_poly_hits_xoshiro(std::uint32_t seed, std::uint64_t samples,
+                                                  PolyScheme scheme = PolyScheme::kHorner);
+
+/// One sample's hit predicate (shared by references and tests).
+[[nodiscard]] bool pi_hit(std::uint32_t xraw, std::uint32_t yraw) noexcept;
+[[nodiscard]] bool poly_hit(std::uint32_t xraw, std::uint32_t yraw,
+                            PolyScheme scheme = PolyScheme::kHorner) noexcept;
+
+}  // namespace copift::kernels

@@ -1,0 +1,38 @@
+#include "kernels/prng.hpp"
+
+#include "common/bits.hpp"
+
+namespace copift::kernels {
+
+Xoshiro128Plus Xoshiro128Plus::seeded(std::uint32_t seed) {
+  // SplitMix32 expansion; guarantees a non-zero state.
+  std::array<std::uint32_t, 4> s{};
+  std::uint32_t x = seed;
+  for (auto& word : s) {
+    x += 0x9E3779B9u;
+    std::uint32_t z = x;
+    z = (z ^ (z >> 16)) * 0x85EBCA6Bu;
+    z = (z ^ (z >> 13)) * 0xC2B2AE35u;
+    word = z ^ (z >> 16);
+  }
+  if (s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0) s[0] = 1;
+  return Xoshiro128Plus(s);
+}
+
+std::uint32_t Xoshiro128Plus::next() noexcept {
+  const std::uint32_t result = s_[0] + s_[3];
+  const std::uint32_t t = s_[1] << 9;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl32(s_[3], 11);
+  return result;
+}
+
+double to_unit_double(std::uint32_t raw) noexcept {
+  return static_cast<double>(raw) * 0x1p-32;
+}
+
+}  // namespace copift::kernels

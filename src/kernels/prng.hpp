@@ -1,0 +1,50 @@
+// Pseudo-random number generators used by the Monte Carlo kernels
+// (paper Section III-A): a 32-bit linear congruential generator and
+// xoshiro128+. These reference implementations are bit-exact matches of the
+// assembly kernels, so simulated hit counts can be checked exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace copift::kernels {
+
+/// Numerical Recipes LCG: s' = 1664525*s + 1013904223 (mod 2^32).
+class Lcg {
+ public:
+  static constexpr std::uint32_t kMul = 1664525u;
+  static constexpr std::uint32_t kInc = 1013904223u;
+
+  explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+  std::uint32_t next() noexcept {
+    state_ = kMul * state_ + kInc;
+    return state_;
+  }
+
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+ private:
+  std::uint32_t state_;
+};
+
+/// xoshiro128+ (Blackman & Vigna). Returns s0 + s3 before the state update.
+class Xoshiro128Plus {
+ public:
+  explicit Xoshiro128Plus(std::array<std::uint32_t, 4> seed) : s_(seed) {}
+
+  /// SplitMix-style seeding from a single word (all-zero state is invalid).
+  static Xoshiro128Plus seeded(std::uint32_t seed);
+
+  std::uint32_t next() noexcept;
+
+  [[nodiscard]] const std::array<std::uint32_t, 4>& state() const noexcept { return s_; }
+
+ private:
+  std::array<std::uint32_t, 4> s_;
+};
+
+/// Map a raw 32-bit PRN to [0, 1) the way the kernels do: u * 2^-32.
+double to_unit_double(std::uint32_t raw) noexcept;
+
+}  // namespace copift::kernels

@@ -1,0 +1,170 @@
+#include "kernels/runner.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "kernels/glibc_math.hpp"
+#include "kernels/montecarlo.hpp"
+#include "kernels/prng.hpp"
+#include "rvasm/assembler.hpp"
+
+namespace copift::kernels {
+
+std::vector<double> exp_inputs(std::uint32_t n, std::uint32_t seed) {
+  Lcg gen(seed ^ 0xE0E0E0E0u);
+  std::vector<double> x(n);
+  for (auto& v : x) v = to_unit_double(gen.next()) * 2.0 - 1.0;  // [-1, 1)
+  return x;
+}
+
+std::vector<float> log_inputs(std::uint32_t n, std::uint32_t seed) {
+  Lcg gen(seed ^ 0x10601060u);
+  std::vector<float> x(n);
+  for (auto& v : x) {
+    v = static_cast<float>(0.25 + to_unit_double(gen.next()) * 3.75);  // [0.25, 4)
+  }
+  return x;
+}
+
+void populate_inputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
+  const auto& program = cluster.program();
+  if (kernel.id == KernelId::kExp) {
+    const std::uint32_t base = program.symbol("xarr");
+    const auto x = exp_inputs(kernel.config.n, kernel.config.seed);
+    for (std::uint32_t i = 0; i < kernel.config.n; ++i) {
+      cluster.memory().store64(base + i * 8, copift::bit_cast<std::uint64_t>(x[i]));
+    }
+  } else if (kernel.id == KernelId::kLog) {
+    const std::uint32_t base = program.symbol("xarr");
+    const auto x = log_inputs(kernel.config.n, kernel.config.seed);
+    for (std::uint32_t i = 0; i < kernel.config.n; ++i) {
+      cluster.memory().store32(base + i * 4, copift::bit_cast<std::uint32_t>(x[i]));
+    }
+  }
+  // Monte Carlo kernels seed their PRNGs from immediates; nothing to do.
+}
+
+namespace {
+
+void verify_transcendental(sim::Cluster& cluster, const GeneratedKernel& kernel) {
+  const auto& cfg = kernel.config;
+  const std::uint32_t ybase = cluster.program().symbol("yarr");
+  std::uint64_t mismatches = 0;
+  std::ostringstream detail;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    double expected;
+    if (kernel.id == KernelId::kExp) {
+      expected = ref_exp(exp_inputs(cfg.n, cfg.seed)[i]);
+    } else {
+      expected = ref_log(log_inputs(cfg.n, cfg.seed)[i]);
+    }
+    const std::uint64_t got = cluster.memory().load64(ybase + i * 8);
+    if (got != copift::bit_cast<std::uint64_t>(expected)) {
+      if (mismatches == 0) {
+        detail << " first at i=" << i << ": got " << copift::bit_cast<double>(got)
+               << ", expected " << expected;
+      }
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    throw Error(kernel_name(kernel.id) + std::string(" verification failed: ") +
+                std::to_string(mismatches) + " mismatches" + detail.str());
+  }
+}
+
+std::uint64_t expected_hits(const GeneratedKernel& kernel) {
+  const auto& cfg = kernel.config;
+  // The COPIFT poly kernels evaluate an even/odd split (raw-domain, which
+  // differs from the unit-domain reference only by exact power-of-two
+  // scalings); the baselines evaluate Horner.
+  const PolyScheme scheme =
+      kernel.variant == Variant::kCopift ? PolyScheme::kEvenOdd : PolyScheme::kHorner;
+  switch (kernel.id) {
+    case KernelId::kPiLcg: return ref_pi_hits_lcg(cfg.seed, cfg.n);
+    case KernelId::kPolyLcg: return ref_poly_hits_lcg(cfg.seed, cfg.n, scheme);
+    case KernelId::kPiXoshiro: return ref_pi_hits_xoshiro(cfg.seed, cfg.n);
+    case KernelId::kPolyXoshiro: return ref_poly_hits_xoshiro(cfg.seed, cfg.n, scheme);
+    default: throw Error("not an MC kernel");
+  }
+}
+
+void verify_mc(sim::Cluster& cluster, const GeneratedKernel& kernel) {
+  const std::uint32_t addr = cluster.program().symbol("result");
+  std::uint64_t got;
+  if (kernel.variant == Variant::kBaseline) {
+    got = cluster.memory().load32(addr);
+  } else {
+    got = static_cast<std::uint64_t>(
+        copift::bit_cast<double>(cluster.memory().load64(addr)));
+  }
+  const std::uint64_t expected = expected_hits(kernel);
+  if (got != expected) {
+    throw Error(kernel_name(kernel.id) + std::string(" verification failed: got ") +
+                std::to_string(got) + " hits, expected " + std::to_string(expected));
+  }
+}
+
+}  // namespace
+
+void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
+  if (is_transcendental(kernel.id)) {
+    verify_transcendental(cluster, kernel);
+  } else {
+    verify_mc(cluster, kernel);
+  }
+}
+
+KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params, bool verify,
+                     const energy::EnergyParams& energy_params) {
+  sim::Cluster cluster(rvasm::assemble(kernel.source), params);
+  populate_inputs(cluster, kernel);
+  KernelRun out;
+  out.result = cluster.run();
+  out.total = cluster.counters();
+  const auto& regions = cluster.regions();
+  const sim::RegionEvent* begin = nullptr;
+  const sim::RegionEvent* end = nullptr;
+  for (const auto& r : regions) {
+    if (r.id == 1) begin = &r;
+    if (r.id == 2) end = &r;
+  }
+  if (begin == nullptr || end == nullptr) {
+    throw Error("kernel did not emit region markers 1 and 2");
+  }
+  out.region = end->snapshot.minus(begin->snapshot);
+  out.region_energy = energy::EnergyModel(energy_params).evaluate(out.region);
+  if (verify) {
+    verify_outputs(cluster, kernel);
+    out.verified = true;
+  }
+  return out;
+}
+
+SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& config,
+                             std::uint32_t n1, std::uint32_t n2, const sim::SimParams& params,
+                             const energy::EnergyParams& energy_params) {
+  if (n2 <= n1) throw Error("steady_metrics requires n2 > n1");
+  KernelConfig c1 = config;
+  c1.n = n1;
+  KernelConfig c2 = config;
+  c2.n = n2;
+  const KernelRun r1 = run_kernel(generate(id, variant, c1), params, /*verify=*/true,
+                                  energy_params);
+  const KernelRun r2 = run_kernel(generate(id, variant, c2), params, /*verify=*/true,
+                                  energy_params);
+  SteadyMetrics m;
+  const auto dc = r2.region.cycles - r1.region.cycles;
+  const auto di = r2.region.retired() - r1.region.retired();
+  const double de = r2.region_energy.total_pj - r1.region_energy.total_pj;
+  m.delta_cycles = dc;
+  m.ipc = dc == 0 ? 0.0 : static_cast<double>(di) / static_cast<double>(dc);
+  m.power_mw = dc == 0 ? 0.0 : de / static_cast<double>(dc);
+  m.cycles_per_item = static_cast<double>(dc) / (n2 - n1);
+  m.energy_pj_per_item = de / (n2 - n1);
+  return m;
+}
+
+}  // namespace copift::kernels

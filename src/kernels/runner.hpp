@@ -1,0 +1,61 @@
+// Kernel execution harness: assemble a generated kernel, populate its
+// inputs, run it on the cluster, verify results against the golden
+// references, and extract performance/energy metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/cluster.hpp"
+
+namespace copift::kernels {
+
+struct KernelRun {
+  sim::RunResult result;
+  sim::ActivityCounters total;    // whole program
+  sim::ActivityCounters region;   // between region markers 1 and 2 (main loop)
+  energy::EnergyReport region_energy;
+  bool verified = false;
+
+  [[nodiscard]] double ipc() const noexcept { return region.ipc(); }
+  [[nodiscard]] double power_mw() const noexcept { return region_energy.power_mw(); }
+  [[nodiscard]] double energy_nj() const noexcept { return region_energy.energy_nj(); }
+};
+
+/// Assemble + load + populate inputs + run + verify. Throws copift::Error on
+/// assembly/simulation problems or verification mismatches (set
+/// `verify=false` to skip the golden check, e.g. for parameter sweeps).
+KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params = {},
+                     bool verify = true,
+                     const energy::EnergyParams& energy_params = {});
+
+/// Steady-state metrics via the two-size marginal method: run the kernel at
+/// n1 and n2 > n1 and report marginal IPC/power over the extra work. This
+/// removes prologue/epilogue and setup overheads exactly (paper Fig. 2
+/// reports steady-state iterations).
+struct SteadyMetrics {
+  double ipc = 0.0;
+  double power_mw = 0.0;
+  double cycles_per_item = 0.0;   // marginal cycles per element/sample
+  double energy_pj_per_item = 0.0;
+  std::uint64_t delta_cycles = 0;
+};
+SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& config,
+                             std::uint32_t n1, std::uint32_t n2,
+                             const sim::SimParams& params = {},
+                             const energy::EnergyParams& energy_params = {});
+
+/// Fill the kernel's input arrays (exp/log) inside the cluster's memory.
+/// Called by run_kernel; exposed for custom experiments.
+void populate_inputs(sim::Cluster& cluster, const GeneratedKernel& kernel);
+
+/// Verify kernel outputs against the golden references; throws on mismatch.
+void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel);
+
+/// Deterministic input vectors (shared by populate/verify/tests).
+std::vector<double> exp_inputs(std::uint32_t n, std::uint32_t seed);
+std::vector<float> log_inputs(std::uint32_t n, std::uint32_t seed);
+
+}  // namespace copift::kernels

@@ -1,0 +1,72 @@
+#include "mem/address_space.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace copift::mem {
+
+AddressSpace::AddressSpace() : tcdm_(kTcdmSize, 0), dram_(kDramSize, 0) {}
+
+const std::uint8_t* AddressSpace::at(std::uint32_t addr, std::uint32_t size) const {
+  return const_cast<AddressSpace*>(this)->at(addr, size);
+}
+
+std::uint8_t* AddressSpace::at(std::uint32_t addr, std::uint32_t size) {
+  if (addr >= kTcdmBase && addr + size <= kTcdmBase + kTcdmSize) {
+    return tcdm_.data() + (addr - kTcdmBase);
+  }
+  if (addr >= kDramBase && addr + size <= kDramBase + kDramSize) {
+    return dram_.data() + (addr - kDramBase);
+  }
+  std::ostringstream os;
+  os << "unmapped memory access at 0x" << std::hex << addr << " size " << std::dec << size;
+  throw SimError(os.str());
+}
+
+std::uint8_t AddressSpace::load8(std::uint32_t addr) const { return *at(addr, 1); }
+
+std::uint16_t AddressSpace::load16(std::uint32_t addr) const {
+  std::uint16_t v;
+  std::memcpy(&v, at(addr, 2), 2);
+  return v;
+}
+
+std::uint32_t AddressSpace::load32(std::uint32_t addr) const {
+  std::uint32_t v;
+  std::memcpy(&v, at(addr, 4), 4);
+  return v;
+}
+
+std::uint64_t AddressSpace::load64(std::uint32_t addr) const {
+  std::uint64_t v;
+  std::memcpy(&v, at(addr, 8), 8);
+  return v;
+}
+
+void AddressSpace::store8(std::uint32_t addr, std::uint8_t value) { *at(addr, 1) = value; }
+
+void AddressSpace::store16(std::uint32_t addr, std::uint16_t value) {
+  std::memcpy(at(addr, 2), &value, 2);
+}
+
+void AddressSpace::store32(std::uint32_t addr, std::uint32_t value) {
+  std::memcpy(at(addr, 4), &value, 4);
+}
+
+void AddressSpace::store64(std::uint32_t addr, std::uint64_t value) {
+  std::memcpy(at(addr, 8), &value, 8);
+}
+
+void AddressSpace::write_block(std::uint32_t addr, const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  std::memcpy(at(addr, static_cast<std::uint32_t>(bytes.size())), bytes.data(), bytes.size());
+}
+
+void AddressSpace::copy(std::uint32_t dst, std::uint32_t src, std::uint32_t bytes) {
+  if (bytes == 0) return;
+  std::memmove(at(dst, bytes), at(src, bytes), bytes);
+}
+
+}  // namespace copift::mem

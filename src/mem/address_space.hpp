@@ -1,0 +1,44 @@
+// Functional memory: byte-addressed storage for TCDM and DRAM regions.
+//
+// Timing (bank conflicts, DMA bandwidth) is modeled separately by TcdmArbiter
+// and DmaEngine; this class answers "what is at address X" only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/layout.hpp"
+
+namespace copift::mem {
+
+class AddressSpace {
+ public:
+  AddressSpace();
+
+  /// Narrow loads return zero-extended values; the core sign-extends.
+  [[nodiscard]] std::uint8_t load8(std::uint32_t addr) const;
+  [[nodiscard]] std::uint16_t load16(std::uint32_t addr) const;
+  [[nodiscard]] std::uint32_t load32(std::uint32_t addr) const;
+  [[nodiscard]] std::uint64_t load64(std::uint32_t addr) const;
+
+  void store8(std::uint32_t addr, std::uint8_t value);
+  void store16(std::uint32_t addr, std::uint16_t value);
+  void store32(std::uint32_t addr, std::uint32_t value);
+  void store64(std::uint32_t addr, std::uint64_t value);
+
+  /// Bulk initialization (program loading).
+  void write_block(std::uint32_t addr, const std::vector<std::uint8_t>& bytes);
+
+  /// Raw copy used by the DMA engine.
+  void copy(std::uint32_t dst, std::uint32_t src, std::uint32_t bytes);
+
+ private:
+  // Maps an address to backing storage; throws SimError when unmapped.
+  [[nodiscard]] const std::uint8_t* at(std::uint32_t addr, std::uint32_t size) const;
+  [[nodiscard]] std::uint8_t* at(std::uint32_t addr, std::uint32_t size);
+
+  std::vector<std::uint8_t> tcdm_;
+  std::vector<std::uint8_t> dram_;
+};
+
+}  // namespace copift::mem

@@ -1,0 +1,23 @@
+#include "mem/dma.hpp"
+
+#include <algorithm>
+
+namespace copift::mem {
+
+std::uint32_t DmaEngine::start(std::uint32_t bytes) {
+  queue_.push_back(Transfer{src_, dst_, bytes});
+  return next_id_++;
+}
+
+void DmaEngine::tick() {
+  if (queue_.empty()) return;
+  ++busy_cycles_;
+  Transfer& t = queue_.front();
+  const std::uint32_t chunk = std::min<std::uint32_t>(bytes_per_cycle_, t.bytes - t.progress);
+  memory_->copy(t.dst + t.progress, t.src + t.progress, chunk);
+  t.progress += chunk;
+  bytes_moved_ += chunk;
+  if (t.progress >= t.bytes) queue_.pop_front();
+}
+
+}  // namespace copift::mem

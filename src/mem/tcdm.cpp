@@ -1,0 +1,37 @@
+#include "mem/tcdm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace copift::mem {
+
+std::uint64_t TcdmArbiter::arbitrate(const std::vector<TcdmRequest>& requests) {
+  if (requests.size() > 64) throw SimError("too many TCDM requests in one cycle");
+  std::uint64_t granted = 0;
+  // Track which banks are taken this cycle. num_banks_ is small (<= 64).
+  std::vector<bool> bank_taken(num_banks_, false);
+  // Visit requesters in rotating priority order: the request whose port
+  // matches the current priority head goes first.
+  std::vector<unsigned> order(requests.size());
+  for (unsigned i = 0; i < requests.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    const auto pa = (static_cast<unsigned>(requests[a].port) + kNumTcdmPorts - rr_) % kNumTcdmPorts;
+    const auto pb = (static_cast<unsigned>(requests[b].port) + kNumTcdmPorts - rr_) % kNumTcdmPorts;
+    return pa < pb;
+  });
+  for (unsigned i : order) {
+    const unsigned bank = bank_of(requests[i].addr);
+    if (bank_taken[bank]) {
+      ++conflicts_;
+      continue;
+    }
+    bank_taken[bank] = true;
+    granted |= (std::uint64_t{1} << i);
+    ++grants_;
+  }
+  rr_ = (rr_ + 1) % kNumTcdmPorts;
+  return granted;
+}
+
+}  // namespace copift::mem

@@ -1,0 +1,63 @@
+// TCDM bank-conflict arbitration.
+//
+// The Snitch cluster TCDM is organized as interleaved single-ported banks
+// (64-bit words). Each cycle, every requester (integer LSU, the three SSR
+// lanes, the ISSR index port) may present one request; the arbiter grants at
+// most one request per bank, with a rotating round-robin priority so no
+// requester starves. Ungranted requests retry next cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/layout.hpp"
+
+namespace copift::mem {
+
+/// Requester identifiers; also index the round-robin priority state.
+enum class TcdmPort : std::uint8_t {
+  kIntLsu = 0,
+  kFpLsu,
+  kSsr0,
+  kSsr1,
+  kSsr2,
+  kIssrIndex,
+  kDma,
+  kCount,
+};
+
+inline constexpr unsigned kNumTcdmPorts = static_cast<unsigned>(TcdmPort::kCount);
+
+struct TcdmRequest {
+  TcdmPort port;
+  std::uint32_t addr;
+};
+
+class TcdmArbiter {
+ public:
+  explicit TcdmArbiter(unsigned num_banks = 32) : num_banks_(num_banks) {}
+
+  [[nodiscard]] unsigned num_banks() const noexcept { return num_banks_; }
+
+  /// Bank index of an address (64-bit interleaving).
+  [[nodiscard]] unsigned bank_of(std::uint32_t addr) const noexcept {
+    return (addr >> 3) % num_banks_;
+  }
+
+  /// Arbitrate one cycle. Returns a bitmask over `requests` indices: bit i is
+  /// set iff requests[i] was granted. Priority rotates every cycle.
+  std::uint64_t arbitrate(const std::vector<TcdmRequest>& requests);
+
+  /// Statistics.
+  [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
+  [[nodiscard]] std::uint64_t grants() const noexcept { return grants_; }
+  void reset_stats() noexcept { conflicts_ = 0; grants_ = 0; }
+
+ private:
+  unsigned num_banks_;
+  unsigned rr_ = 0;  // rotating priority offset
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace copift::mem

@@ -1,0 +1,913 @@
+#include "rvasm/assembler.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/layout.hpp"
+#include "isa/csr.hpp"
+
+namespace copift::rvasm {
+
+namespace {
+
+using isa::Format;
+using isa::Instr;
+using isa::Mnemonic;
+using isa::RegClass;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kNum, kSym, kHi, kLo, kAdd, kSub, kMul, kNeg };
+  Kind kind = Kind::kNum;
+  std::int64_t num = 0;
+  std::string sym;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+ExprPtr make_num(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kNum;
+  e->num = v;
+  return e;
+}
+
+class SymbolTable {
+ public:
+  void define(const std::string& name, std::int64_t value, unsigned line) {
+    if (table_.count(name) != 0) throw AsmError("redefinition of symbol " + name, line);
+    table_[name] = value;
+  }
+  [[nodiscard]] std::optional<std::int64_t> lookup(const std::string& name) const {
+    const auto it = table_.find(name);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const { return table_; }
+
+ private:
+  std::map<std::string, std::int64_t> table_;
+};
+
+std::int64_t eval(const Expr& e, const SymbolTable& symbols, unsigned line) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+      return e.num;
+    case Expr::Kind::kSym: {
+      const auto v = symbols.lookup(e.sym);
+      if (!v) throw AsmError("undefined symbol: " + e.sym, line);
+      return *v;
+    }
+    case Expr::Kind::kHi: {
+      const auto v = static_cast<std::uint32_t>(eval(*e.lhs, symbols, line));
+      return (v + 0x800U) >> 12;
+    }
+    case Expr::Kind::kLo: {
+      const auto v = static_cast<std::uint32_t>(eval(*e.lhs, symbols, line));
+      return sign_extend(v & 0xFFFU, 12);
+    }
+    case Expr::Kind::kAdd:
+      return eval(*e.lhs, symbols, line) + eval(*e.rhs, symbols, line);
+    case Expr::Kind::kSub:
+      return eval(*e.lhs, symbols, line) - eval(*e.rhs, symbols, line);
+    case Expr::Kind::kMul:
+      return eval(*e.lhs, symbols, line) * eval(*e.rhs, symbols, line);
+    case Expr::Kind::kNeg:
+      return -eval(*e.lhs, symbols, line);
+  }
+  throw AsmError("bad expression", line);
+}
+
+bool evaluable(const Expr& e, const SymbolTable& symbols) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+      return true;
+    case Expr::Kind::kSym:
+      return symbols.lookup(e.sym).has_value();
+    case Expr::Kind::kHi:
+    case Expr::Kind::kLo:
+    case Expr::Kind::kNeg:
+      return evaluable(*e.lhs, symbols);
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+      return evaluable(*e.lhs, symbols) && evaluable(*e.rhs, symbols);
+  }
+  return false;
+}
+
+// Recursive-descent parser over one operand string.
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, unsigned line) : text_(text), line_(line) {}
+
+  ExprPtr parse() {
+    auto e = parse_sum();
+    skip_ws();
+    if (pos_ != text_.size()) throw AsmError("trailing characters in expression", line_);
+    return e;
+  }
+
+ private:
+  ExprPtr parse_sum() {
+    auto lhs = parse_product();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kAdd;
+        e->lhs = lhs;
+        e->rhs = parse_product();
+        lhs = e;
+      } else if (consume('-')) {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kSub;
+        e->lhs = lhs;
+        e->rhs = parse_product();
+        lhs = e;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_product() {
+    auto lhs = parse_atom();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kMul;
+        e->lhs = lhs;
+        e->rhs = parse_atom();
+        lhs = e;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_atom() {
+    skip_ws();
+    if (consume('-')) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kNeg;
+      e->lhs = parse_atom();
+      return e;
+    }
+    if (consume('(')) {
+      auto e = parse_sum();
+      expect(')');
+      return e;
+    }
+    if (consume('%')) {
+      const std::string fn = take_ident();
+      expect('(');
+      auto inner = parse_sum();
+      expect(')');
+      auto e = std::make_shared<Expr>();
+      if (fn == "hi") {
+        e->kind = Expr::Kind::kHi;
+      } else if (fn == "lo") {
+        e->kind = Expr::Kind::kLo;
+      } else {
+        throw AsmError("unknown relocation function %" + fn, line_);
+      }
+      e->lhs = inner;
+      return e;
+    }
+    if (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      return make_num(take_number());
+    }
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '_' ||
+         text_[pos_] == '.')) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kSym;
+      e->sym = take_ident();
+      return e;
+    }
+    throw AsmError("expected expression", line_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) throw AsmError(std::string("expected '") + c + "'", line_);
+  }
+  std::string take_ident() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) throw AsmError("expected identifier", line_);
+    return out;
+  }
+  std::int64_t take_number() {
+    std::size_t end = pos_;
+    int base = 10;
+    if (text_.compare(pos_, 2, "0x") == 0 || text_.compare(pos_, 2, "0X") == 0) {
+      base = 16;
+      end += 2;
+    }
+    const std::size_t digits_start = end;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) != 0)) {
+      ++end;
+    }
+    const std::string digits(text_.substr(digits_start, end - digits_start));
+    if (digits.empty()) throw AsmError("malformed number", line_);
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+      // Parse as unsigned so 64-bit bit patterns (e.g. negative doubles in
+      // .dword) round-trip; the value wraps into int64 two's complement.
+      value = static_cast<std::int64_t>(std::stoull(digits, &used, base));
+    } catch (const std::exception&) {
+      throw AsmError("malformed number: " + digits, line_);
+    }
+    if (used != digits.size()) throw AsmError("malformed number: " + digits, line_);
+    pos_ = end;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  unsigned line_;
+};
+
+ExprPtr parse_expr(std::string_view text, unsigned line) {
+  return ExprParser(text, line).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Line splitting
+// ---------------------------------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Split an operand list on top-level commas (parentheses nest).
+std::vector<std::string_view> split_operands(std::string_view s) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') --depth;
+    if (s[i] == ',' && depth == 0) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  const auto last = trim(s.substr(start));
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+enum class SectionId { kText, kData, kDram };
+
+struct PendingInstr {
+  Mnemonic mnemonic{};
+  std::uint8_t rd = 0, rs1 = 0, rs2 = 0, rs3 = 0;
+  ExprPtr imm;        // absolute immediate expression (or CSR number)
+  bool pc_relative = false;  // imm is (target - pc)
+  std::uint32_t addr = 0;
+  unsigned line = 0;
+};
+
+const std::map<std::string, std::uint16_t, std::less<>>& csr_names() {
+  static const std::map<std::string, std::uint16_t, std::less<>> names = {
+      {"mcycle", isa::kCsrMcycle},
+      {"minstret", isa::kCsrMinstret},
+      {"ssr", isa::kCsrSsr},
+      {"fpss", isa::kCsrFpss},
+      {"region", 0x7C2},
+  };
+  return names;
+}
+
+class Assembler {
+ public:
+  Program run(std::string_view source) {
+    parse_all(source);
+    finalize_symbols();
+    encode_all();
+    return std::move(program_);
+  }
+
+ private:
+  // ---- pass 1: parse lines, expand pseudos, lay out sections ----
+
+  void parse_all(std::string_view source) {
+    unsigned line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string_view line = source.substr(pos, eol == std::string_view::npos
+                                                     ? std::string_view::npos
+                                                     : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+      if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+        line = line.substr(0, hash);
+      }
+      line = trim(line);
+      while (!line.empty()) {
+        // Labels (possibly several, possibly followed by code).
+        const auto colon = line.find(':');
+        if (colon != std::string_view::npos) {
+          const auto candidate = trim(line.substr(0, colon));
+          if (!candidate.empty() && is_ident(candidate)) {
+            define_label(std::string(candidate), line_no);
+            line = trim(line.substr(colon + 1));
+            continue;
+          }
+        }
+        break;
+      }
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        handle_directive(line, line_no);
+      } else {
+        handle_instruction(line, line_no);
+      }
+    }
+  }
+
+  static bool is_ident(std::string_view s) {
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != '.') return false;
+    }
+    return !s.empty();
+  }
+
+  void define_label(const std::string& name, unsigned line) {
+    symbols_.define(name, current_address(), line);
+  }
+
+  std::uint32_t current_address() const {
+    switch (section_) {
+      case SectionId::kText: return kTextBase + 4 * static_cast<std::uint32_t>(instrs_.size());
+      case SectionId::kData: return kTcdmBase + static_cast<std::uint32_t>(data_.size());
+      case SectionId::kDram: return kDramBase + static_cast<std::uint32_t>(dram_.size());
+    }
+    return 0;
+  }
+
+  std::vector<std::uint8_t>& current_bytes(unsigned line) {
+    switch (section_) {
+      case SectionId::kData: return data_;
+      case SectionId::kDram: return dram_;
+      case SectionId::kText: break;
+    }
+    throw AsmError("data directive outside a data section", line);
+  }
+
+  void handle_directive(std::string_view line, unsigned line_no) {
+    const auto space = line.find_first_of(" \t");
+    const std::string_view name = line.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : trim(line.substr(space + 1));
+    const auto args = split_operands(rest);
+
+    if (name == ".text") { section_ = SectionId::kText; return; }
+    if (name == ".data") { section_ = SectionId::kData; return; }
+    if (name == ".section") {
+      if (args.size() != 1) throw AsmError(".section expects one argument", line_no);
+      if (args[0] == ".text") section_ = SectionId::kText;
+      else if (args[0] == ".data" || args[0] == ".bss") section_ = SectionId::kData;
+      else if (args[0] == ".dram") section_ = SectionId::kDram;
+      else throw AsmError("unknown section " + std::string(args[0]), line_no);
+      return;
+    }
+    if (name == ".globl" || name == ".global") return;
+    if (name == ".equ" || name == ".set") {
+      if (args.size() != 2) throw AsmError(name.data() + std::string(" expects name, value"), line_no);
+      const auto value = eval(*parse_expr(args[1], line_no), symbols_, line_no);
+      symbols_.define(std::string(args[0]), value, line_no);
+      return;
+    }
+    if (name == ".align" || name == ".p2align") {
+      if (args.size() != 1) throw AsmError(".align expects one argument", line_no);
+      const auto n = eval(*parse_expr(args[0], line_no), symbols_, line_no);
+      align_to(1U << n, line_no);
+      return;
+    }
+    if (name == ".word") { emit_scalars(args, 4, line_no); return; }
+    if (name == ".dword" || name == ".quad") { emit_scalars(args, 8, line_no); return; }
+    if (name == ".float") { emit_floats(args, /*dp=*/false, line_no); return; }
+    if (name == ".double") { emit_floats(args, /*dp=*/true, line_no); return; }
+    if (name == ".space" || name == ".zero") {
+      if (args.size() != 1) throw AsmError(".space expects one argument", line_no);
+      const auto n = eval(*parse_expr(args[0], line_no), symbols_, line_no);
+      auto& bytes = current_bytes(line_no);
+      bytes.insert(bytes.end(), static_cast<std::size_t>(n), 0);
+      return;
+    }
+    throw AsmError("unknown directive " + std::string(name), line_no);
+  }
+
+  void align_to(std::uint32_t alignment, unsigned line_no) {
+    if (section_ == SectionId::kText) {
+      if (alignment > 4) throw AsmError("text alignment beyond 4 unsupported", line_no);
+      return;  // instructions are always 4-aligned
+    }
+    auto& bytes = current_bytes(line_no);
+    while ((bytes.size() % alignment) != 0) bytes.push_back(0);
+  }
+
+  void emit_scalars(const std::vector<std::string_view>& args, unsigned size, unsigned line_no) {
+    auto& bytes = current_bytes(line_no);
+    for (const auto& a : args) {
+      // Data words may reference any symbol; resolve lazily via fixups.
+      auto expr = parse_expr(a, line_no);
+      fixups_.push_back(DataFixup{section_, bytes.size(), size, expr, line_no});
+      bytes.insert(bytes.end(), size, 0);
+    }
+  }
+
+  void emit_floats(const std::vector<std::string_view>& args, bool dp, unsigned line_no) {
+    const unsigned size = dp ? 8 : 4;
+    auto& bytes = current_bytes(line_no);
+    for (const auto& a : args) {
+      const double value = std::stod(std::string(a));
+      std::uint64_t raw;
+      if (dp) {
+        raw = copift::bit_cast<std::uint64_t>(value);
+      } else {
+        raw = copift::bit_cast<std::uint32_t>(static_cast<float>(value));
+      }
+      for (unsigned i = 0; i < size; ++i) bytes.push_back(static_cast<std::uint8_t>(raw >> (8 * i)));
+    }
+  }
+
+  // ---- instruction and pseudo-instruction handling ----
+
+  void handle_instruction(std::string_view line, unsigned line_no) {
+    if (section_ != SectionId::kText) throw AsmError("instruction outside .text", line_no);
+    const auto space = line.find_first_of(" \t");
+    const std::string mnemonic(line.substr(0, space));
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : trim(line.substr(space + 1));
+    const auto ops = split_operands(rest);
+    if (expand_pseudo(mnemonic, ops, line_no)) return;
+    const auto m = isa::mnemonic_by_name(mnemonic);
+    if (!m) throw AsmError("unknown mnemonic " + mnemonic, line_no);
+    parse_real(*m, ops, line_no);
+  }
+
+  std::uint8_t parse_reg(std::string_view token, RegClass cls, unsigned line_no) const {
+    if (cls == RegClass::kFp) {
+      if (const auto r = isa::parse_fp_reg(token)) return static_cast<std::uint8_t>(*r);
+      throw AsmError("expected FP register, got " + std::string(token), line_no);
+    }
+    if (const auto r = isa::parse_int_reg(token)) return static_cast<std::uint8_t>(*r);
+    throw AsmError("expected integer register, got " + std::string(token), line_no);
+  }
+
+  /// Parse "offset(base)" into an expression + base register.
+  std::pair<ExprPtr, std::uint8_t> parse_mem(std::string_view token, unsigned line_no) const {
+    const auto open = token.rfind('(');
+    if (open == std::string_view::npos || token.back() != ')') {
+      throw AsmError("expected mem operand offset(reg): " + std::string(token), line_no);
+    }
+    const auto offset = trim(token.substr(0, open));
+    const auto base = trim(token.substr(open + 1, token.size() - open - 2));
+    ExprPtr expr = offset.empty() ? make_num(0) : parse_expr(offset, line_no);
+    return {expr, parse_reg(base, RegClass::kInt, line_no)};
+  }
+
+  ExprPtr parse_csr(std::string_view token, unsigned line_no) const {
+    const auto it = csr_names().find(token);
+    if (it != csr_names().end()) return make_num(it->second);
+    return parse_expr(token, line_no);
+  }
+
+  void emit(PendingInstr p) {
+    p.addr = current_address();
+    instrs_.push_back(std::move(p));
+  }
+
+  PendingInstr base(Mnemonic m, unsigned line_no) {
+    PendingInstr p;
+    p.mnemonic = m;
+    p.line = line_no;
+    return p;
+  }
+
+  void parse_real(Mnemonic m, const std::vector<std::string_view>& ops, unsigned line_no) {
+    const auto& meta = isa::info(m);
+    PendingInstr p = base(m, line_no);
+    const auto expect_ops = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(std::string(meta.name) + " expects " + std::to_string(n) + " operands",
+                       line_no);
+      }
+    };
+    switch (meta.format) {
+      case Format::kR:
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        p.rs2 = parse_reg(ops[2], meta.rs2_class, line_no);
+        break;
+      case Format::kR4:
+        expect_ops(4);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        p.rs2 = parse_reg(ops[2], meta.rs2_class, line_no);
+        p.rs3 = parse_reg(ops[3], meta.rs3_class, line_no);
+        break;
+      case Format::kRFpRm:
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        p.rs2 = parse_reg(ops[2], meta.rs2_class, line_no);
+        break;
+      case Format::kRFp1Rm:
+      case Format::kRFp1:
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        break;
+      case Format::kI:
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        p.imm = parse_expr(ops[2], line_no);
+        break;
+      case Format::kIShift:
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        p.rs1 = parse_reg(ops[1], meta.rs1_class, line_no);
+        p.imm = parse_expr(ops[2], line_no);
+        break;
+      case Format::kILoad: {
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], meta.rd_class, line_no);
+        auto [expr, reg] = parse_mem(ops[1], line_no);
+        p.imm = expr;
+        p.rs1 = reg;
+        break;
+      }
+      case Format::kS: {
+        expect_ops(2);
+        p.rs2 = parse_reg(ops[0], meta.rs2_class, line_no);
+        auto [expr, reg] = parse_mem(ops[1], line_no);
+        p.imm = expr;
+        p.rs1 = reg;
+        break;
+      }
+      case Format::kB:
+        expect_ops(3);
+        p.rs1 = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.rs2 = parse_reg(ops[1], RegClass::kInt, line_no);
+        p.imm = parse_expr(ops[2], line_no);
+        p.pc_relative = true;
+        break;
+      case Format::kU:
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_expr(ops[1], line_no);
+        break;
+      case Format::kJ:
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_expr(ops[1], line_no);
+        p.pc_relative = true;
+        break;
+      case Format::kICsr:
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_csr(ops[1], line_no);
+        p.rs1 = parse_reg(ops[2], RegClass::kInt, line_no);
+        break;
+      case Format::kICsrImm: {
+        expect_ops(3);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_csr(ops[1], line_no);
+        const auto z = eval(*parse_expr(ops[2], line_no), symbols_, line_no);
+        if (z < 0 || z > 31) throw AsmError("zimm out of range", line_no);
+        p.rs1 = static_cast<std::uint8_t>(z);
+        break;
+      }
+      case Format::kFixed:
+        expect_ops(0);
+        break;
+      case Format::kRdOnly:
+        expect_ops(1);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        break;
+      case Format::kRs1Only:
+        expect_ops(1);
+        p.rs1 = parse_reg(ops[0], RegClass::kInt, line_no);
+        break;
+      case Format::kRdRs1:
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.rs1 = parse_reg(ops[1], RegClass::kInt, line_no);
+        break;
+      case Format::kRs1Imm:
+        expect_ops(2);
+        p.rs1 = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_expr(ops[1], line_no);
+        break;
+      case Format::kRdImm:
+        expect_ops(2);
+        p.rd = parse_reg(ops[0], RegClass::kInt, line_no);
+        p.imm = parse_expr(ops[1], line_no);
+        break;
+    }
+    emit(std::move(p));
+  }
+
+  /// Handles pseudo instructions; returns false if `mnemonic` is not one.
+  bool expand_pseudo(const std::string& mnemonic, const std::vector<std::string_view>& ops,
+                     unsigned line_no) {
+    const auto expect_ops = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(mnemonic + " expects " + std::to_string(n) + " operands", line_no);
+      }
+    };
+    const auto ireg = [&](std::string_view t) { return parse_reg(t, RegClass::kInt, line_no); };
+    const auto freg = [&](std::string_view t) { return parse_reg(t, RegClass::kFp, line_no); };
+    const auto emit_i = [&](Mnemonic m, std::uint8_t rd, std::uint8_t rs1, ExprPtr imm) {
+      PendingInstr p = base(m, line_no);
+      p.rd = rd;
+      p.rs1 = rs1;
+      p.imm = std::move(imm);
+      emit(std::move(p));
+    };
+    const auto emit_r = [&](Mnemonic m, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+      PendingInstr p = base(m, line_no);
+      p.rd = rd;
+      p.rs1 = rs1;
+      p.rs2 = rs2;
+      emit(std::move(p));
+    };
+    const auto emit_branch = [&](Mnemonic m, std::uint8_t rs1, std::uint8_t rs2,
+                                 std::string_view target) {
+      PendingInstr p = base(m, line_no);
+      p.rs1 = rs1;
+      p.rs2 = rs2;
+      p.imm = parse_expr(target, line_no);
+      p.pc_relative = true;
+      emit(std::move(p));
+    };
+
+    if (mnemonic == "nop") {
+      expect_ops(0);
+      emit_i(Mnemonic::kAddi, 0, 0, make_num(0));
+      return true;
+    }
+    if (mnemonic == "mv") {
+      expect_ops(2);
+      emit_i(Mnemonic::kAddi, ireg(ops[0]), ireg(ops[1]), make_num(0));
+      return true;
+    }
+    if (mnemonic == "not") {
+      expect_ops(2);
+      emit_i(Mnemonic::kXori, ireg(ops[0]), ireg(ops[1]), make_num(-1));
+      return true;
+    }
+    if (mnemonic == "neg") {
+      expect_ops(2);
+      emit_r(Mnemonic::kSub, ireg(ops[0]), 0, ireg(ops[1]));
+      return true;
+    }
+    if (mnemonic == "seqz") {
+      expect_ops(2);
+      emit_i(Mnemonic::kSltiu, ireg(ops[0]), ireg(ops[1]), make_num(1));
+      return true;
+    }
+    if (mnemonic == "snez") {
+      expect_ops(2);
+      emit_r(Mnemonic::kSltu, ireg(ops[0]), 0, ireg(ops[1]));
+      return true;
+    }
+    if (mnemonic == "li") {
+      expect_ops(2);
+      const auto rd = ireg(ops[0]);
+      auto expr = parse_expr(ops[1], line_no);
+      if (!evaluable(*expr, symbols_)) {
+        throw AsmError("li operand must be a constant expression (use la for labels)", line_no);
+      }
+      const auto value = eval(*expr, symbols_, line_no);
+      if (fits_signed(value, 12)) {
+        emit_i(Mnemonic::kAddi, rd, 0, make_num(value));
+      } else {
+        const auto hi = (static_cast<std::uint32_t>(value) + 0x800U) >> 12;
+        const auto lo = sign_extend(static_cast<std::uint32_t>(value) & 0xFFFU, 12);
+        emit_i(Mnemonic::kLui, rd, 0, make_num(static_cast<std::int64_t>(hi & 0xFFFFFU)));
+        if (lo != 0) emit_i(Mnemonic::kAddi, rd, rd, make_num(lo));
+      }
+      return true;
+    }
+    if (mnemonic == "la") {
+      expect_ops(2);
+      const auto rd = ireg(ops[0]);
+      auto expr = parse_expr(ops[1], line_no);
+      auto hi = std::make_shared<Expr>();
+      hi->kind = Expr::Kind::kHi;
+      hi->lhs = expr;
+      auto lo = std::make_shared<Expr>();
+      lo->kind = Expr::Kind::kLo;
+      lo->lhs = expr;
+      emit_i(Mnemonic::kLui, rd, 0, hi);
+      emit_i(Mnemonic::kAddi, rd, rd, lo);
+      return true;
+    }
+    if (mnemonic == "j") {
+      expect_ops(1);
+      PendingInstr p = base(Mnemonic::kJal, line_no);
+      p.rd = 0;
+      p.imm = parse_expr(ops[0], line_no);
+      p.pc_relative = true;
+      emit(std::move(p));
+      return true;
+    }
+    if (mnemonic == "call") {
+      expect_ops(1);
+      PendingInstr p = base(Mnemonic::kJal, line_no);
+      p.rd = 1;
+      p.imm = parse_expr(ops[0], line_no);
+      p.pc_relative = true;
+      emit(std::move(p));
+      return true;
+    }
+    if (mnemonic == "jr") {
+      expect_ops(1);
+      emit_i(Mnemonic::kJalr, 0, ireg(ops[0]), make_num(0));
+      return true;
+    }
+    if (mnemonic == "ret") {
+      expect_ops(0);
+      emit_i(Mnemonic::kJalr, 0, 1, make_num(0));
+      return true;
+    }
+    if (mnemonic == "beqz") { expect_ops(2); emit_branch(Mnemonic::kBeq, ireg(ops[0]), 0, ops[1]); return true; }
+    if (mnemonic == "bnez") { expect_ops(2); emit_branch(Mnemonic::kBne, ireg(ops[0]), 0, ops[1]); return true; }
+    if (mnemonic == "bltz") { expect_ops(2); emit_branch(Mnemonic::kBlt, ireg(ops[0]), 0, ops[1]); return true; }
+    if (mnemonic == "bgez") { expect_ops(2); emit_branch(Mnemonic::kBge, ireg(ops[0]), 0, ops[1]); return true; }
+    if (mnemonic == "bgtz") { expect_ops(2); emit_branch(Mnemonic::kBlt, 0, ireg(ops[0]), ops[1]); return true; }
+    if (mnemonic == "blez") { expect_ops(2); emit_branch(Mnemonic::kBge, 0, ireg(ops[0]), ops[1]); return true; }
+    if (mnemonic == "bgt") { expect_ops(3); emit_branch(Mnemonic::kBlt, ireg(ops[1]), ireg(ops[0]), ops[2]); return true; }
+    if (mnemonic == "ble") { expect_ops(3); emit_branch(Mnemonic::kBge, ireg(ops[1]), ireg(ops[0]), ops[2]); return true; }
+    if (mnemonic == "bgtu") { expect_ops(3); emit_branch(Mnemonic::kBltu, ireg(ops[1]), ireg(ops[0]), ops[2]); return true; }
+    if (mnemonic == "bleu") { expect_ops(3); emit_branch(Mnemonic::kBgeu, ireg(ops[1]), ireg(ops[0]), ops[2]); return true; }
+    if (mnemonic == "fmv.d") { expect_ops(2); emit_r(Mnemonic::kFsgnjD, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "fneg.d") { expect_ops(2); emit_r(Mnemonic::kFsgnjnD, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "fabs.d") { expect_ops(2); emit_r(Mnemonic::kFsgnjxD, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "fmv.s") { expect_ops(2); emit_r(Mnemonic::kFsgnjS, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "fneg.s") { expect_ops(2); emit_r(Mnemonic::kFsgnjnS, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "fabs.s") { expect_ops(2); emit_r(Mnemonic::kFsgnjxS, freg(ops[0]), freg(ops[1]), freg(ops[1])); return true; }
+    if (mnemonic == "csrr") {
+      expect_ops(2);
+      PendingInstr p = base(Mnemonic::kCsrrs, line_no);
+      p.rd = ireg(ops[0]);
+      p.imm = parse_csr(ops[1], line_no);
+      p.rs1 = 0;
+      emit(std::move(p));
+      return true;
+    }
+    if (mnemonic == "csrw" || mnemonic == "csrs" || mnemonic == "csrc") {
+      expect_ops(2);
+      const Mnemonic m = mnemonic == "csrw"   ? Mnemonic::kCsrrw
+                         : mnemonic == "csrs" ? Mnemonic::kCsrrs
+                                              : Mnemonic::kCsrrc;
+      PendingInstr p = base(m, line_no);
+      p.rd = 0;
+      p.imm = parse_csr(ops[0], line_no);
+      p.rs1 = ireg(ops[1]);
+      emit(std::move(p));
+      return true;
+    }
+    if (mnemonic == "csrwi" || mnemonic == "csrsi" || mnemonic == "csrci") {
+      expect_ops(2);
+      const Mnemonic m = mnemonic == "csrwi"   ? Mnemonic::kCsrrwi
+                         : mnemonic == "csrsi" ? Mnemonic::kCsrrsi
+                                               : Mnemonic::kCsrrci;
+      PendingInstr p = base(m, line_no);
+      p.rd = 0;
+      p.imm = parse_csr(ops[0], line_no);
+      const auto z = eval(*parse_expr(ops[1], line_no), symbols_, line_no);
+      if (z < 0 || z > 31) throw AsmError("zimm out of range", line_no);
+      p.rs1 = static_cast<std::uint8_t>(z);
+      emit(std::move(p));
+      return true;
+    }
+    return false;
+  }
+
+  // ---- pass 2: resolve and encode ----
+
+  void finalize_symbols() {
+    program_.text_base = kTextBase;
+    program_.data_base = kTcdmBase;
+    program_.dram_base = kDramBase;
+    for (const auto& [name, value] : symbols_.all()) {
+      program_.symbols[name] = static_cast<std::uint32_t>(value);
+    }
+    program_.entry = program_.has_symbol("_start")
+                         ? program_.symbol("_start")
+                         : kTextBase;
+  }
+
+  void encode_all() {
+    program_.text.reserve(instrs_.size());
+    program_.text_words.reserve(instrs_.size());
+    for (const auto& p : instrs_) {
+      Instr instr;
+      instr.mnemonic = p.mnemonic;
+      instr.rd = p.rd;
+      instr.rs1 = p.rs1;
+      instr.rs2 = p.rs2;
+      instr.rs3 = p.rs3;
+      if (p.imm) {
+        std::int64_t value = eval(*p.imm, symbols_, p.line);
+        if (p.pc_relative) value -= p.addr;
+        instr.imm = static_cast<std::int32_t>(value);
+      }
+      try {
+        program_.text_words.push_back(isa::encode(instr));
+      } catch (const EncodingError& e) {
+        throw AsmError(e.what(), p.line);
+      }
+      program_.text.push_back(instr);
+      program_.text_lines.push_back(p.line);
+    }
+    program_.data = std::move(data_);
+    program_.dram = std::move(dram_);
+    for (const auto& f : fixups_) {
+      auto& bytes = f.section == SectionId::kData ? program_.data : program_.dram;
+      const auto value = static_cast<std::uint64_t>(eval(*f.expr, symbols_, f.line));
+      for (unsigned i = 0; i < f.size; ++i) {
+        bytes[f.offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+    }
+  }
+
+  struct DataFixup {
+    SectionId section;
+    std::size_t offset;
+    unsigned size;
+    ExprPtr expr;
+    unsigned line;
+  };
+
+  SectionId section_ = SectionId::kText;
+  SymbolTable symbols_;
+  std::vector<PendingInstr> instrs_;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::uint8_t> dram_;
+  std::vector<DataFixup> fixups_;
+  Program program_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) { return Assembler().run(source); }
+
+}  // namespace copift::rvasm

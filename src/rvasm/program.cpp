@@ -1,0 +1,25 @@
+#include "rvasm/program.hpp"
+
+#include "common/error.hpp"
+
+namespace copift::rvasm {
+
+std::uint32_t Program::symbol(std::string_view name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) throw Error("undefined symbol: " + std::string(name));
+  return it->second;
+}
+
+bool Program::has_symbol(std::string_view name) const {
+  return symbols.find(name) != symbols.end();
+}
+
+std::size_t Program::text_index(std::uint32_t addr) const {
+  if (addr < text_base || (addr - text_base) / 4 >= text.size()) {
+    throw Error("address outside text section: " + std::to_string(addr));
+  }
+  if ((addr & 3U) != 0) throw Error("misaligned text address");
+  return (addr - text_base) / 4;
+}
+
+}  // namespace copift::rvasm

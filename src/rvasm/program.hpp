@@ -1,0 +1,43 @@
+// Assembled program image: predecoded text plus initialized data sections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace copift::rvasm {
+
+/// Output of the assembler; input to the simulator and the COPIFT toolkit.
+struct Program {
+  std::vector<isa::Instr> text;         // predecoded instructions
+  std::vector<std::uint32_t> text_words;  // raw encodings (1:1 with text)
+  std::vector<unsigned> text_lines;       // source line per instruction
+  std::uint32_t text_base = 0;
+
+  std::vector<std::uint8_t> data;  // TCDM image
+  std::uint32_t data_base = 0;
+
+  std::vector<std::uint8_t> dram;  // external memory image
+  std::uint32_t dram_base = 0;
+
+  std::map<std::string, std::uint32_t, std::less<>> symbols;
+
+  /// Entry point: symbol `_start` if defined, else text_base.
+  std::uint32_t entry = 0;
+
+  /// Address of a symbol; throws copift::Error if undefined.
+  [[nodiscard]] std::uint32_t symbol(std::string_view name) const;
+
+  /// Whether a symbol is defined.
+  [[nodiscard]] bool has_symbol(std::string_view name) const;
+
+  /// Index into `text` for an address inside the text section; throws on
+  /// out-of-range or misaligned addresses.
+  [[nodiscard]] std::size_t text_index(std::uint32_t addr) const;
+};
+
+}  // namespace copift::rvasm

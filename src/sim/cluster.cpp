@@ -1,0 +1,112 @@
+#include "sim/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace copift::sim {
+
+Cluster::Cluster(rvasm::Program program, SimParams params)
+    : program_(std::move(program)),
+      params_(params),
+      arbiter_(params.num_tcdm_banks),
+      icache_(params.l0_lines, params.l0_words_per_line, params.l0_branch_penalty),
+      dma_(memory_, params.dma_bytes_per_cycle),
+      ssr_(memory_),
+      fpss_(params, memory_, ssr_, counters_, tracer_),
+      core_(params, program_, memory_, fpss_, ssr_, icache_, dma_, counters_, regions_, tracer_) {
+  memory_.write_block(program_.data_base, program_.data);
+  memory_.write_block(program_.dram_base, program_.dram);
+}
+
+void Cluster::tick() {
+  counters_.cycles = cycle_;
+  fpss_.begin_cycle(cycle_);
+  dma_.tick();
+
+  // Phase 1: every agent decides what it wants from the TCDM this cycle.
+  std::vector<mem::TcdmRequest> requests;
+  enum class Src : std::uint8_t { kCore, kFpss, kSsr };
+  struct Tag {
+    Src src;
+    ssr::SsrUnit::RequestTag ssr_tag;
+  };
+  std::vector<Tag> tags;
+
+  const auto core_req = core_.prepare(cycle_);
+  if (core_req) {
+    requests.push_back(*core_req);
+    tags.push_back(Tag{Src::kCore, {}});
+  }
+  const auto fpss_req = fpss_.prepare(cycle_);
+  if (fpss_req) {
+    requests.push_back(*fpss_req);
+    tags.push_back(Tag{Src::kFpss, {}});
+  }
+  std::vector<ssr::SsrUnit::RequestTag> ssr_tags;
+  std::vector<mem::TcdmRequest> ssr_requests;
+  ssr_.collect_requests(ssr_requests, ssr_tags);
+  for (std::size_t i = 0; i < ssr_requests.size(); ++i) {
+    requests.push_back(ssr_requests[i]);
+    tags.push_back(Tag{Src::kSsr, ssr_tags[i]});
+  }
+
+  // Phase 2: bank arbitration.
+  const std::uint64_t grants = requests.empty() ? 0 : arbiter_.arbitrate(requests);
+  counters_.tcdm_conflicts = arbiter_.conflicts();
+
+  // Phase 3: commit.
+  bool core_granted = false;
+  bool fpss_granted = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const bool granted = (grants >> i) & 1;
+    switch (tags[i].src) {
+      case Src::kCore:
+        core_granted = granted;
+        break;
+      case Src::kFpss:
+        fpss_granted = granted;
+        break;
+      case Src::kSsr:
+        if (granted) {
+          ssr_.apply_grant(tags[i].ssr_tag);
+          ++counters_.ssr_elements;
+          if (tags[i].ssr_tag.index) {
+            ++counters_.issr_indices;
+            ++counters_.tcdm_reads;
+          } else if (ssr_.lane(tags[i].ssr_tag.lane).is_write_stream()) {
+            ++counters_.tcdm_writes;
+          } else {
+            ++counters_.tcdm_reads;
+          }
+        }
+        break;
+    }
+  }
+  if (core_req) core_.commit(cycle_, core_granted);
+  if (fpss_req) fpss_.commit(cycle_, fpss_granted);
+  ssr_.commit_cycle();
+
+  counters_.dma_busy_cycles = dma_.busy_cycles();
+  counters_.dma_bytes = dma_.bytes_moved();
+  ++cycle_;
+  counters_.cycles = cycle_;
+}
+
+RunResult Cluster::run() {
+  while (!core_.halted() && cycle_ < params_.max_cycles) {
+    tick();
+  }
+  // Drain in-flight FP work so memory state is final at halt.
+  while (core_.halted() && !fpss_.idle() && cycle_ < params_.max_cycles) {
+    tick();
+  }
+  RunResult result;
+  result.halted = core_.halted();
+  result.cycles = cycle_;
+  result.exit_code = core_.exit_code();
+  if (!result.halted) {
+    throw SimError("simulation exceeded max_cycles (" + std::to_string(params_.max_cycles) + ")");
+  }
+  return result;
+}
+
+}  // namespace copift::sim

@@ -1,0 +1,71 @@
+// Snitch cluster: one integer core + FPSS + SSRs + banked TCDM + L0 I$ + DMA.
+//
+// This is the top-level simulation object: load an assembled program,
+// `run()` it to completion (ecall), then read the activity counters, region
+// snapshots and memory state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/dma.hpp"
+#include "mem/l0_icache.hpp"
+#include "mem/tcdm.hpp"
+#include "rvasm/program.hpp"
+#include "sim/core.hpp"
+#include "sim/counters.hpp"
+#include "sim/fpss.hpp"
+#include "sim/params.hpp"
+#include "sim/trace.hpp"
+#include "ssr/ssr.hpp"
+
+namespace copift::sim {
+
+struct RunResult {
+  bool halted = false;
+  std::uint64_t cycles = 0;
+  std::uint32_t exit_code = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(rvasm::Program program, SimParams params = {});
+
+  /// Run until the program executes `ecall` or max_cycles elapse.
+  RunResult run();
+
+  /// Advance exactly one cycle (exposed for fine-grained tests).
+  void tick();
+
+  [[nodiscard]] bool halted() const noexcept { return core_.halted(); }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycle_; }
+
+  [[nodiscard]] const ActivityCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const std::vector<RegionEvent>& regions() const noexcept { return regions_; }
+  [[nodiscard]] mem::AddressSpace& memory() noexcept { return memory_; }
+  [[nodiscard]] const rvasm::Program& program() const noexcept { return program_; }
+  [[nodiscard]] IntCore& core() noexcept { return core_; }
+  [[nodiscard]] FpSubsystem& fpss() noexcept { return fpss_; }
+  [[nodiscard]] ssr::SsrUnit& ssr() noexcept { return ssr_; }
+  [[nodiscard]] mem::DmaEngine& dma() noexcept { return dma_; }
+  /// Instruction tracer (disabled by default; enable before run()).
+  [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
+
+ private:
+  rvasm::Program program_;
+  SimParams params_;
+  ActivityCounters counters_;
+  std::vector<RegionEvent> regions_;
+  Tracer tracer_;
+  mem::AddressSpace memory_;
+  mem::TcdmArbiter arbiter_;
+  mem::L0ICache icache_;
+  mem::DmaEngine dma_;
+  ssr::SsrUnit ssr_;
+  FpSubsystem fpss_;
+  IntCore core_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace copift::sim

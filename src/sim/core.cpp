@@ -1,0 +1,494 @@
+#include "sim/core.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "isa/csr.hpp"
+
+namespace copift::sim {
+
+using isa::ExecUnit;
+using isa::Mnemonic;
+using isa::RegClass;
+
+namespace {
+constexpr std::uint16_t kCsrRegion = 0x7C2;
+}
+
+IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
+                 mem::AddressSpace& memory, FpSubsystem& fpss, ssr::SsrUnit& ssr,
+                 mem::L0ICache& icache, mem::DmaEngine& dma, ActivityCounters& counters,
+                 std::vector<RegionEvent>& regions, Tracer& tracer)
+    : params_(params),
+      program_(&program),
+      memory_(&memory),
+      fpss_(&fpss),
+      ssr_(&ssr),
+      icache_(&icache),
+      dma_(&dma),
+      counters_(&counters),
+      regions_(&regions),
+      tracer_(&tracer),
+      pc_(program.entry) {
+  regs_[2] = kStackTop;  // sp
+}
+
+void IntCore::write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at) {
+  if (rd == 0) return;
+  regs_[rd] = value;
+  ready_[rd] = ready_at;
+}
+
+void IntCore::retire_and_advance(std::uint32_t next_pc, std::uint64_t now) {
+  ++counters_->int_retired;
+  tracer_->record(now, pc_, program_->text[program_->text_index(pc_)], TraceUnit::kIntCore);
+  pc_ = next_pc;
+  fetch_done_ = false;
+}
+
+void IntCore::execute_alu(const isa::Instr& instr, std::uint64_t now) {
+  const std::uint32_t a = regs_[instr.rs1];
+  const std::uint32_t b = regs_[instr.rs2];
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  std::uint32_t v = 0;
+  unsigned latency = 1;
+  switch (instr.mnemonic) {
+    case Mnemonic::kLui: v = imm << 12; break;
+    case Mnemonic::kAuipc: v = pc_ + (imm << 12); break;
+    case Mnemonic::kAddi: v = a + imm; break;
+    case Mnemonic::kSlti: v = sa < static_cast<std::int32_t>(imm) ? 1 : 0; break;
+    case Mnemonic::kSltiu: v = a < imm ? 1 : 0; break;
+    case Mnemonic::kXori: v = a ^ imm; break;
+    case Mnemonic::kOri: v = a | imm; break;
+    case Mnemonic::kAndi: v = a & imm; break;
+    case Mnemonic::kSlli: v = a << (imm & 31); break;
+    case Mnemonic::kSrli: v = a >> (imm & 31); break;
+    case Mnemonic::kSrai: v = static_cast<std::uint32_t>(sa >> (imm & 31)); break;
+    case Mnemonic::kAdd: v = a + b; break;
+    case Mnemonic::kSub: v = a - b; break;
+    case Mnemonic::kSll: v = a << (b & 31); break;
+    case Mnemonic::kSlt: v = sa < sb ? 1 : 0; break;
+    case Mnemonic::kSltu: v = a < b ? 1 : 0; break;
+    case Mnemonic::kXor: v = a ^ b; break;
+    case Mnemonic::kSrl: v = a >> (b & 31); break;
+    case Mnemonic::kSra: v = static_cast<std::uint32_t>(sa >> (b & 31)); break;
+    case Mnemonic::kOr: v = a | b; break;
+    case Mnemonic::kAnd: v = a & b; break;
+    case Mnemonic::kMul:
+      v = a * b;
+      latency = params_.mul_latency;
+      break;
+    case Mnemonic::kMulh:
+      v = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb)) >> 32);
+      latency = params_.mul_latency;
+      break;
+    case Mnemonic::kMulhsu:
+      v = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(sa) * static_cast<std::uint64_t>(b)) >> 32);
+      latency = params_.mul_latency;
+      break;
+    case Mnemonic::kMulhu:
+      v = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 32);
+      latency = params_.mul_latency;
+      break;
+    case Mnemonic::kDiv:
+      v = b == 0                  ? 0xFFFFFFFFU
+          : (sa == INT32_MIN && sb == -1) ? static_cast<std::uint32_t>(INT32_MIN)
+                                          : static_cast<std::uint32_t>(sa / sb);
+      latency = params_.div_latency;
+      break;
+    case Mnemonic::kDivu:
+      v = b == 0 ? 0xFFFFFFFFU : a / b;
+      latency = params_.div_latency;
+      break;
+    case Mnemonic::kRem:
+      v = b == 0                  ? a
+          : (sa == INT32_MIN && sb == -1) ? 0
+                                          : static_cast<std::uint32_t>(sa % sb);
+      latency = params_.div_latency;
+      break;
+    case Mnemonic::kRemu:
+      v = b == 0 ? a : a % b;
+      latency = params_.div_latency;
+      break;
+    default:
+      throw SimError("non-ALU instruction in execute_alu");
+  }
+  write_rd(instr.rd, v, now + latency);
+  if (instr.rd != 0) book_wb(now + latency);
+}
+
+bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
+  const auto csr = static_cast<std::uint16_t>(instr.imm);
+  const bool imm_form = instr.mnemonic == Mnemonic::kCsrrwi ||
+                        instr.mnemonic == Mnemonic::kCsrrsi ||
+                        instr.mnemonic == Mnemonic::kCsrrci;
+  const std::uint32_t src = imm_form ? instr.rs1 : regs_[instr.rs1];
+  const bool is_write = instr.mnemonic == Mnemonic::kCsrrw || instr.mnemonic == Mnemonic::kCsrrwi;
+  const bool is_set = instr.mnemonic == Mnemonic::kCsrrs || instr.mnemonic == Mnemonic::kCsrrsi;
+  const bool need_rd = instr.rd != 0;
+  if (need_rd && !wb_free(now + 1)) {
+    ++counters_->stall_wb_port;
+    return false;
+  }
+  std::uint32_t old = 0;
+  switch (csr) {
+    case isa::kCsrMcycle:
+      old = static_cast<std::uint32_t>(now);
+      break;
+    case isa::kCsrMinstret:
+      old = static_cast<std::uint32_t>(counters_->retired());
+      break;
+    case isa::kCsrSsr: {
+      old = ssr_->enabled() ? 1 : 0;
+      std::uint32_t next = is_write ? src : is_set ? (old | src) : (old & ~src);
+      next &= 1;
+      if (old != 0 && next == 0 && !(ssr_->all_idle() && fpss_->idle())) {
+        // Disabling waits for streams and in-flight FP work to drain.
+        ++counters_->stall_barrier;
+        return false;
+      }
+      ssr_->set_enabled(next != 0);
+      break;
+    }
+    case isa::kCsrFpss:
+      if (need_rd && !fpss_->idle()) {
+        ++counters_->stall_barrier;
+        return false;
+      }
+      old = 0;
+      break;
+    case kCsrRegion:
+      if (is_write || src != 0) {
+        counters_->cycles = now;
+        regions_->push_back(RegionEvent{src, *counters_});
+      }
+      old = static_cast<std::uint32_t>(regions_->size());
+      break;
+    default: {
+      old = scratch_csrs_[csr];
+      const std::uint32_t next = is_write ? src : is_set ? (old | src) : (old & ~src);
+      if (is_write || src != 0) scratch_csrs_[csr] = next;
+      break;
+    }
+  }
+  if (need_rd) {
+    write_rd(instr.rd, old, now + 1);
+    book_wb(now + 1);
+  }
+  ++counters_->csr_ops;
+  return true;
+}
+
+void IntCore::offload_fp(const isa::Instr& instr, std::uint64_t now) {
+  (void)now;
+  const auto& meta = instr.meta();
+  OffloadEntry entry;
+  entry.instr = instr;
+  entry.epoch = epoch_counter_;
+  switch (meta.unit) {
+    case ExecUnit::kFpLoad:
+      entry.kind = OffloadKind::kLoad;
+      entry.operand = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      break;
+    case ExecUnit::kFpStore:
+      entry.kind = OffloadKind::kStore;
+      entry.operand = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      break;
+    default:
+      entry.kind = OffloadKind::kCompute;
+      entry.operand = meta.rs1_class == RegClass::kInt ? regs_[instr.rs1] : 0;
+      break;
+  }
+  if (meta.writes_int_rf() && instr.rd != 0) {
+    ready_[instr.rd] = kBusy;  // cleared when the FPSS writeback drains
+  }
+  fpss_->offload(std::move(entry));
+}
+
+std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
+  mem_action_ = MemAction::kNone;
+
+  // Drain at most one FPSS integer writeback through the shared write port
+  // (even after ecall, so in-flight FP results land before the run ends).
+  if (wb_free(now)) {
+    if (const auto wb = fpss_->take_int_writeback()) {
+      book_wb(now);
+      if (wb->rd != 0) {
+        regs_[wb->rd] = wb->value;
+        ready_[wb->rd] = now + 1;
+      }
+    }
+  }
+  // Garbage-collect old bookings.
+  while (!wb_port_.empty() && wb_port_.begin()->first < now) wb_port_.erase(wb_port_.begin());
+
+  if (halted_) return std::nullopt;
+
+  if (fetch_stall_ > 0) {
+    --fetch_stall_;
+    ++counters_->stall_icache;
+    return std::nullopt;
+  }
+  if (branch_stall_ > 0) {
+    --branch_stall_;
+    ++counters_->stall_branch;
+    return std::nullopt;
+  }
+  if (!fetch_done_) {
+    const unsigned penalty = icache_->fetch(pc_);
+    fetch_done_ = true;
+    counters_->l0_hits = icache_->stats().hits;
+    counters_->l0_refills = icache_->stats().refills();
+    if (penalty > 0) {
+      fetch_stall_ = penalty - 1;  // this cycle is the first stall cycle
+      ++counters_->stall_icache;
+      return std::nullopt;
+    }
+  }
+
+  const isa::Instr& instr = program_->text[program_->text_index(pc_)];
+  const auto& meta = instr.meta();
+
+  // Integer operand readiness (sources and, for WAW ordering, destination).
+  const auto busy = [&](RegClass cls, unsigned r) {
+    return cls == RegClass::kInt && ready_[r] > now;
+  };
+  if (busy(meta.rs1_class, instr.rs1) || busy(meta.rs2_class, instr.rs2) ||
+      busy(meta.rd_class, instr.rd)) {
+    ++counters_->stall_raw;
+    return std::nullopt;
+  }
+
+  switch (meta.unit) {
+    case ExecUnit::kIntAlu:
+    case ExecUnit::kMul:
+    case ExecUnit::kDiv: {
+      unsigned latency = 1;
+      if (meta.unit == ExecUnit::kMul) latency = params_.mul_latency;
+      if (meta.unit == ExecUnit::kDiv) {
+        if (div_busy_until_ > now) {
+          ++counters_->stall_div_busy;
+          return std::nullopt;
+        }
+        latency = params_.div_latency;
+      }
+      if (instr.rd != 0 && !wb_free(now + latency)) {
+        ++counters_->stall_wb_port;
+        return std::nullopt;
+      }
+      execute_alu(instr, now);
+      if (meta.unit == ExecUnit::kIntAlu) ++counters_->int_alu;
+      if (meta.unit == ExecUnit::kMul) ++counters_->int_mul;
+      if (meta.unit == ExecUnit::kDiv) {
+        ++counters_->int_div;
+        div_busy_until_ = now + latency;
+      }
+      retire_and_advance(pc_ + 4, now);
+      return std::nullopt;
+    }
+    case ExecUnit::kLoad: {
+      if (instr.rd != 0 && !wb_free(now + params_.load_use_latency)) {
+        ++counters_->stall_wb_port;
+        return std::nullopt;
+      }
+      mem_addr_ = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      // Program-order interlock: wait for overlapping queued FP stores.
+      if (fpss_->store_conflict(mem_addr_, 4)) {
+        ++counters_->stall_mem_order;
+        return std::nullopt;
+      }
+      mem_action_ = MemAction::kLoad;
+      return mem::TcdmRequest{mem::TcdmPort::kIntLsu, mem_addr_};
+    }
+    case ExecUnit::kStore: {
+      mem_action_ = MemAction::kStore;
+      mem_addr_ = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      return mem::TcdmRequest{mem::TcdmPort::kIntLsu, mem_addr_};
+    }
+    case ExecUnit::kBranch: {
+      const std::uint32_t a = regs_[instr.rs1];
+      const std::uint32_t b = regs_[instr.rs2];
+      const auto sa = static_cast<std::int32_t>(a);
+      const auto sb = static_cast<std::int32_t>(b);
+      bool taken = false;
+      switch (instr.mnemonic) {
+        case Mnemonic::kBeq: taken = a == b; break;
+        case Mnemonic::kBne: taken = a != b; break;
+        case Mnemonic::kBlt: taken = sa < sb; break;
+        case Mnemonic::kBge: taken = sa >= sb; break;
+        case Mnemonic::kBltu: taken = a < b; break;
+        case Mnemonic::kBgeu: taken = a >= b; break;
+        default: throw SimError("bad branch");
+      }
+      ++counters_->branches;
+      if (taken) {
+        ++counters_->branches_taken;
+        branch_stall_ = params_.branch_taken_penalty;
+        retire_and_advance(pc_ + static_cast<std::uint32_t>(instr.imm), now);
+      } else {
+        retire_and_advance(pc_ + 4, now);
+      }
+      return std::nullopt;
+    }
+    case ExecUnit::kJump: {
+      if (instr.rd != 0 && !wb_free(now + 1)) {
+        ++counters_->stall_wb_port;
+        return std::nullopt;
+      }
+      std::uint32_t target;
+      if (instr.mnemonic == Mnemonic::kJal) {
+        target = pc_ + static_cast<std::uint32_t>(instr.imm);
+      } else {
+        target = (regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm)) & ~1U;
+      }
+      write_rd(instr.rd, pc_ + 4, now + 1);
+      if (instr.rd != 0) book_wb(now + 1);
+      ++counters_->jumps;
+      branch_stall_ = params_.branch_taken_penalty;
+      retire_and_advance(target, now);
+      return std::nullopt;
+    }
+    case ExecUnit::kCsr:
+      if (execute_csr(instr, now)) retire_and_advance(pc_ + 4, now);
+      return std::nullopt;
+    case ExecUnit::kSys:
+      if (instr.mnemonic == Mnemonic::kEcall) {
+        halted_ = true;
+        retire_and_advance(pc_ + 4, now);
+      } else if (instr.mnemonic == Mnemonic::kEbreak) {
+        throw SimError("ebreak executed at pc " + std::to_string(pc_));
+      } else {  // fence
+        retire_and_advance(pc_ + 4, now);
+      }
+      return std::nullopt;
+    case ExecUnit::kFrep: {
+      if (fpss_->fifo_full()) {
+        ++counters_->stall_offload_full;
+        return std::nullopt;
+      }
+      OffloadEntry entry;
+      entry.instr = instr;
+      entry.kind = OffloadKind::kFrepCfg;
+      entry.operand = regs_[instr.rs1];  // extra repetitions
+      entry.epoch = epoch_counter_;
+      fpss_->offload(std::move(entry));
+      ++epoch_counter_;
+      ++counters_->frep_cfg;
+      retire_and_advance(pc_ + 4, now);
+      return std::nullopt;
+    }
+    case ExecUnit::kSsrCfg: {
+      if (fpss_->fifo_full()) {
+        ++counters_->stall_offload_full;
+        return std::nullopt;
+      }
+      OffloadEntry entry;
+      entry.instr = instr;
+      entry.epoch = epoch_counter_;
+      if (instr.mnemonic == Mnemonic::kScfgwi) {
+        entry.kind = OffloadKind::kSsrCfgWrite;
+        entry.operand = regs_[instr.rs1];
+      } else {
+        entry.kind = OffloadKind::kSsrCfgRead;
+        if (instr.rd != 0) ready_[instr.rd] = kBusy;
+      }
+      fpss_->offload(std::move(entry));
+      ++counters_->ssr_cfg;
+      retire_and_advance(pc_ + 4, now);
+      return std::nullopt;
+    }
+    case ExecUnit::kDma: {
+      if (instr.rd != 0 && !wb_free(now + 1)) {
+        ++counters_->stall_wb_port;
+        return std::nullopt;
+      }
+      switch (instr.mnemonic) {
+        case Mnemonic::kDmsrc: dma_->set_src(regs_[instr.rs1]); break;
+        case Mnemonic::kDmdst: dma_->set_dst(regs_[instr.rs1]); break;
+        case Mnemonic::kDmcpy:
+          write_rd(instr.rd, dma_->start(regs_[instr.rs1]), now + 1);
+          if (instr.rd != 0) book_wb(now + 1);
+          break;
+        case Mnemonic::kDmstat:
+          write_rd(instr.rd, dma_->pending(), now + 1);
+          if (instr.rd != 0) book_wb(now + 1);
+          break;
+        default: throw SimError("bad DMA instruction");
+      }
+      ++counters_->dma_cmds;
+      retire_and_advance(pc_ + 4, now);
+      return std::nullopt;
+    }
+    case ExecUnit::kBarrier:
+      if (fpss_->quiescent_below(epoch_counter_)) {
+        ++counters_->barriers;
+        retire_and_advance(pc_ + 4, now);
+      } else {
+        ++counters_->stall_barrier;
+      }
+      return std::nullopt;
+    case ExecUnit::kFpu:
+    case ExecUnit::kFpLoad:
+    case ExecUnit::kFpStore: {
+      if (fpss_->fifo_full()) {
+        ++counters_->stall_offload_full;
+        return std::nullopt;
+      }
+      offload_fp(instr, now);
+      // Offloaded instructions are counted when the FPSS issues them.
+      pc_ += 4;
+      fetch_done_ = false;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void IntCore::commit(std::uint64_t now, bool granted) {
+  if (mem_action_ == MemAction::kNone) return;
+  if (!granted) {
+    ++counters_->stall_tcdm;
+    mem_action_ = MemAction::kNone;
+    return;
+  }
+  const isa::Instr& instr = program_->text[program_->text_index(pc_)];
+  if (mem_action_ == MemAction::kLoad) {
+    std::uint32_t v = 0;
+    switch (instr.mnemonic) {
+      case Mnemonic::kLw: v = memory_->load32(mem_addr_); break;
+      case Mnemonic::kLh:
+        v = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int16_t>(memory_->load16(mem_addr_))));
+        break;
+      case Mnemonic::kLhu: v = memory_->load16(mem_addr_); break;
+      case Mnemonic::kLb:
+        v = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(memory_->load8(mem_addr_))));
+        break;
+      case Mnemonic::kLbu: v = memory_->load8(mem_addr_); break;
+      default: throw SimError("bad load");
+    }
+    write_rd(instr.rd, v, now + params_.load_use_latency);
+    if (instr.rd != 0) book_wb(now + params_.load_use_latency);
+    ++counters_->int_load;
+    ++counters_->tcdm_reads;
+  } else {
+    const std::uint32_t v = regs_[instr.rs2];
+    switch (instr.mnemonic) {
+      case Mnemonic::kSw: memory_->store32(mem_addr_, v); break;
+      case Mnemonic::kSh: memory_->store16(mem_addr_, static_cast<std::uint16_t>(v)); break;
+      case Mnemonic::kSb: memory_->store8(mem_addr_, static_cast<std::uint8_t>(v)); break;
+      default: throw SimError("bad store");
+    }
+    ++counters_->int_store;
+    ++counters_->tcdm_writes;
+  }
+  retire_and_advance(pc_ + 4, now);
+  mem_action_ = MemAction::kNone;
+}
+
+}  // namespace copift::sim

@@ -1,0 +1,85 @@
+// Snitch integer core: single-issue, in-order, with a scoreboarded register
+// file, a single RF write port (the structural hazard the paper blames for
+// the LCG stalls), an L0 loop cache, and the FP offload interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/dma.hpp"
+#include "mem/l0_icache.hpp"
+#include "mem/tcdm.hpp"
+#include "rvasm/program.hpp"
+#include "sim/counters.hpp"
+#include "sim/fpss.hpp"
+#include "sim/params.hpp"
+#include "sim/trace.hpp"
+
+namespace copift::sim {
+
+class IntCore {
+ public:
+  IntCore(const SimParams& params, const rvasm::Program& program, mem::AddressSpace& memory,
+          FpSubsystem& fpss, ssr::SsrUnit& ssr, mem::L0ICache& icache, mem::DmaEngine& dma,
+          ActivityCounters& counters, std::vector<RegionEvent>& regions,
+          Tracer& tracer);
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint32_t exit_code() const noexcept { return regs_[10]; }  // a0
+
+  /// Phase 1: decide this cycle's action; may return a TCDM request.
+  std::optional<mem::TcdmRequest> prepare(std::uint64_t now);
+  /// Phase 2: finalize a memory action after arbitration.
+  void commit(std::uint64_t now, bool granted);
+
+  [[nodiscard]] std::uint32_t reg(unsigned index) const noexcept { return regs_[index]; }
+  void set_reg(unsigned index, std::uint32_t value) noexcept {
+    if (index != 0) regs_[index] = value;
+  }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+
+ private:
+  static constexpr std::uint64_t kBusy = ~std::uint64_t{0};  // written by FPSS later
+
+  void write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at);
+  [[nodiscard]] bool wb_free(std::uint64_t cycle) const { return wb_port_.count(cycle) == 0; }
+  void book_wb(std::uint64_t cycle) { wb_port_[cycle] += 1; }
+  void retire_and_advance(std::uint32_t next_pc, std::uint64_t now);
+  void execute_alu(const isa::Instr& instr, std::uint64_t now);
+  bool execute_csr(const isa::Instr& instr, std::uint64_t now);  // false => stall
+  void offload_fp(const isa::Instr& instr, std::uint64_t now);
+
+  const SimParams params_;
+  const rvasm::Program* program_;
+  mem::AddressSpace* memory_;
+  FpSubsystem* fpss_;
+  ssr::SsrUnit* ssr_;
+  mem::L0ICache* icache_;
+  mem::DmaEngine* dma_;
+  ActivityCounters* counters_;
+  std::vector<RegionEvent>* regions_;
+  Tracer* tracer_;
+
+  std::array<std::uint32_t, 32> regs_{};
+  std::array<std::uint64_t, 32> ready_{};  // cycle each register becomes usable
+  std::map<std::uint64_t, unsigned> wb_port_;
+  std::uint32_t pc_;
+  bool halted_ = false;
+  unsigned fetch_stall_ = 0;
+  unsigned branch_stall_ = 0;
+  bool fetch_done_ = false;  // L0 charged for the current pc
+  std::uint64_t div_busy_until_ = 0;
+  std::uint64_t epoch_counter_ = 0;
+  std::map<std::uint16_t, std::uint32_t> scratch_csrs_;
+
+  // Pending memory action decided in prepare().
+  enum class MemAction { kNone, kLoad, kStore };
+  MemAction mem_action_ = MemAction::kNone;
+  std::uint32_t mem_addr_ = 0;
+};
+
+}  // namespace copift::sim

@@ -1,0 +1,96 @@
+// Activity and stall counters.
+//
+// Every architectural event the energy model charges for is counted here;
+// region markers (csrw region, id) snapshot the whole struct so callers can
+// compute per-region deltas (e.g. steady-state IPC as in paper Fig. 2a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace copift::sim {
+
+struct ActivityCounters {
+  std::uint64_t cycles = 0;
+
+  // Retired instructions. `int_retired` counts instructions issued by the
+  // integer core (including FREP/SSR config and CSR ops); `fp_retired`
+  // counts FPSS issues including FREP replays — their sum over time divided
+  // by cycles is the dual-issue IPC reported in the paper.
+  std::uint64_t int_retired = 0;
+  std::uint64_t fp_retired = 0;
+  std::uint64_t frep_replays = 0;
+
+  // Integer-side events.
+  std::uint64_t int_alu = 0;
+  std::uint64_t int_mul = 0;
+  std::uint64_t int_div = 0;
+  std::uint64_t int_load = 0;
+  std::uint64_t int_store = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branches_taken = 0;
+  std::uint64_t jumps = 0;
+  std::uint64_t csr_ops = 0;
+  std::uint64_t dma_cmds = 0;
+  std::uint64_t ssr_cfg = 0;
+  std::uint64_t frep_cfg = 0;
+  std::uint64_t barriers = 0;
+
+  // FP-side events (by FPU class).
+  std::uint64_t fp_add = 0;
+  std::uint64_t fp_mul = 0;
+  std::uint64_t fp_fma = 0;
+  std::uint64_t fp_divsqrt = 0;
+  std::uint64_t fp_cmp = 0;
+  std::uint64_t fp_cvt = 0;
+  std::uint64_t fp_move = 0;
+  std::uint64_t fp_minmax = 0;
+  std::uint64_t fp_class = 0;
+  std::uint64_t fp_load = 0;
+  std::uint64_t fp_store = 0;
+
+  // Memory system.
+  std::uint64_t tcdm_reads = 0;
+  std::uint64_t tcdm_writes = 0;
+  std::uint64_t tcdm_conflicts = 0;
+  std::uint64_t ssr_elements = 0;
+  std::uint64_t issr_indices = 0;
+  std::uint64_t l0_hits = 0;
+  std::uint64_t l0_refills = 0;
+  std::uint64_t dma_busy_cycles = 0;
+  std::uint64_t dma_bytes = 0;
+
+  // Integer-core stall cycles by primary cause.
+  std::uint64_t stall_raw = 0;
+  std::uint64_t stall_wb_port = 0;
+  std::uint64_t stall_offload_full = 0;
+  std::uint64_t stall_icache = 0;
+  std::uint64_t stall_tcdm = 0;
+  std::uint64_t stall_barrier = 0;
+  std::uint64_t stall_branch = 0;
+  std::uint64_t stall_div_busy = 0;
+  std::uint64_t stall_mem_order = 0;  // int load held back by a queued FP store
+
+  // FPSS stall/idle cycles.
+  std::uint64_t fpss_stall_ssr = 0;
+  std::uint64_t fpss_stall_raw = 0;
+  std::uint64_t fpss_stall_struct = 0;
+  std::uint64_t fpss_stall_tcdm = 0;
+  std::uint64_t fpss_idle = 0;
+
+  [[nodiscard]] std::uint64_t retired() const noexcept { return int_retired + fp_retired; }
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles == 0 ? 0.0 : static_cast<double>(retired()) / static_cast<double>(cycles);
+  }
+
+  /// Element-wise difference (this - earlier) for region-delta analysis.
+  [[nodiscard]] ActivityCounters minus(const ActivityCounters& earlier) const noexcept;
+};
+
+/// Region marker event, recorded when the program writes the `region` CSR.
+struct RegionEvent {
+  std::uint32_t id = 0;
+  ActivityCounters snapshot;
+};
+
+}  // namespace copift::sim

@@ -1,0 +1,45 @@
+// Simulation parameters for the Snitch cluster model.
+//
+// Defaults approximate the paper's configuration: one compute core at 1 GHz
+// in GF12LP+, 128 KiB TCDM in 32 banks, an 8-entry offload FIFO, a 16-entry
+// FREP buffer, and FPnew-like latencies.
+#pragma once
+
+#include <cstdint>
+
+#include "fpu/fpu.hpp"
+
+namespace copift::sim {
+
+struct SimParams {
+  fpu::FpuLatencies fpu{};
+
+  // Core <-> FPSS decoupling.
+  unsigned offload_fifo_depth = 8;
+  unsigned frep_capacity = 32;
+  // Cycles the FPSS is occupied by one SSR config write (lane arming is a
+  // round trip to the stream controller). This is the per-block overhead
+  // that penalizes small COPIFT block sizes (paper Fig. 3).
+  unsigned ssr_cfg_latency = 10;
+
+  // Integer pipeline.
+  unsigned load_use_latency = 2;     // TCDM grant -> result usable
+  unsigned mul_latency = 3;          // pipelined multiplier
+  unsigned div_latency = 20;         // iterative divider (blocking)
+  unsigned branch_taken_penalty = 1; // bubble after a taken branch/jump
+
+  // FP loads (baseline kernels; COPIFT maps these to SSRs instead).
+  unsigned fp_load_latency = 2;
+
+  // Memory system.
+  unsigned num_tcdm_banks = 32;
+  unsigned l0_lines = 8;            // 8 lines x 8 words = 64-instr L0 I$
+  unsigned l0_words_per_line = 8;
+  unsigned l0_branch_penalty = 2;
+  unsigned ssr_fifo_depth = 4;
+  unsigned dma_bytes_per_cycle = 64;
+
+  std::uint64_t max_cycles = 1'000'000'000;
+};
+
+}  // namespace copift::sim

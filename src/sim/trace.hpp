@@ -1,0 +1,53 @@
+// Instruction trace collection (Snitch-style simulation traces).
+//
+// When attached to a cluster, the tracer records one entry per retired
+// instruction with its issue cycle and originating unit, and can render a
+// human-readable listing — the tool of first resort when a kernel's
+// schedule doesn't behave (stalls, barrier waits, FREP replays).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace copift::sim {
+
+enum class TraceUnit : std::uint8_t { kIntCore, kFpss, kFrepReplay };
+
+struct TraceEntry {
+  std::uint64_t cycle = 0;
+  std::uint32_t pc = 0;  // 0 for FREP replays (no fetch)
+  isa::Instr instr;
+  TraceUnit unit = TraceUnit::kIntCore;
+};
+
+class Tracer {
+ public:
+  void record(std::uint64_t cycle, std::uint32_t pc, const isa::Instr& instr,
+              TraceUnit unit) {
+    if (!enabled_) return;
+    entries_.push_back(TraceEntry{cycle, pc, instr, unit});
+  }
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Render the trace (optionally a cycle range) as text, one line per
+  /// retired instruction: cycle, unit tag, pc, disassembly.
+  [[nodiscard]] std::string render(std::uint64_t from_cycle = 0,
+                                   std::uint64_t to_cycle = UINT64_MAX) const;
+
+  /// Dual-issue cycles: cycles in which both the integer core and the FPSS
+  /// retired an instruction.
+  [[nodiscard]] std::uint64_t dual_issue_cycles() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace copift::sim

@@ -1,0 +1,76 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace copift {
+namespace {
+
+TEST(Bits, ExtractAndPlaceAreInverse) {
+  std::mt19937 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t value = rng();
+    const unsigned lo = rng() % 28;
+    const unsigned width = 1 + rng() % (32 - lo);
+    const std::uint32_t field = bits(value, lo, width);
+    EXPECT_EQ(bits(place(field, lo, width), lo, width), field);
+  }
+}
+
+TEST(Bits, SignExtendNegative) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x1FFFFF, 21), -1);
+  EXPECT_EQ(sign_extend(0, 12), 0);
+}
+
+TEST(Bits, FitsSignedBoundaries) {
+  EXPECT_TRUE(fits_signed(-2048, 12));
+  EXPECT_TRUE(fits_signed(2047, 12));
+  EXPECT_FALSE(fits_signed(2048, 12));
+  EXPECT_FALSE(fits_signed(-2049, 12));
+}
+
+TEST(Bits, FitsUnsignedBoundaries) {
+  EXPECT_TRUE(fits_unsigned(0, 5));
+  EXPECT_TRUE(fits_unsigned(31, 5));
+  EXPECT_FALSE(fits_unsigned(32, 5));
+  EXPECT_FALSE(fits_unsigned(-1, 5));
+}
+
+TEST(Bits, Rotl32MatchesShiftOr) {
+  std::mt19937 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t v = rng();
+    const unsigned s = 1 + rng() % 31;
+    EXPECT_EQ(rotl32(v, s), (v << s) | (v >> (32 - s)));
+  }
+}
+
+TEST(Bits, AlignUp) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 4), 12u);
+}
+
+TEST(Bits, BitCastRoundTrip) {
+  const double d = -1234.5678;
+  EXPECT_EQ(bit_cast<double>(bit_cast<std::uint64_t>(d)), d);
+  const float f = 3.14f;
+  EXPECT_EQ(bit_cast<float>(bit_cast<std::uint32_t>(f)), f);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(32), 5u);
+}
+
+}  // namespace
+}  // namespace copift

@@ -1,0 +1,158 @@
+#include "core/dfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rvasm/assembler.hpp"
+
+namespace copift::core {
+namespace {
+
+/// Assemble a body and build its DFG.
+Dfg dfg_of(const std::string& body) {
+  const auto program = rvasm::assemble(body);
+  return Dfg::build(program.text);
+}
+
+/// The paper's Fig. 1b loop body (one element of the exp kernel).
+const char* kFig1b = R"(
+  fld fa3, 0(a3)
+  fmul.d fa3, fs0, fa3
+  fadd.d fa1, fa3, fs1
+  fsd fa1, 0(t1)
+  lw a0, 0(t1)
+  andi a1, a0, 0x1f
+  slli a1, a1, 3
+  add a1, t0, a1
+  lw a2, 0(a1)
+  lw a1, 4(a1)
+  slli a0, a0, 15
+  sw a2, 0(t2)
+  add a0, a0, a1
+  sw a0, 4(t2)
+  fsub.d fa2, fa1, fs1
+  fsub.d fa3, fa3, fa2
+  fmadd.d fa2, fs2, fa3, fs3
+  fld fa0, 0(t2)
+  fmadd.d fa4, fs4, fa3, fs5
+  fmul.d fa1, fa3, fa3
+  fmadd.d fa4, fa2, fa1, fa4
+  fmul.d fa4, fa4, fa0
+  fsd fa4, 0(a4)
+)";
+
+TEST(Dfg, DomainsMatchPaperSplit) {
+  const Dfg g = dfg_of(kFig1b);
+  ASSERT_EQ(g.nodes().size(), 23u);
+  EXPECT_EQ(g.num_fp_nodes(), 13u);   // paper: 13 FP instructions
+  EXPECT_EQ(g.num_int_nodes(), 10u);  // paper: 10 integer instructions
+}
+
+TEST(Dfg, RegisterFlowEdges) {
+  const Dfg g = dfg_of("addi a0, x0, 1\naddi a1, a0, 2\nadd a2, a0, a1\n");
+  // a1's producer is node 0; a2 consumes nodes 0 and 1.
+  EXPECT_EQ(g.preds(1), std::vector<std::size_t>{0});
+  const auto p2 = g.preds(2);
+  EXPECT_EQ(p2.size(), 2u);
+  EXPECT_EQ(g.succs(0).size(), 2u);
+}
+
+TEST(Dfg, X0NeverCreatesDependency) {
+  const Dfg g = dfg_of("add x0, a0, a0\nadd a1, x0, x0\n");
+  EXPECT_TRUE(g.preds(1).empty());
+}
+
+TEST(Dfg, MemoryDependencyStoreToLoad) {
+  const Dfg g = dfg_of("sw a1, 0(a0)\nlw a2, 0(a0)\n");
+  const auto preds = g.preds(1);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], 0u);
+}
+
+TEST(Dfg, NonOverlappingOffsetsDoNotAlias) {
+  const Dfg g = dfg_of("sw a1, 0(a0)\nlw a2, 8(a0)\n");
+  EXPECT_TRUE(g.preds(1).empty());
+}
+
+TEST(Dfg, DifferentBaseRegistersAssumedNoAlias) {
+  const Dfg g = dfg_of("sw a1, 0(a0)\nlw a2, 0(a3)\n");
+  EXPECT_TRUE(g.preds(1).empty());
+}
+
+TEST(Dfg, BaseVersioningDistinguishesRedefinedPointers) {
+  // After a0 is redefined, old stores through a0 must not alias.
+  const Dfg g = dfg_of("sw a1, 0(a0)\naddi a0, a0, 64\nlw a2, 0(a0)\n");
+  const auto preds = g.preds(2);
+  // Only the register dependency on the addi, no memory edge.
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], 1u);
+}
+
+TEST(Dfg, Type2StaticMemoryDependency) {
+  // FP store at a static address feeding an integer load: paper Type 2
+  // (exp kernel edge 4 -> 5).
+  const Dfg g = dfg_of("fsd fa1, 0(t1)\nlw a0, 0(t1)\n");
+  const auto cross = g.cross_edges();
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0].kind, DepKind::kMemory);
+  EXPECT_EQ(cross[0].cross, CrossDepType::kType2);
+}
+
+TEST(Dfg, Type1DynamicAddressDependency) {
+  // Integer-computed address feeding an FP load: paper Type 1
+  // (the logf table lookup).
+  const Dfg g = dfg_of("add a1, t0, a2\nfld fa0, 0(a1)\n");
+  const auto cross = g.cross_edges();
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0].cross, CrossDepType::kType1);
+}
+
+TEST(Dfg, Type3RegisterDependency) {
+  // fcvt.d.w consumes an integer register: paper Type 3.
+  const Dfg g = dfg_of("addi a0, x0, 7\nfcvt.d.w fa0, a0\n");
+  auto cross = g.cross_edges();
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0].cross, CrossDepType::kType3);
+  // flt.d producing an integer result is also Type 3 (a0 is read twice, so
+  // two edges exist — both classified Type 3).
+  const Dfg g2 = dfg_of("flt.d a0, fa0, fa1\nadd a1, a0, a0\n");
+  cross = g2.cross_edges();
+  ASSERT_EQ(cross.size(), 2u);
+  EXPECT_EQ(cross[0].cross, CrossDepType::kType3);
+  EXPECT_EQ(cross[1].cross, CrossDepType::kType3);
+}
+
+TEST(Dfg, Fig1bCrossEdgeClassification) {
+  const Dfg g = dfg_of(kFig1b);
+  unsigned type1 = 0;
+  unsigned type2 = 0;
+  unsigned type3 = 0;
+  for (const auto& e : g.cross_edges()) {
+    if (e.cross == CrossDepType::kType1) ++type1;
+    if (e.cross == CrossDepType::kType2) ++type2;
+    if (e.cross == CrossDepType::kType3) ++type3;
+  }
+  // Paper Fig. 1c: the marked cross edges (kd spill 4->5, t buffer
+  // 12->18 and 14->18) are static memory dependencies.
+  EXPECT_EQ(type2, 3u);
+  EXPECT_EQ(type3, 0u);  // exp has no register bridges
+  EXPECT_EQ(type1, 0u);
+}
+
+TEST(Dfg, DumpMentionsEveryNode) {
+  const Dfg g = dfg_of("addi a0, x0, 1\nfcvt.d.w fa0, a0\n");
+  const std::string dump = g.dump();
+  EXPECT_NE(dump.find("addi"), std::string::npos);
+  EXPECT_NE(dump.find("fcvt.d.w"), std::string::npos);
+  EXPECT_NE(dump.find("T3"), std::string::npos);
+}
+
+TEST(Dfg, XcopiftInstructionsAreFpDomain) {
+  isa::Instr instr;
+  instr.mnemonic = isa::Mnemonic::kFltDCop;
+  EXPECT_EQ(domain_of(instr), Domain::kFp);
+  instr.mnemonic = isa::Mnemonic::kFrepO;
+  EXPECT_EQ(domain_of(instr), Domain::kInt);
+}
+
+}  // namespace
+}  // namespace copift::core

@@ -1,0 +1,103 @@
+#include "energy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace copift::energy {
+namespace {
+
+TEST(Energy, ZeroActivityIsConstantPowerOnly) {
+  sim::ActivityCounters c;
+  c.cycles = 1000;
+  const EnergyModel model;
+  const EnergyReport r = model.evaluate(c);
+  EXPECT_DOUBLE_EQ(r.constant_pj, (model.params().base_pj_per_cycle +
+                                   model.params().dma_idle_pj_per_cycle) *
+                                      1000);
+  EXPECT_DOUBLE_EQ(r.total_pj, r.constant_pj);
+  EXPECT_NEAR(r.power_mw(), model.params().base_pj_per_cycle +
+                                model.params().dma_idle_pj_per_cycle,
+              1e-9);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  sim::ActivityCounters c;
+  c.cycles = 500;
+  c.int_retired = 400;
+  c.int_alu = 300;
+  c.int_mul = 50;
+  c.fp_retired = 200;
+  c.fp_fma = 100;
+  c.fp_add = 50;
+  c.tcdm_reads = 80;
+  c.tcdm_writes = 40;
+  c.l0_hits = 400;
+  c.l0_refills = 20;
+  c.ssr_elements = 60;
+  c.dma_busy_cycles = 10;
+  c.dma_bytes = 640;
+  const EnergyReport r = EnergyModel().evaluate(c);
+  EXPECT_NEAR(r.total_pj,
+              r.constant_pj + r.int_core_pj + r.fpss_pj + r.memory_pj + r.icache_pj + r.dma_pj,
+              1e-9);
+  EXPECT_GT(r.int_core_pj, 0);
+  EXPECT_GT(r.fpss_pj, 0);
+  EXPECT_GT(r.memory_pj, 0);
+  EXPECT_GT(r.icache_pj, 0);
+  EXPECT_GT(r.dma_pj, 0);
+}
+
+TEST(Energy, MonotonicInActivity) {
+  sim::ActivityCounters lo;
+  lo.cycles = 100;
+  lo.fp_fma = 10;
+  sim::ActivityCounters hi = lo;
+  hi.fp_fma = 50;
+  const EnergyModel model;
+  EXPECT_GT(model.evaluate(hi).total_pj, model.evaluate(lo).total_pj);
+}
+
+TEST(Energy, PowerTimesTimeEqualsEnergy) {
+  sim::ActivityCounters c;
+  c.cycles = 12345;
+  c.int_retired = 9000;
+  c.int_alu = 8000;
+  const EnergyReport r = EnergyModel().evaluate(c);
+  // P[mW] * t[ns] == E[pJ]; t == cycles at 1 GHz.
+  EXPECT_NEAR(r.power_mw() * static_cast<double>(c.cycles), r.total_pj, 1e-6);
+  EXPECT_NEAR(r.energy_nj() * 1000.0, r.total_pj, 1e-9);
+}
+
+TEST(Energy, CustomParamsRespected) {
+  EnergyParams p;
+  p.base_pj_per_cycle = 100.0;
+  p.dma_idle_pj_per_cycle = 0.0;
+  sim::ActivityCounters c;
+  c.cycles = 10;
+  EXPECT_DOUBLE_EQ(EnergyModel(p).evaluate(c).total_pj, 1000.0);
+}
+
+TEST(Energy, CalibrationLandsInPaperBand) {
+  // A synthetic baseline-like activity profile must land in the paper's
+  // 37-42 mW band (Fig. 2b).
+  sim::ActivityCounters c;
+  c.cycles = 100000;
+  c.int_retired = 44000;
+  c.int_alu = 30000;
+  c.int_mul = 5000;
+  c.fp_retired = 52000;
+  c.fp_fma = 20000;
+  c.fp_add = 12000;
+  c.fp_mul = 12000;
+  c.fp_cvt = 4000;
+  c.fp_cmp = 4000;
+  c.tcdm_reads = 20000;
+  c.tcdm_writes = 16000;
+  c.l0_hits = 85000;
+  c.l0_refills = 12000;
+  const double mw = EnergyModel().evaluate(c).power_mw();
+  EXPECT_GT(mw, 36.0);
+  EXPECT_LT(mw, 44.0);
+}
+
+}  // namespace
+}  // namespace copift::energy

@@ -1,0 +1,180 @@
+#include "fpu/fpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "fpu/fp_rf.hpp"
+
+namespace copift::fpu {
+namespace {
+
+using isa::Instr;
+using isa::Mnemonic;
+
+std::uint64_t rd(double v) { return copift::bit_cast<std::uint64_t>(v); }
+double dr(std::uint64_t v) { return copift::bit_cast<double>(v); }
+
+FpuResult exec(Mnemonic m, double a, double b = 0, double c = 0, std::uint32_t intop = 0) {
+  Instr instr;
+  instr.mnemonic = m;
+  return execute(instr, rd(a), rd(b), rd(c), intop);
+}
+
+TEST(Fpu, DoubleArithmetic) {
+  EXPECT_EQ(dr(exec(Mnemonic::kFaddD, 1.5, 2.25).fp), 3.75);
+  EXPECT_EQ(dr(exec(Mnemonic::kFsubD, 1.5, 2.25).fp), -0.75);
+  EXPECT_EQ(dr(exec(Mnemonic::kFmulD, 1.5, 2.0).fp), 3.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFdivD, 3.0, 2.0).fp), 1.5);
+  EXPECT_EQ(dr(exec(Mnemonic::kFsqrtD, 9.0).fp), 3.0);
+}
+
+TEST(Fpu, FusedMultiplyAddVariants) {
+  EXPECT_EQ(dr(exec(Mnemonic::kFmaddD, 2.0, 3.0, 1.0).fp), 7.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFmsubD, 2.0, 3.0, 1.0).fp), 5.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFnmsubD, 2.0, 3.0, 1.0).fp), -5.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFnmaddD, 2.0, 3.0, 1.0).fp), -7.0);
+}
+
+TEST(Fpu, FmaIsFused) {
+  // Pick operands where fused and unfused rounding differ.
+  const double a = 1.0 + 0x1p-52;
+  const double b = 1.0 + 0x1p-52;
+  const double c = -1.0;
+  EXPECT_EQ(dr(exec(Mnemonic::kFmaddD, a, b, c).fp), std::fma(a, b, c));
+}
+
+TEST(Fpu, Comparisons) {
+  EXPECT_EQ(exec(Mnemonic::kFltD, 1.0, 2.0).intval, 1u);
+  EXPECT_EQ(exec(Mnemonic::kFltD, 2.0, 1.0).intval, 0u);
+  EXPECT_EQ(exec(Mnemonic::kFleD, 2.0, 2.0).intval, 1u);
+  EXPECT_EQ(exec(Mnemonic::kFeqD, 2.0, 2.0).intval, 1u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(exec(Mnemonic::kFltD, nan, 1.0).intval, 0u);
+  EXPECT_EQ(exec(Mnemonic::kFeqD, nan, nan).intval, 0u);
+  EXPECT_TRUE(exec(Mnemonic::kFltD, 1.0, 2.0).writes_int);
+}
+
+TEST(Fpu, SignInjection) {
+  EXPECT_EQ(dr(exec(Mnemonic::kFsgnjD, 1.5, -2.0).fp), -1.5);
+  EXPECT_EQ(dr(exec(Mnemonic::kFsgnjnD, 1.5, -2.0).fp), 1.5);
+  EXPECT_EQ(dr(exec(Mnemonic::kFsgnjxD, -1.5, -2.0).fp), 1.5);
+}
+
+TEST(Fpu, ConversionsWithRounding) {
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, 2.5).intval, 2u);   // RNE: ties to even
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, 3.5).intval, 4u);
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, -2.5).intval, static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(exec(Mnemonic::kFcvtWuD, 3.7).intval, 4u);
+}
+
+TEST(Fpu, ConversionSaturation) {
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, 1e20).intval,
+            static_cast<std::uint32_t>(std::numeric_limits<std::int32_t>::max()));
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, -1e20).intval,
+            static_cast<std::uint32_t>(std::numeric_limits<std::int32_t>::min()));
+  EXPECT_EQ(exec(Mnemonic::kFcvtWuD, -1.0).intval, 0u);
+  EXPECT_EQ(exec(Mnemonic::kFcvtWuD, 1e20).intval, 0xFFFFFFFFu);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(exec(Mnemonic::kFcvtWD, nan).intval,
+            static_cast<std::uint32_t>(std::numeric_limits<std::int32_t>::max()));
+}
+
+TEST(Fpu, IntToDouble) {
+  EXPECT_EQ(dr(exec(Mnemonic::kFcvtDW, 0, 0, 0, static_cast<std::uint32_t>(-5)).fp), -5.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFcvtDWu, 0, 0, 0, 0xFFFFFFFFu).fp), 4294967295.0);
+}
+
+TEST(Fpu, FclassCases) {
+  EXPECT_EQ(fclass_d(-std::numeric_limits<double>::infinity()), 1u << 0);
+  EXPECT_EQ(fclass_d(-1.0), 1u << 1);
+  EXPECT_EQ(fclass_d(-0.0), 1u << 3);
+  EXPECT_EQ(fclass_d(0.0), 1u << 4);
+  EXPECT_EQ(fclass_d(1.0), 1u << 6);
+  EXPECT_EQ(fclass_d(std::numeric_limits<double>::infinity()), 1u << 7);
+  EXPECT_EQ(fclass_d(std::numeric_limits<double>::quiet_NaN()), 1u << 9);
+  EXPECT_EQ(fclass_d(5e-324), 1u << 5);   // positive subnormal
+  EXPECT_EQ(fclass_d(-5e-324), 1u << 2);  // negative subnormal
+}
+
+TEST(Fpu, SinglePrecisionNanBoxing) {
+  Instr instr;
+  instr.mnemonic = Mnemonic::kFaddS;
+  const std::uint64_t a = 0xFFFFFFFF00000000ull | copift::bit_cast<std::uint32_t>(1.5f);
+  const std::uint64_t b = 0xFFFFFFFF00000000ull | copift::bit_cast<std::uint32_t>(2.0f);
+  const FpuResult r = execute(instr, a, b, 0, 0);
+  EXPECT_EQ(r.fp >> 32, 0xFFFFFFFFull);  // result is NaN-boxed
+  EXPECT_EQ(copift::bit_cast<float>(static_cast<std::uint32_t>(r.fp)), 3.5f);
+}
+
+TEST(Fpu, XcopiftConversionsUseFpBits) {
+  // fcvt.d.w.cop reads the int32 bit pattern from the FP register low word.
+  Instr instr;
+  instr.mnemonic = Mnemonic::kFcvtDWCop;
+  const std::uint64_t raw = 0xDEADBEEF00000000ull | static_cast<std::uint32_t>(-123);
+  EXPECT_EQ(dr(execute(instr, raw, 0, 0, 0).fp), -123.0);
+  instr.mnemonic = Mnemonic::kFcvtDWuCop;
+  EXPECT_EQ(dr(execute(instr, 0xFFFFFFFFull, 0, 0, 0).fp), 4294967295.0);
+}
+
+TEST(Fpu, XcopiftComparisonsProduceDoubles) {
+  // flt.d.cop produces 0.0/1.0 in the FP RF so hits accumulate with fadd.d.
+  EXPECT_EQ(dr(exec(Mnemonic::kFltDCop, 1.0, 2.0).fp), 1.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFltDCop, 2.0, 1.0).fp), 0.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFeqDCop, 2.0, 2.0).fp), 1.0);
+  EXPECT_EQ(dr(exec(Mnemonic::kFleDCop, 2.0, 2.0).fp), 1.0);
+  EXPECT_TRUE(exec(Mnemonic::kFltDCop, 1.0, 2.0).writes_fp);
+  EXPECT_FALSE(exec(Mnemonic::kFltDCop, 1.0, 2.0).writes_int);
+}
+
+TEST(Fpu, XcopiftToIntBitsStayInFpRf) {
+  Instr instr;
+  instr.mnemonic = Mnemonic::kFcvtWDCop;
+  const FpuResult r = execute(instr, rd(-7.2), 0, 0, 0);
+  EXPECT_TRUE(r.writes_fp);
+  EXPECT_EQ(static_cast<std::int32_t>(static_cast<std::uint32_t>(r.fp)), -7);
+}
+
+TEST(Fpu, NonFpuInstructionThrows) {
+  Instr instr;
+  instr.mnemonic = Mnemonic::kAdd;
+  EXPECT_THROW(execute(instr, 0, 0, 0, 0), SimError);
+}
+
+TEST(Fpu, LatencyTable) {
+  FpuLatencies lat;
+  EXPECT_EQ(lat.of(isa::FpuClass::kAdd), lat.add);
+  EXPECT_EQ(lat.of(isa::FpuClass::kFma), lat.fma);
+  EXPECT_EQ(lat.of(isa::FpuClass::kDivSqrt), lat.div_sqrt);
+  EXPECT_GT(lat.div_sqrt, lat.fma);  // iterative unit is slower
+}
+
+TEST(FpRegFile, ReadWriteAndNanBox) {
+  FpRegFile rf;
+  rf.write_d(3, -2.5);
+  EXPECT_EQ(rf.read_d(3), -2.5);
+  rf.write_s(4, 1.25f);
+  EXPECT_EQ(rf.read_s(4), 1.25f);
+  EXPECT_EQ(rf.read(4) >> 32, 0xFFFFFFFFull);
+}
+
+TEST(Fpu, RandomizedAgainstHost) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-1e3, 1e3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng);
+    const double c = dist(rng);
+    EXPECT_EQ(dr(exec(Mnemonic::kFaddD, a, b).fp), a + b);
+    EXPECT_EQ(dr(exec(Mnemonic::kFmulD, a, b).fp), a * b);
+    EXPECT_EQ(dr(exec(Mnemonic::kFmaddD, a, b, c).fp), std::fma(a, b, c));
+    EXPECT_EQ(exec(Mnemonic::kFltD, a, b).intval, a < b ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace copift::fpu

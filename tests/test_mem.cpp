@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+#include "common/layout.hpp"
+#include "mem/address_space.hpp"
+#include "mem/dma.hpp"
+#include "mem/l0_icache.hpp"
+#include "mem/tcdm.hpp"
+
+namespace copift::mem {
+namespace {
+
+TEST(AddressSpace, RoundTripAllWidths) {
+  AddressSpace m;
+  m.store8(kTcdmBase, 0xAB);
+  EXPECT_EQ(m.load8(kTcdmBase), 0xAB);
+  m.store16(kTcdmBase + 2, 0xBEEF);
+  EXPECT_EQ(m.load16(kTcdmBase + 2), 0xBEEF);
+  m.store32(kTcdmBase + 4, 0xDEADBEEF);
+  EXPECT_EQ(m.load32(kTcdmBase + 4), 0xDEADBEEFu);
+  m.store64(kTcdmBase + 8, 0x0102030405060708ull);
+  EXPECT_EQ(m.load64(kTcdmBase + 8), 0x0102030405060708ull);
+  m.store64(kDramBase, 42);
+  EXPECT_EQ(m.load64(kDramBase), 42u);
+}
+
+TEST(AddressSpace, LittleEndianLayout) {
+  AddressSpace m;
+  m.store32(kTcdmBase, 0x04030201);
+  EXPECT_EQ(m.load8(kTcdmBase), 0x01);
+  EXPECT_EQ(m.load8(kTcdmBase + 3), 0x04);
+}
+
+TEST(AddressSpace, UnmappedThrows) {
+  AddressSpace m;
+  EXPECT_THROW(m.load32(0x100), SimError);
+  EXPECT_THROW(m.store32(kTcdmBase + kTcdmSize, 1), SimError);
+  EXPECT_THROW(m.load64(kTcdmBase + kTcdmSize - 4), SimError);  // straddles end
+}
+
+TEST(AddressSpace, BlockWriteAndCopy) {
+  AddressSpace m;
+  m.write_block(kTcdmBase, {1, 2, 3, 4});
+  EXPECT_EQ(m.load32(kTcdmBase), 0x04030201u);
+  m.copy(kTcdmBase + 16, kTcdmBase, 4);
+  EXPECT_EQ(m.load32(kTcdmBase + 16), 0x04030201u);
+  m.copy(kDramBase, kTcdmBase, 4);
+  EXPECT_EQ(m.load32(kDramBase), 0x04030201u);
+}
+
+TEST(Tcdm, NoConflictDifferentBanks) {
+  TcdmArbiter arb(32);
+  std::vector<TcdmRequest> reqs = {
+      {TcdmPort::kIntLsu, kTcdmBase + 0},
+      {TcdmPort::kSsr0, kTcdmBase + 8},
+      {TcdmPort::kSsr1, kTcdmBase + 16},
+  };
+  EXPECT_EQ(arb.arbitrate(reqs), 0b111u);
+  EXPECT_EQ(arb.conflicts(), 0u);
+}
+
+TEST(Tcdm, ConflictSameBank) {
+  TcdmArbiter arb(32);
+  std::vector<TcdmRequest> reqs = {
+      {TcdmPort::kIntLsu, kTcdmBase + 0},
+      {TcdmPort::kSsr0, kTcdmBase + 0},  // same bank
+  };
+  const auto grants = arb.arbitrate(reqs);
+  EXPECT_EQ(__builtin_popcountll(grants), 1);
+  EXPECT_EQ(arb.conflicts(), 1u);
+}
+
+TEST(Tcdm, SameBankDifferentWord) {
+  TcdmArbiter arb(4);  // 4 banks: addresses 32 bytes apart share a bank
+  std::vector<TcdmRequest> reqs = {
+      {TcdmPort::kIntLsu, kTcdmBase + 0},
+      {TcdmPort::kSsr0, kTcdmBase + 32},
+  };
+  EXPECT_EQ(__builtin_popcountll(arb.arbitrate(reqs)), 1);
+}
+
+TEST(Tcdm, RoundRobinFairness) {
+  TcdmArbiter arb(32);
+  // Two requesters fighting for the same bank must alternate.
+  int wins0 = 0;
+  int wins1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<TcdmRequest> reqs = {
+        {TcdmPort::kIntLsu, kTcdmBase}, {TcdmPort::kSsr0, kTcdmBase}};
+    const auto grants = arb.arbitrate(reqs);
+    if (grants & 1) ++wins0;
+    if (grants & 2) ++wins1;
+  }
+  EXPECT_EQ(wins0 + wins1, 100);
+  EXPECT_GT(wins0, 20);
+  EXPECT_GT(wins1, 20);
+}
+
+TEST(Tcdm, BankOfInterleaving) {
+  TcdmArbiter arb(32);
+  EXPECT_EQ(arb.bank_of(kTcdmBase + 0), arb.bank_of(kTcdmBase + 32 * 8));
+  EXPECT_NE(arb.bank_of(kTcdmBase + 0), arb.bank_of(kTcdmBase + 8));
+}
+
+TEST(L0, SequentialStreamIsPrefetched) {
+  L0ICache l0(8, 8, 2);
+  unsigned total_penalty = 0;
+  for (std::uint32_t pc = 0x1000; pc < 0x1000 + 4 * 100; pc += 4) {
+    total_penalty += l0.fetch(pc);
+  }
+  // First line is a cold branch miss; every other line is prefetched.
+  EXPECT_EQ(total_penalty, 2u);
+  EXPECT_GT(l0.stats().sequential_refills, 10u);
+}
+
+TEST(L0, SmallLoopFits) {
+  L0ICache l0(8, 8, 2);
+  // 32-instruction loop executed 10 times: only cold refills.
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::uint32_t pc = 0x1000; pc < 0x1000 + 4 * 32; pc += 4) l0.fetch(pc);
+  }
+  EXPECT_EQ(l0.stats().refills(), 4u);  // 32 instrs = 4 lines, fetched once
+  EXPECT_EQ(l0.stats().branch_misses + l0.stats().sequential_refills, 4u);
+}
+
+TEST(L0, LargeLoopThrashes) {
+  L0ICache l0(8, 8, 2);  // 64-instruction capacity
+  // 96-instruction loop: every iteration refills every line (FIFO).
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::uint32_t pc = 0x1000; pc < 0x1000 + 4 * 96; pc += 4) l0.fetch(pc);
+  }
+  EXPECT_GE(l0.stats().refills(), 10u * 12u - 12u);
+}
+
+TEST(L0, FlushEvicts) {
+  L0ICache l0(8, 8, 2);
+  l0.fetch(0x1000);
+  l0.reset_stats();
+  l0.fetch(0x1000);
+  EXPECT_EQ(l0.stats().hits, 1u);
+  l0.flush();
+  l0.reset_stats();
+  EXPECT_GT(l0.fetch(0x1000), 0u);  // branch miss again
+}
+
+TEST(Dma, CopiesAndTracksBusy) {
+  AddressSpace m;
+  for (unsigned i = 0; i < 256; ++i) m.store8(kDramBase + i, static_cast<std::uint8_t>(i));
+  DmaEngine dma(m, 64);
+  dma.set_src(kDramBase);
+  dma.set_dst(kTcdmBase);
+  dma.start(256);
+  EXPECT_EQ(dma.pending(), 1u);
+  unsigned ticks = 0;
+  while (dma.pending() > 0 && ticks < 100) {
+    dma.tick();
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, 4u);  // 256 bytes at 64 B/cycle
+  EXPECT_EQ(dma.busy_cycles(), 4u);
+  EXPECT_EQ(dma.bytes_moved(), 256u);
+  for (unsigned i = 0; i < 256; ++i) EXPECT_EQ(m.load8(kTcdmBase + i), i);
+}
+
+TEST(Dma, QueuesMultipleTransfers) {
+  AddressSpace m;
+  DmaEngine dma(m, 64);
+  dma.set_src(kDramBase);
+  dma.set_dst(kTcdmBase);
+  dma.start(64);
+  dma.set_src(kDramBase + 1024);
+  dma.set_dst(kTcdmBase + 1024);
+  dma.start(64);
+  EXPECT_EQ(dma.pending(), 2u);
+  dma.tick();
+  EXPECT_EQ(dma.pending(), 1u);
+  dma.tick();
+  EXPECT_EQ(dma.pending(), 0u);
+  dma.tick();  // idle tick
+  EXPECT_EQ(dma.busy_cycles(), 2u);
+}
+
+}  // namespace
+}  // namespace copift::mem

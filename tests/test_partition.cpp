@@ -1,0 +1,153 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+#include "rvasm/assembler.hpp"
+
+namespace copift::core {
+namespace {
+
+Dfg dfg_of(const std::string& body) {
+  return Dfg::build(rvasm::assemble(body).text);
+}
+
+// The exp kernel body (paper Fig. 1b) without the loop-control increments
+// (the paper also omits instructions 24-25 when partitioning).
+const char* kExpBody = R"(
+  fld fa3, 0(a3)
+  fmul.d fa3, fs0, fa3
+  fadd.d fa1, fa3, fs1
+  fsd fa1, 0(t1)
+  lw a0, 0(t1)
+  andi a1, a0, 0x1f
+  slli a1, a1, 3
+  add a1, t0, a1
+  lw a2, 0(a1)
+  lw a1, 4(a1)
+  slli a0, a0, 15
+  sw a2, 0(t2)
+  add a0, a0, a1
+  sw a0, 4(t2)
+  fsub.d fa2, fa1, fs1
+  fsub.d fa3, fa3, fa2
+  fmadd.d fa2, fs2, fa3, fs3
+  fld fa0, 0(t2)
+  fmadd.d fa4, fs4, fa3, fs5
+  fmul.d fa1, fa3, fa3
+  fmadd.d fa4, fa2, fa1, fa4
+  fmul.d fa4, fa4, fa0
+  fsd fa4, 0(a4)
+)";
+
+TEST(Partition, ExpKernelGivesThreePhases) {
+  const Dfg g = dfg_of(kExpBody);
+  const Partition p = partition(g);
+  // Paper Fig. 1c: FP Phase 0 -> Int Phase 1 -> FP Phase 2.
+  ASSERT_EQ(p.phases.size(), 3u);
+  EXPECT_EQ(p.phases[0].domain, Domain::kFp);
+  EXPECT_EQ(p.phases[1].domain, Domain::kInt);
+  EXPECT_EQ(p.phases[2].domain, Domain::kFp);
+  // Phase 1 holds the ten integer instructions.
+  EXPECT_EQ(p.phases[1].nodes.size(), 10u);
+  // Phase 2 holds at least the final multiply and store (nodes 21, 22)
+  // plus the t-buffer load (node 17).
+  EXPECT_GE(p.phases[2].nodes.size(), 3u);
+}
+
+TEST(Partition, ValidatesPrecedence) {
+  const Dfg g = dfg_of(kExpBody);
+  const Partition p = partition(g);
+  EXPECT_NO_THROW(validate(p, g));
+  for (const auto& e : g.edges()) {
+    EXPECT_LE(p.phase_of[e.from], p.phase_of[e.to]);
+  }
+}
+
+TEST(Partition, PureIntegerBodyIsOnePhase) {
+  const Partition p = partition(dfg_of("add a0, a1, a2\nsub a3, a0, a1\n"));
+  EXPECT_EQ(p.phases.size(), 1u);
+  EXPECT_EQ(p.phases[0].domain, Domain::kInt);
+  EXPECT_EQ(p.num_cut_edges(), 0u);
+}
+
+TEST(Partition, PureFpBodyIsOnePhase) {
+  const Partition p = partition(dfg_of("fadd.d fa0, fa1, fa2\nfmul.d fa3, fa0, fa1\n"));
+  EXPECT_EQ(p.phases.size(), 1u);
+  EXPECT_EQ(p.phases[0].domain, Domain::kFp);
+}
+
+TEST(Partition, IndependentThreadsGiveTwoPhasesNoCuts) {
+  const Partition p = partition(dfg_of(R"(
+  add a0, a1, a2
+  fadd.d fa0, fa1, fa2
+  sub a3, a0, a1
+  fmul.d fa3, fa0, fa1
+)"));
+  EXPECT_EQ(p.phases.size(), 2u);
+  EXPECT_EQ(p.num_cut_edges(), 0u);
+}
+
+TEST(Partition, ChainAlternatesPhases) {
+  // int -> fp -> int chain through register bridges.
+  const Partition p = partition(dfg_of(R"(
+  addi a0, x0, 3
+  fcvt.d.w fa0, a0
+  fmul.d fa1, fa0, fa0
+  fcvt.w.d a1, fa1
+  addi a2, a1, 1
+)"));
+  ASSERT_EQ(p.phases.size(), 3u);
+  EXPECT_EQ(p.phases[0].domain, Domain::kInt);
+  EXPECT_EQ(p.phases[1].domain, Domain::kFp);
+  EXPECT_EQ(p.phases[2].domain, Domain::kInt);
+  EXPECT_EQ(p.num_cut_edges(), 2u);
+}
+
+TEST(Partition, CutEdgesAreCrossPhaseEdges) {
+  const Dfg g = dfg_of(kExpBody);
+  const Partition p = partition(g);
+  for (const auto& e : p.cut_edges) {
+    EXPECT_NE(p.phase_of[e.from], p.phase_of[e.to]);
+  }
+}
+
+TEST(Partition, MixesDomainsNeverWithinPhase) {
+  std::mt19937 rng(11);
+  // Random straight-line programs: partition must always validate.
+  const char* int_ops[] = {"add a0, a1, a2", "addi a3, a0, 1", "xor a1, a2, a3",
+                           "slli a2, a0, 2"};
+  const char* fp_ops[] = {"fadd.d fa0, fa1, fa2", "fmul.d fa1, fa0, fa0",
+                          "fmadd.d fa2, fa0, fa1, fa2"};
+  const char* bridge_ops[] = {"fcvt.d.w fa3, a0", "fcvt.w.d a0, fa1", "flt.d a2, fa0, fa1"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string src;
+    const unsigned len = 5 + rng() % 15;
+    for (unsigned i = 0; i < len; ++i) {
+      const unsigned kind = rng() % 3;
+      if (kind == 0) src += std::string(int_ops[rng() % 4]) + "\n";
+      if (kind == 1) src += std::string(fp_ops[rng() % 3]) + "\n";
+      if (kind == 2) src += std::string(bridge_ops[rng() % 3]) + "\n";
+    }
+    const Dfg g = dfg_of(src);
+    const Partition p = partition(g);
+    EXPECT_NO_THROW(validate(p, g)) << src;
+    // Every node assigned exactly once.
+    std::size_t assigned = 0;
+    for (const auto& phase : p.phases) assigned += phase.nodes.size();
+    EXPECT_EQ(assigned, g.nodes().size());
+  }
+}
+
+TEST(Partition, DumpShowsPhases) {
+  const Dfg g = dfg_of(kExpBody);
+  const Partition p = partition(g);
+  const std::string dump = p.dump(g);
+  EXPECT_NE(dump.find("Phase 0"), std::string::npos);
+  EXPECT_NE(dump.find("cut edges"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copift::core

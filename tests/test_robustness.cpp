@@ -1,0 +1,149 @@
+// Timing-parameter robustness: functional results must be bit-exact under
+// ANY simulator timing configuration — latencies, FIFO depths and bank
+// counts may change *when* things happen, never *what* is computed. This is
+// the key separation-of-concerns invariant of the timing model, and it
+// exercises every interlock (scoreboards, barriers, SSR backpressure,
+// store-ordering) under stress.
+#include <gtest/gtest.h>
+
+#include "kernels/runner.hpp"
+
+namespace copift::kernels {
+namespace {
+
+struct ParamCase {
+  const char* name;
+  sim::SimParams params;
+};
+
+std::vector<ParamCase> param_cases() {
+  std::vector<ParamCase> cases;
+  {
+    ParamCase c{"default", {}};
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"tiny_fifo", {}};
+    c.params.offload_fifo_depth = 2;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"deep_fifo", {}};
+    c.params.offload_fifo_depth = 32;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"slow_fpu", {}};
+    c.params.fpu.add = 6;
+    c.params.fpu.mul = 6;
+    c.params.fpu.fma = 7;
+    c.params.fpu.cvt = 5;
+    c.params.fpu.cmp = 4;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"fast_fpu", {}};
+    c.params.fpu.add = 1;
+    c.params.fpu.mul = 1;
+    c.params.fpu.fma = 1;
+    c.params.fpu.cvt = 1;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"few_banks", {}};
+    c.params.num_tcdm_banks = 2;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"slow_loads", {}};
+    c.params.load_use_latency = 6;
+    c.params.fp_load_latency = 6;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"slow_mul", {}};
+    c.params.mul_latency = 8;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"tiny_ssr_fifo", {}};
+    c.params.ssr_fifo_depth = 1;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"slow_cfg", {}};
+    c.params.ssr_cfg_latency = 40;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"tiny_l0", {}};
+    c.params.l0_lines = 2;
+    c.params.l0_branch_penalty = 6;
+    cases.push_back(c);
+  }
+  {
+    ParamCase c{"branchy", {}};
+    c.params.branch_taken_penalty = 4;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+struct RobustnessCase {
+  KernelId id;
+  Variant variant;
+  std::size_t param_index;
+};
+
+class Robustness : public ::testing::TestWithParam<RobustnessCase> {};
+
+TEST_P(Robustness, BitExactUnderAnyTiming) {
+  const auto& rc = GetParam();
+  const auto pc = param_cases()[rc.param_index];
+  KernelConfig cfg;
+  cfg.n = 192;
+  cfg.block = 48;
+  cfg.seed = 77;
+  const auto run = run_kernel(generate(rc.id, rc.variant, cfg), pc.params);
+  EXPECT_TRUE(run.verified) << pc.name;
+  EXPECT_LE(run.ipc(), 2.0) << pc.name;
+}
+
+std::vector<RobustnessCase> robustness_cases() {
+  std::vector<RobustnessCase> cases;
+  const std::size_t num_params = param_cases().size();
+  for (const auto id : kAllKernels) {
+    for (std::size_t p = 0; p < num_params; ++p) {
+      cases.push_back({id, Variant::kCopift, p});
+      if (p < 8) cases.push_back({id, Variant::kBaseline, p});
+    }
+  }
+  return cases;
+}
+
+std::string robustness_name(const ::testing::TestParamInfo<RobustnessCase>& info) {
+  std::string name = kernel_name(info.param.id);
+  name += info.param.variant == Variant::kCopift ? "_copift_" : "_base_";
+  name += param_cases()[info.param.param_index].name;
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(TimingSweep, Robustness, ::testing::ValuesIn(robustness_cases()),
+                         robustness_name);
+
+TEST(Robustness, TimingChangesCyclesButNotResults) {
+  // Sanity that the sweep is meaningful: slow FPU actually slows things.
+  KernelConfig cfg;
+  cfg.n = 192;
+  cfg.block = 48;
+  sim::SimParams slow;
+  slow.fpu.fma = 8;
+  slow.fpu.add = 8;
+  slow.fpu.mul = 8;
+  const auto fast = run_kernel(generate(KernelId::kExp, Variant::kCopift, cfg));
+  const auto slowed = run_kernel(generate(KernelId::kExp, Variant::kCopift, cfg), slow);
+  EXPECT_GT(slowed.region.cycles, fast.region.cycles);
+}
+
+}  // namespace
+}  // namespace copift::kernels

@@ -1,0 +1,312 @@
+#include "rvasm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/layout.hpp"
+#include "isa/csr.hpp"
+
+namespace copift::rvasm {
+namespace {
+
+using isa::Mnemonic;
+
+Program asms(const std::string& src) { return assemble(src); }
+
+TEST(Asm, EmptyProgram) {
+  const Program p = asms("");
+  EXPECT_TRUE(p.text.empty());
+  EXPECT_EQ(p.entry, kTextBase);
+}
+
+TEST(Asm, SimpleInstructions) {
+  const Program p = asms("addi a0, a1, 42\nadd s0, s1, s2\n");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(p.text[0].rd, 10);
+  EXPECT_EQ(p.text[0].imm, 42);
+  EXPECT_EQ(p.text[1].mnemonic, Mnemonic::kAdd);
+}
+
+TEST(Asm, CommentsAndBlankLines) {
+  const Program p = asms("# full comment\n\n  addi x1, x0, 1  # trailing\n");
+  EXPECT_EQ(p.text.size(), 1u);
+}
+
+TEST(Asm, LabelsForwardAndBackward) {
+  const Program p = asms(R"(
+top:
+  addi a0, a0, 1
+  beq a0, a1, done
+  j top
+done:
+  ecall
+)");
+  ASSERT_EQ(p.text.size(), 4u);
+  // beq at index 1 -> done at index 3: offset +8
+  EXPECT_EQ(p.text[1].imm, 8);
+  // j at index 2 -> top at index 0: offset -8
+  EXPECT_EQ(p.text[2].mnemonic, Mnemonic::kJal);
+  EXPECT_EQ(p.text[2].imm, -8);
+  EXPECT_EQ(p.symbol("top"), kTextBase);
+  EXPECT_EQ(p.symbol("done"), kTextBase + 12);
+}
+
+TEST(Asm, LabelOnSameLineAsCode) {
+  const Program p = asms("start: addi a0, a0, 1\n");
+  EXPECT_EQ(p.symbol("start"), kTextBase);
+  EXPECT_EQ(p.text.size(), 1u);
+}
+
+TEST(Asm, LiSmallExpandsToAddi) {
+  const Program p = asms("li a0, -7\n");
+  ASSERT_EQ(p.text.size(), 1u);
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kAddi);
+  EXPECT_EQ(p.text[0].imm, -7);
+  EXPECT_EQ(p.text[0].rs1, 0);
+}
+
+TEST(Asm, LiLargeExpandsToLuiAddi) {
+  const Program p = asms("li a0, 0x12345678\n");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kLui);
+  EXPECT_EQ(p.text[1].mnemonic, Mnemonic::kAddi);
+  // Reconstruct the value.
+  const std::uint32_t v = (static_cast<std::uint32_t>(p.text[0].imm) << 12) +
+                          static_cast<std::uint32_t>(p.text[1].imm);
+  EXPECT_EQ(v, 0x12345678u);
+}
+
+TEST(Asm, LiNegativeBitPattern) {
+  const Program p = asms("li s0, 0xff800000\n");
+  const std::uint32_t v = (static_cast<std::uint32_t>(p.text[0].imm) << 12) +
+                          static_cast<std::uint32_t>(p.text[1].imm);
+  EXPECT_EQ(v, 0xff800000u);
+}
+
+TEST(Asm, LaResolvesDataSymbol) {
+  const Program p = asms(R"(
+.data
+buf: .space 16
+.text
+  la a0, buf
+)");
+  ASSERT_EQ(p.text.size(), 2u);
+  const std::uint32_t v = (static_cast<std::uint32_t>(p.text[0].imm) << 12) +
+                          static_cast<std::uint32_t>(p.text[1].imm);
+  EXPECT_EQ(v, kTcdmBase);
+}
+
+TEST(Asm, DataDirectives) {
+  const Program p = asms(R"(
+.data
+w: .word 1, 2, 0xdeadbeef
+.align 3
+d: .dword 0x0102030405060708
+f: .float 1.5
+.align 3
+dd: .double -2.5
+z: .space 3
+.align 2
+end: .word 9
+)");
+  EXPECT_EQ(p.symbol("w"), kTcdmBase);
+  EXPECT_EQ(p.symbol("d"), kTcdmBase + 16);  // aligned to 8
+  const auto at = [&](std::uint32_t addr) { return addr - kTcdmBase; };
+  EXPECT_EQ(p.data[at(p.symbol("w"))], 1);
+  EXPECT_EQ(p.data[at(p.symbol("w")) + 4], 2);
+  std::uint64_t dv = 0;
+  for (int i = 7; i >= 0; --i) dv = (dv << 8) | p.data[at(p.symbol("d")) + i];
+  EXPECT_EQ(dv, 0x0102030405060708ull);
+  std::uint32_t fv = 0;
+  for (int i = 3; i >= 0; --i) fv = (fv << 8) | p.data[at(p.symbol("f")) + i];
+  EXPECT_EQ(copift::bit_cast<float>(fv), 1.5f);
+  std::uint64_t ddv = 0;
+  for (int i = 7; i >= 0; --i) ddv = (ddv << 8) | p.data[at(p.symbol("dd")) + i];
+  EXPECT_EQ(copift::bit_cast<double>(ddv), -2.5);
+  EXPECT_EQ(p.symbol("end") % 4, 0u);
+}
+
+TEST(Asm, DwordNegativeDoubleBitPattern) {
+  // Regression: 64-bit patterns with the sign bit set must assemble.
+  const Program p = asms(".data\nv: .dword 0xbfe0000000000000\n");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p.data[i];
+  EXPECT_EQ(copift::bit_cast<double>(v), -0.5);
+}
+
+TEST(Asm, EquArithmetic) {
+  const Program p = asms(".equ N, 8\n.equ M, N*4+2\naddi a0, x0, M\n");
+  EXPECT_EQ(p.text[0].imm, 34);
+}
+
+TEST(Asm, MemOperandWithExpression) {
+  const Program p = asms(".equ OFF, 8\nlw a0, OFF+4(sp)\n");
+  EXPECT_EQ(p.text[0].imm, 12);
+  EXPECT_EQ(p.text[0].rs1, 2);
+}
+
+TEST(Asm, HiLoRelocation) {
+  const Program p = asms(R"(
+.data
+.space 0x234
+var: .word 0
+.text
+  lui a0, %hi(var)
+  addi a0, a0, %lo(var)
+)");
+  const std::uint32_t addr = p.symbol("var");
+  const std::uint32_t v = (static_cast<std::uint32_t>(p.text[0].imm) << 12) +
+                          static_cast<std::uint32_t>(p.text[1].imm);
+  EXPECT_EQ(v, addr);
+}
+
+TEST(Asm, PseudoInstructions) {
+  const Program p = asms(R"(
+  nop
+  mv a0, a1
+  not a2, a3
+  neg a4, a5
+  seqz a6, a7
+  snez t0, t1
+  jr ra
+  ret
+  fmv.d fa0, fa1
+  fneg.d fa2, fa3
+  fabs.d fa4, fa5
+  csrr t0, mcycle
+  csrw region, t1
+  csrsi ssr, 1
+  csrci ssr, 1
+)");
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kAddi);   // nop
+  EXPECT_EQ(p.text[1].mnemonic, Mnemonic::kAddi);   // mv
+  EXPECT_EQ(p.text[2].mnemonic, Mnemonic::kXori);   // not
+  EXPECT_EQ(p.text[3].mnemonic, Mnemonic::kSub);    // neg
+  EXPECT_EQ(p.text[4].mnemonic, Mnemonic::kSltiu);  // seqz
+  EXPECT_EQ(p.text[5].mnemonic, Mnemonic::kSltu);   // snez
+  EXPECT_EQ(p.text[6].mnemonic, Mnemonic::kJalr);   // jr
+  EXPECT_EQ(p.text[7].mnemonic, Mnemonic::kJalr);   // ret
+  EXPECT_EQ(p.text[8].mnemonic, Mnemonic::kFsgnjD);
+  EXPECT_EQ(p.text[9].mnemonic, Mnemonic::kFsgnjnD);
+  EXPECT_EQ(p.text[10].mnemonic, Mnemonic::kFsgnjxD);
+  EXPECT_EQ(p.text[11].mnemonic, Mnemonic::kCsrrs);
+  EXPECT_EQ(p.text[11].imm, isa::kCsrMcycle);
+  EXPECT_EQ(p.text[12].mnemonic, Mnemonic::kCsrrw);
+  EXPECT_EQ(p.text[13].mnemonic, Mnemonic::kCsrrsi);
+  EXPECT_EQ(p.text[13].imm, isa::kCsrSsr);
+  EXPECT_EQ(p.text[14].mnemonic, Mnemonic::kCsrrci);
+}
+
+TEST(Asm, BranchPseudos) {
+  const Program p = asms(R"(
+x:
+  beqz a0, x
+  bnez a1, x
+  bltz a2, x
+  bgez a3, x
+  bgtz a4, x
+  blez a5, x
+  bgt a0, a1, x
+  ble a0, a1, x
+)");
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kBeq);
+  EXPECT_EQ(p.text[1].mnemonic, Mnemonic::kBne);
+  EXPECT_EQ(p.text[2].mnemonic, Mnemonic::kBlt);
+  EXPECT_EQ(p.text[3].mnemonic, Mnemonic::kBge);
+  EXPECT_EQ(p.text[4].mnemonic, Mnemonic::kBlt);  // swapped operands
+  EXPECT_EQ(p.text[4].rs1, 0);
+  EXPECT_EQ(p.text[6].mnemonic, Mnemonic::kBlt);
+  EXPECT_EQ(p.text[6].rs1, 11);  // bgt swaps
+  EXPECT_EQ(p.text[6].rs2, 10);
+}
+
+TEST(Asm, CustomExtensions) {
+  const Program p = asms(R"(
+  frep.o t0, 9
+  frep.i t1, 2
+  scfgwi a0, 61
+  scfgri a1, 5
+  dmsrc a2
+  dmdst a3
+  dmcpy a4, a5
+  dmstat a6
+  copift.barrier
+  fcvt.d.wu.cop fa0, ft0
+  flt.d.cop fa1, fa2, fa3
+  fcvt.w.d.cop fa4, fa5
+  feq.d.cop fa6, fa7, fs0
+  fle.d.cop fs1, fs2, fs3
+  fclass.d.cop ft1, ft2
+)");
+  EXPECT_EQ(p.text[0].mnemonic, Mnemonic::kFrepO);
+  EXPECT_EQ(p.text[0].rs1, 5);
+  EXPECT_EQ(p.text[0].imm, 9);
+  EXPECT_EQ(p.text[2].mnemonic, Mnemonic::kScfgwi);
+  EXPECT_EQ(p.text[2].imm, 61);
+  EXPECT_EQ(p.text[8].mnemonic, Mnemonic::kCopiftBarrier);
+  EXPECT_EQ(p.text[9].mnemonic, Mnemonic::kFcvtDWuCop);
+  EXPECT_EQ(p.text[10].mnemonic, Mnemonic::kFltDCop);
+}
+
+TEST(Asm, DramSection) {
+  const Program p = asms(R"(
+.section .dram
+big: .space 64
+.text
+  nop
+)");
+  EXPECT_EQ(p.symbol("big"), kDramBase);
+  EXPECT_EQ(p.dram.size(), 64u);
+}
+
+TEST(Asm, EntryPointFromStart) {
+  const Program p = asms("nop\n_start: ecall\n");
+  EXPECT_EQ(p.entry, kTextBase + 4);
+}
+
+TEST(AsmErrors, UnknownMnemonic) {
+  EXPECT_THROW(asms("frobnicate a0, a1\n"), AsmError);
+}
+
+TEST(AsmErrors, BadRegister) {
+  EXPECT_THROW(asms("addi q0, a1, 0\n"), AsmError);
+  EXPECT_THROW(asms("fadd.d a0, fa1, fa2\n"), AsmError);
+}
+
+TEST(AsmErrors, ImmediateOutOfRange) {
+  EXPECT_THROW(asms("addi a0, a1, 5000\n"), AsmError);
+  EXPECT_THROW(asms("slli a0, a1, 32\n"), AsmError);
+}
+
+TEST(AsmErrors, UndefinedSymbol) {
+  EXPECT_THROW(asms("j nowhere\n"), AsmError);
+}
+
+TEST(AsmErrors, RedefinedLabel) {
+  EXPECT_THROW(asms("x: nop\nx: nop\n"), AsmError);
+}
+
+TEST(AsmErrors, WrongOperandCount) {
+  EXPECT_THROW(asms("add a0, a1\n"), AsmError);
+  EXPECT_THROW(asms("ecall a0\n"), AsmError);
+}
+
+TEST(AsmErrors, LiWithLabelRejected) {
+  EXPECT_THROW(asms("li a0, lbl\nlbl: nop\n"), AsmError);
+}
+
+TEST(AsmErrors, InstructionInDataSection) {
+  EXPECT_THROW(asms(".data\naddi a0, a0, 1\n"), AsmError);
+}
+
+TEST(AsmProgram, TextIndexChecks) {
+  const Program p = asms("nop\nnop\n");
+  EXPECT_EQ(p.text_index(kTextBase + 4), 1u);
+  EXPECT_THROW(p.text_index(kTextBase + 8), Error);
+  EXPECT_THROW(p.text_index(kTextBase + 2), Error);
+}
+
+}  // namespace
+}  // namespace copift::rvasm

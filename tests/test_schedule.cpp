@@ -1,0 +1,105 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rvasm/assembler.hpp"
+
+namespace copift::core {
+namespace {
+
+Partition partition_of(const std::string& body, Dfg& g) {
+  g = Dfg::build(rvasm::assemble(body).text);
+  return partition(g);
+}
+
+TEST(Schedule, AdjacentPhasesDoubleBuffer) {
+  Dfg g;
+  const Partition p = partition_of(R"(
+  addi a0, x0, 3
+  fcvt.d.w fa0, a0
+)", g);
+  const PipelineSchedule s = plan_pipeline(p, g);
+  ASSERT_EQ(s.buffers.size(), 1u);
+  // Producer phase 0 -> consumer phase 1: distance 1 => 2 replicas.
+  EXPECT_EQ(s.buffers[0].replicas, 2u);
+  EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(Schedule, SkippedPhaseTripleBuffers) {
+  // fp -> int -> fp with a value flowing directly from phase 0 to phase 2:
+  // the paper's w buffer needs 3 replicas.
+  Dfg g;
+  const Partition p = partition_of(R"(
+  fadd.d fa0, fa1, fa2
+  fcvt.w.d a0, fa0
+  addi a1, a0, 1
+  fcvt.d.w fa3, a1
+  fmul.d fa4, fa3, fa0
+)", g);
+  const PipelineSchedule s = plan_pipeline(p, g);
+  ASSERT_EQ(p.phases.size(), 3u);
+  unsigned max_replicas = 0;
+  for (const auto& b : s.buffers) max_replicas = std::max(max_replicas, b.replicas);
+  // fa0 flows phase 0 -> phase 2: 3 replicas (paper Section II-A Step 5).
+  EXPECT_EQ(max_replicas, 3u);
+}
+
+TEST(Schedule, BlockAssignmentIsPipelined) {
+  PipelineSchedule s;
+  s.num_phases = 3;
+  // Iteration j: phase p works on block j - p (paper Fig. 1g).
+  EXPECT_EQ(s.block_for(0, 5), 5);
+  EXPECT_EQ(s.block_for(1, 5), 4);
+  EXPECT_EQ(s.block_for(2, 5), 3);
+  EXPECT_LT(s.block_for(2, 1), 0);  // prologue: phase idle
+}
+
+TEST(Schedule, TcdmBytesScaleWithBlock) {
+  PipelineSchedule s;
+  s.num_phases = 2;
+  BufferPlan b;
+  b.bytes_per_element = 8;
+  b.replicas = 2;
+  s.buffers.push_back(b);
+  s.io_bytes_per_element = 16;
+  EXPECT_EQ(s.tcdm_bytes(10), 10u * (8 * 2 + 16));
+  EXPECT_EQ(s.max_block(3200), 3200u / 32u);
+}
+
+TEST(Schedule, MaxBlockMatchesPaperScale) {
+  // The exp kernel: per element, buffers ki (2x8), w (3x8), t (2x8) plus
+  // x and y blocks (8 each): max block for a 6 KiB budget ~ 82.
+  PipelineSchedule s;
+  s.num_phases = 3;
+  s.buffers = {
+      {"ki", 0, 1, 8, 2},
+      {"w", 0, 2, 8, 3},
+      {"t", 1, 2, 8, 2},
+  };
+  s.io_bytes_per_element = 16;
+  const auto bytes_per_elem = s.tcdm_bytes(1);
+  EXPECT_EQ(bytes_per_elem, 8u * (2 + 3 + 2) + 16u);
+  EXPECT_EQ(s.max_block(72 * 1024), 72u * 1024u / bytes_per_elem);
+}
+
+TEST(Schedule, SharedValueReadTwiceUsesOneBuffer) {
+  // One produced value consumed twice in the same later phase: one buffer.
+  Dfg g;
+  const Partition p = partition_of(R"(
+  addi a0, x0, 3
+  fcvt.d.w fa0, a0
+  fcvt.d.w fa1, a0
+)", g);
+  const PipelineSchedule s = plan_pipeline(p, g);
+  EXPECT_EQ(s.buffers.size(), 1u);
+}
+
+TEST(Schedule, DumpListsBuffers) {
+  Dfg g;
+  const Partition p = partition_of("addi a0, x0, 1\nfcvt.d.w fa0, a0\n", g);
+  const PipelineSchedule s = plan_pipeline(p, g);
+  EXPECT_NE(s.dump().find("buffer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copift::core

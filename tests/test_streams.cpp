@@ -1,0 +1,128 @@
+#include "core/streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+
+namespace copift::core {
+namespace {
+
+AffineStream stream1d(const std::string& name, std::uint32_t base, std::uint32_t count,
+                      std::int32_t stride = 8, StreamDir dir = StreamDir::kRead) {
+  AffineStream s;
+  s.name = name;
+  s.dir = dir;
+  s.base = base;
+  s.dims = 1;
+  s.bounds = {count, 1, 1, 1};
+  s.strides = {stride, 0, 0, 0};
+  return s;
+}
+
+TEST(Streams, EnumerateSimple) {
+  const auto s = stream1d("x", 0x1000, 3);
+  EXPECT_EQ(s.enumerate(), (std::vector<std::uint32_t>{0x1000, 0x1008, 0x1010}));
+  EXPECT_EQ(s.total_elements(), 3u);
+}
+
+TEST(Streams, Enumerate2D) {
+  AffineStream s;
+  s.base = 0;
+  s.dims = 2;
+  s.bounds = {2, 3, 1, 1};
+  s.strides = {8, 100, 0, 0};
+  EXPECT_EQ(s.enumerate(), (std::vector<std::uint32_t>{0, 8, 100, 108, 200, 208}));
+}
+
+TEST(Streams, FuseTwoCompatibleStreams) {
+  // Paper Fig. 1i: two 1-D streams with equal shape fuse into one 2-D
+  // stream whose outer stride is the base difference.
+  const auto r = fuse_streams({stream1d("a", 0x1000, 8), stream1d("b", 0x2000, 8)}, 3);
+  ASSERT_EQ(r.lanes.size(), 1u);
+  EXPECT_EQ(r.lanes[0].dims, 2u);
+  EXPECT_EQ(r.lanes[0].strides[1], 0x1000);
+  EXPECT_EQ(r.lanes[0].total_elements(), 16u);
+  // Fused enumeration = concatenation of the members' enumerations.
+  std::vector<std::uint32_t> expected = stream1d("a", 0x1000, 8).enumerate();
+  const auto eb = stream1d("b", 0x2000, 8).enumerate();
+  expected.insert(expected.end(), eb.begin(), eb.end());
+  EXPECT_EQ(r.lanes[0].enumerate(), expected);
+}
+
+TEST(Streams, FuseThreeEquispacedStreams) {
+  // The paper merges w, ki and y write streams: three equispaced bases.
+  const auto r = fuse_streams({stream1d("w", 0x1000, 4, 8, StreamDir::kWrite),
+                               stream1d("ki", 0x1100, 4, 8, StreamDir::kWrite),
+                               stream1d("y", 0x1200, 4, 8, StreamDir::kWrite)},
+                              3);
+  ASSERT_EQ(r.lanes.size(), 1u);
+  EXPECT_EQ(r.lanes[0].bounds[1], 3u);
+  EXPECT_EQ(r.lanes[0].total_elements(), 12u);
+}
+
+TEST(Streams, DirectionMismatchNotFused) {
+  const auto r = fuse_streams({stream1d("a", 0x1000, 4, 8, StreamDir::kRead),
+                               stream1d("b", 0x2000, 4, 8, StreamDir::kWrite)},
+                              3);
+  EXPECT_EQ(r.lanes.size(), 2u);
+}
+
+TEST(Streams, ShapeMismatchNotFused) {
+  const auto r = fuse_streams({stream1d("a", 0x1000, 4), stream1d("b", 0x2000, 8)}, 3);
+  EXPECT_EQ(r.lanes.size(), 2u);
+}
+
+TEST(Streams, NonEquispacedSplitsLanes) {
+  const auto r = fuse_streams(
+      {stream1d("a", 0x1000, 4), stream1d("b", 0x1100, 4), stream1d("c", 0x1300, 4)}, 3);
+  // a+b fuse (delta 0x100); c starts a new lane (delta 0x200).
+  EXPECT_EQ(r.lanes.size(), 2u);
+}
+
+TEST(Streams, ThrowsWhenLanesExhausted) {
+  EXPECT_THROW(fuse_streams({stream1d("a", 0, 4, 8), stream1d("b", 0x100, 2, 16),
+                             stream1d("c", 0x200, 4, 24), stream1d("d", 0x300, 4, 32)},
+                            3),
+               TransformError);
+}
+
+TEST(Streams, ExpKernelSixStreamsFitThreeLanes) {
+  // The paper's exp kernel: reads x, w, t; writes ki, w, y — with block
+  // buffers laid out contiguously, fusion packs them into 3 lanes.
+  const std::uint32_t kBlockBytes = 32 * 8;
+  std::vector<AffineStream> streams = {
+      stream1d("x", 0x10000, 32, 8, StreamDir::kRead),
+      stream1d("w_r", 0x20000, 32, 8, StreamDir::kRead),
+      stream1d("t", 0x20000 + kBlockBytes, 32, 8, StreamDir::kRead),
+      stream1d("ki", 0x30000, 32, 8, StreamDir::kWrite),
+      stream1d("w_w", 0x30000 + kBlockBytes, 32, 8, StreamDir::kWrite),
+      stream1d("y", 0x30000 + 2 * kBlockBytes, 32, 8, StreamDir::kWrite),
+  };
+  const auto r = fuse_streams(streams, 3);
+  EXPECT_LE(r.lanes.size(), 3u);
+}
+
+TEST(Streams, FusionPreservesElementOrderProperty) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Equispaced group of k streams with identical shape.
+    const unsigned k = 2 + rng() % 3;
+    const std::uint32_t count = 1 + rng() % 8;
+    const std::uint32_t spacing = 0x100 * (1 + rng() % 4);
+    std::vector<AffineStream> streams;
+    std::vector<std::uint32_t> expected;
+    for (unsigned i = 0; i < k; ++i) {
+      streams.push_back(stream1d("s" + std::to_string(i), 0x1000 + i * spacing, count));
+      const auto e = streams.back().enumerate();
+      expected.insert(expected.end(), e.begin(), e.end());
+    }
+    const auto r = fuse_streams(streams, 4);
+    ASSERT_EQ(r.lanes.size(), 1u);
+    EXPECT_EQ(r.lanes[0].enumerate(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace copift::core

@@ -1,0 +1,90 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rvasm/assembler.hpp"
+#include "sim/cluster.hpp"
+
+namespace copift::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Cluster cluster(rvasm::assemble("nop\nnop\necall\n"));
+  cluster.run();
+  EXPECT_TRUE(cluster.tracer().entries().empty());
+}
+
+TEST(Trace, RecordsRetiredInstructions) {
+  Cluster cluster(rvasm::assemble("li a0, 1\nadd a1, a0, a0\necall\n"));
+  cluster.tracer().set_enabled(true);
+  cluster.run();
+  const auto& entries = cluster.tracer().entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].instr.mnemonic, isa::Mnemonic::kAddi);
+  EXPECT_EQ(entries[1].instr.mnemonic, isa::Mnemonic::kAdd);
+  EXPECT_EQ(entries[2].instr.mnemonic, isa::Mnemonic::kEcall);
+  EXPECT_LT(entries[0].cycle, entries[1].cycle);
+  EXPECT_EQ(entries[0].unit, TraceUnit::kIntCore);
+}
+
+TEST(Trace, MarksFpssAndReplayEntries) {
+  Cluster cluster(rvasm::assemble(R"(
+  fcvt.d.w fa0, zero
+  li t0, 3
+  frep.o t0, 1
+  fadd.d fa1, fa1, fa0
+  csrr t1, fpss
+  ecall
+)"));
+  cluster.tracer().set_enabled(true);
+  cluster.run();
+  unsigned fpss = 0;
+  unsigned replay = 0;
+  for (const auto& e : cluster.tracer().entries()) {
+    if (e.unit == TraceUnit::kFpss) ++fpss;
+    if (e.unit == TraceUnit::kFrepReplay) ++replay;
+  }
+  EXPECT_EQ(fpss, 2u);    // fcvt + first fadd iteration
+  EXPECT_EQ(replay, 3u);  // remaining FREP iterations
+}
+
+TEST(Trace, DualIssueCyclesPositiveUnderFrep) {
+  Cluster cluster(rvasm::assemble(R"(
+  fcvt.d.w fa0, zero
+  li t0, 49
+  frep.o t0, 2
+  fadd.d fa1, fa1, fa0
+  fadd.d fa2, fa2, fa0
+  li a1, 60
+x:
+  addi a2, a2, 1
+  addi a1, a1, -1
+  bnez a1, x
+  csrr t1, fpss
+  ecall
+)"));
+  cluster.tracer().set_enabled(true);
+  cluster.run();
+  EXPECT_GT(cluster.tracer().dual_issue_cycles(), 20u);
+}
+
+TEST(Trace, RenderContainsDisassembly) {
+  Cluster cluster(rvasm::assemble("li a0, 5\necall\n"));
+  cluster.tracer().set_enabled(true);
+  cluster.run();
+  const std::string text = cluster.tracer().render();
+  EXPECT_NE(text.find("addi a0, zero, 5"), std::string::npos);
+  EXPECT_NE(text.find("[int ]"), std::string::npos);
+}
+
+TEST(Trace, RangeFilter) {
+  Cluster cluster(rvasm::assemble("nop\nnop\nnop\nnop\necall\n"));
+  cluster.tracer().set_enabled(true);
+  cluster.run();
+  const std::string all = cluster.tracer().render();
+  const std::string some = cluster.tracer().render(0, 1);
+  EXPECT_LT(some.size(), all.size());
+}
+
+}  // namespace
+}  // namespace copift::sim

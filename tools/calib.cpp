@@ -1,0 +1,21 @@
+#include <cstdio>
+#include "kernels/runner.hpp"
+using namespace copift::kernels;
+using copift::sim::ActivityCounters;
+int main() {
+  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
+  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
+  for (int k = 0; k < 6; ++k) {
+    for (auto v : {Variant::kBaseline, Variant::kCopift}) {
+      KernelConfig cfg; cfg.n = 3840; cfg.block = 96;
+      auto r = run_kernel(generate(ids[k], v, cfg));
+      const auto& c = r.region;
+      double cy = (double)c.cycles;
+      printf("%-8s %-6s cyc=%7llu tcdm/cy=%.3f l0ref/cy=%.4f ssr/cy=%.3f dma_busy/cy=%.4f fp/cy=%.3f int/cy=%.3f\n",
+        names[k], v==Variant::kBaseline?"base":"copift", (unsigned long long)c.cycles,
+        (c.tcdm_reads+c.tcdm_writes)/cy, c.l0_refills/cy, c.ssr_elements/cy, c.dma_busy_cycles/cy,
+        (double)c.fp_retired/cy, (double)c.int_retired/cy);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// copift-sim: command-line driver for the Snitch cluster simulator.
+//
+// Usage:
+//   copift_sim <file.s> [--trace] [--max-cycles N] [--dump-counters]
+//   copift_sim --kernel <name> --variant <base|copift> [--n N] [--block B]
+//
+// Runs an assembly file (or a generated paper kernel) and prints the run
+// summary, per-region IPC and the energy report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "energy/energy.hpp"
+#include "kernels/runner.hpp"
+#include "rvasm/assembler.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace copift;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: copift_sim <file.s> [--trace] [--max-cycles N]\n"
+               "       copift_sim --kernel <exp|log|poly_lcg|pi_lcg|poly_xoshiro128p|"
+               "pi_xoshiro128p>\n"
+               "                  [--variant base|copift] [--n N] [--block B] [--trace]\n");
+  return 2;
+}
+
+void print_summary(sim::Cluster& cluster) {
+  const auto& c = cluster.counters();
+  std::printf("cycles:        %llu\n", static_cast<unsigned long long>(c.cycles));
+  std::printf("instructions:  %llu (int %llu, fp %llu, frep replays %llu)\n",
+              static_cast<unsigned long long>(c.retired()),
+              static_cast<unsigned long long>(c.int_retired),
+              static_cast<unsigned long long>(c.fp_retired),
+              static_cast<unsigned long long>(c.frep_replays));
+  std::printf("IPC:           %.3f\n", c.ipc());
+  std::printf("stalls:        raw %llu, wb-port %llu, offload %llu, tcdm %llu, "
+              "barrier %llu, icache %llu, branch %llu, mem-order %llu\n",
+              static_cast<unsigned long long>(c.stall_raw),
+              static_cast<unsigned long long>(c.stall_wb_port),
+              static_cast<unsigned long long>(c.stall_offload_full),
+              static_cast<unsigned long long>(c.stall_tcdm),
+              static_cast<unsigned long long>(c.stall_barrier),
+              static_cast<unsigned long long>(c.stall_icache),
+              static_cast<unsigned long long>(c.stall_branch),
+              static_cast<unsigned long long>(c.stall_mem_order));
+  std::printf("memory:        tcdm reads %llu, writes %llu, conflicts %llu, "
+              "ssr elements %llu\n",
+              static_cast<unsigned long long>(c.tcdm_reads),
+              static_cast<unsigned long long>(c.tcdm_writes),
+              static_cast<unsigned long long>(c.tcdm_conflicts),
+              static_cast<unsigned long long>(c.ssr_elements));
+  const auto report = energy::EnergyModel().evaluate(c);
+  std::printf("power/energy:  %.1f mW, %.1f nJ (const %.0f%%, int %.0f%%, fpss %.0f%%, "
+              "mem %.0f%%, i$ %.0f%%)\n",
+              report.power_mw(), report.energy_nj(),
+              100 * report.constant_pj / report.total_pj,
+              100 * report.int_core_pj / report.total_pj,
+              100 * report.fpss_pj / report.total_pj,
+              100 * report.memory_pj / report.total_pj,
+              100 * report.icache_pj / report.total_pj);
+  if (cluster.regions().size() >= 2) {
+    const auto delta = cluster.regions().back().snapshot.minus(
+        cluster.regions().front().snapshot);
+    std::printf("region IPC:    %.3f over %llu cycles\n", delta.ipc(),
+                static_cast<unsigned long long>(delta.cycles));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string kernel;
+  std::string variant = "copift";
+  bool trace = false;
+  std::uint64_t max_cycles = 0;
+  std::uint32_t n = 1920;
+  std::uint32_t block = 96;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") trace = true;
+    else if (arg == "--kernel" && i + 1 < argc) kernel = argv[++i];
+    else if (arg == "--variant" && i + 1 < argc) variant = argv[++i];
+    else if (arg == "--n" && i + 1 < argc) n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--block" && i + 1 < argc) block = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::stoull(argv[++i]);
+    else if (arg.rfind("--", 0) == 0) return usage();
+    else file = arg;
+  }
+  if (file.empty() && kernel.empty()) return usage();
+
+  try {
+    sim::SimParams params;
+    if (max_cycles > 0) params.max_cycles = max_cycles;
+
+    std::string source;
+    kernels::GeneratedKernel generated;
+    bool have_kernel = false;
+    if (!kernel.empty()) {
+      kernels::KernelId id;
+      if (kernel == "exp") id = kernels::KernelId::kExp;
+      else if (kernel == "log") id = kernels::KernelId::kLog;
+      else if (kernel == "poly_lcg") id = kernels::KernelId::kPolyLcg;
+      else if (kernel == "pi_lcg") id = kernels::KernelId::kPiLcg;
+      else if (kernel == "poly_xoshiro128p") id = kernels::KernelId::kPolyXoshiro;
+      else if (kernel == "pi_xoshiro128p") id = kernels::KernelId::kPiXoshiro;
+      else return usage();
+      kernels::KernelConfig cfg;
+      cfg.n = n;
+      cfg.block = block;
+      generated = kernels::generate(
+          id, variant == "base" ? kernels::Variant::kBaseline : kernels::Variant::kCopift,
+          cfg);
+      source = generated.source;
+      have_kernel = true;
+      std::printf("kernel %s (%s), n=%u, block=%u\n", kernel.c_str(), variant.c_str(), n,
+                  block);
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+    }
+
+    sim::Cluster cluster(rvasm::assemble(source), params);
+    cluster.tracer().set_enabled(trace);
+    if (have_kernel) kernels::populate_inputs(cluster, generated);
+    const auto result = cluster.run();
+    std::printf("halted after %llu cycles (exit code %u)\n",
+                static_cast<unsigned long long>(result.cycles), result.exit_code);
+    print_summary(cluster);
+    if (have_kernel) {
+      kernels::verify_outputs(cluster, generated);
+      std::printf("verification:  PASS (bit-exact vs golden reference)\n");
+    }
+    if (trace) {
+      std::printf("\n--- first 64 trace entries ---\n");
+      unsigned count = 0;
+      for (const auto& e : cluster.tracer().entries()) {
+        if (++count > 64) break;
+        (void)e;
+      }
+      std::fputs(cluster.tracer()
+                     .render(0, cluster.tracer().entries().size() > 64
+                                    ? cluster.tracer().entries()[63].cycle
+                                    : UINT64_MAX)
+                     .c_str(),
+                 stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include <cstdio>
+#include "kernels/runner.hpp"
+using namespace copift;
+using namespace copift::kernels;
+int main(int argc, char** argv) {
+  KernelConfig cfg; cfg.n = 256; cfg.block = 32;
+  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
+  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
+  int only = argc > 1 ? atoi(argv[1]) : -1;
+  for (int k = 0; k < 6; ++k) {
+    if (only >= 0 && k != only) continue;
+    for (auto v : {Variant::kBaseline, Variant::kCopift}) {
+      try {
+        auto run = run_kernel(generate(ids[k], v, cfg));
+        printf("%-8s %-8s OK  ipc=%.3f cycles=%llu power=%.1f mW\n", names[k],
+               v==Variant::kBaseline?"base":"copift", run.ipc(),
+               (unsigned long long)run.region.cycles, run.power_mw());
+      } catch (const std::exception& e) {
+        printf("%-8s %-8s FAIL: %s\n", names[k], v==Variant::kBaseline?"base":"copift", e.what());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include <cstdio>
+#include "kernels/runner.hpp"
+using namespace copift::kernels;
+int main() {
+  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
+  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
+  printf("%-10s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel","b.ipc","c.ipc","gain","b.mW","c.mW","ratio","speedup","E.impr");
+  for (int k = 0; k < 6; ++k) {
+    KernelConfig cfg; cfg.block = 96;
+    auto b = steady_metrics(ids[k], Variant::kBaseline, cfg, 1920, 3840);
+    auto c = steady_metrics(ids[k], Variant::kCopift, cfg, 1920, 3840);
+    double speedup = b.cycles_per_item / c.cycles_per_item;
+    double eimpr = b.energy_pj_per_item / c.energy_pj_per_item;
+    printf("%-10s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n",
+           names[k], b.ipc, c.ipc, c.ipc/b.ipc, b.power_mw, c.power_mw, c.power_mw/b.power_mw, speedup, eimpr);
+  }
+  return 0;
+}
