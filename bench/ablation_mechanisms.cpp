@@ -1,86 +1,107 @@
 // Ablation study (extension beyond the paper): how much each modeled
 // mechanism contributes to COPIFT's dual-issue performance, by sweeping the
 // corresponding simulator parameters.
+//
+// Each section is one engine experiment whose params axis enumerates the
+// mechanism's settings; the programs are assembled once per kernel and
+// shared across all parameter variants (ProgramCache), and the runs execute
+// in parallel on the worker pool.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 
 namespace {
 
 using namespace copift;
+using kernels::KernelId;
+using kernels::Variant;
 
-double copift_ipc(kernels::KernelId id, const sim::SimParams& params) {
-  kernels::KernelConfig cfg;
-  cfg.n = 1920;
-  cfg.block = 96;
-  return kernels::run_kernel(kernels::generate(id, kernels::Variant::kCopift, cfg), params)
-      .ipc();
+double ipc_of(const engine::ResultTable& table, KernelId id, Variant variant,
+              const std::string& label) {
+  const auto* row = table.find(id, variant, 0, 0, label);
+  if (row == nullptr) throw Error("missing ablation row");
+  return row->run.ipc();
+}
+
+/// Sweep one SimParams knob over `values` for two COPIFT kernels and print
+/// one line per value (the same list drives the sweep and the report, so
+/// they cannot diverge).
+template <typename Apply>
+void knob_sweep(engine::SimEngine& pool, const char* label, KernelId a, const char* a_name,
+                KernelId b, const char* b_name, std::initializer_list<unsigned> values,
+                Apply&& apply) {
+  engine::Experiment e;
+  e.over({a, b}).over(Variant::kCopift).n(1920).block(96);
+  for (const unsigned v : values) {
+    sim::SimParams p;
+    apply(p, v);
+    e.with_params(std::to_string(v), p);
+  }
+  const auto t = e.run(pool);
+  for (const unsigned v : values) {
+    std::printf("  %s %2u: %s %.3f  %s %.3f\n", label, v,
+                a_name, ipc_of(t, a, Variant::kCopift, std::to_string(v)),
+                b_name, ipc_of(t, b, Variant::kCopift, std::to_string(v)));
+  }
 }
 
 }  // namespace
 
-int main() {
-  using kernels::KernelId;
+int main(int argc, char** argv) {
+  engine::SimEngine pool(bench::parse_threads(argc, argv));
   std::printf("Ablations: COPIFT IPC sensitivity to the modeled mechanisms\n\n");
 
-  const sim::SimParams def;
   std::printf("[offload FIFO depth] (decoupling between integer core and FPSS)\n");
-  for (const unsigned depth : {2u, 4u, 8u, 16u}) {
-    sim::SimParams p = def;
-    p.offload_fifo_depth = depth;
-    std::printf("  depth %2u: exp %.3f  pi_lcg %.3f\n", depth,
-                copift_ipc(KernelId::kExp, p), copift_ipc(KernelId::kPiLcg, p));
-  }
+  knob_sweep(pool, "depth", KernelId::kExp, "exp", KernelId::kPiLcg, "pi_lcg",
+             {2u, 4u, 8u, 16u},
+             [](sim::SimParams& p, unsigned v) { p.offload_fifo_depth = v; });
 
   std::printf("\n[SSR config latency] (per-block lane-arming cost, drives Fig. 3)\n");
-  for (const unsigned lat : {1u, 5u, 10u, 20u}) {
-    sim::SimParams p = def;
-    p.ssr_cfg_latency = lat;
-    std::printf("  latency %2u: exp %.3f  poly_lcg %.3f\n", lat,
-                copift_ipc(KernelId::kExp, p), copift_ipc(KernelId::kPolyLcg, p));
-  }
+  knob_sweep(pool, "latency", KernelId::kExp, "exp", KernelId::kPolyLcg, "poly_lcg",
+             {1u, 5u, 10u, 20u},
+             [](sim::SimParams& p, unsigned v) { p.ssr_cfg_latency = v; });
 
   std::printf("\n[FPU FMA latency] (dependency chains inside FREP bodies)\n");
-  for (const unsigned lat : {2u, 3u, 4u, 6u}) {
-    sim::SimParams p = def;
-    p.fpu.fma = lat;
-    p.fpu.add = lat;
-    p.fpu.mul = lat;
-    std::printf("  latency %u: poly_lcg %.3f  log %.3f\n", lat,
-                copift_ipc(KernelId::kPolyLcg, p), copift_ipc(KernelId::kLog, p));
-  }
+  knob_sweep(pool, "latency", KernelId::kPolyLcg, "poly_lcg", KernelId::kLog, "log",
+             {2u, 3u, 4u, 6u}, [](sim::SimParams& p, unsigned v) {
+               p.fpu.fma = v;
+               p.fpu.add = v;
+               p.fpu.mul = v;
+             });
 
   std::printf("\n[TCDM banks] (SSR/LSU bank conflicts)\n");
-  for (const unsigned banks : {2u, 4u, 8u, 32u}) {
-    sim::SimParams p = def;
-    p.num_tcdm_banks = banks;
-    std::printf("  banks %2u: exp %.3f  log %.3f\n", banks,
-                copift_ipc(KernelId::kExp, p), copift_ipc(KernelId::kLog, p));
-  }
+  knob_sweep(pool, "banks", KernelId::kExp, "exp", KernelId::kLog, "log", {2u, 4u, 8u, 32u},
+             [](sim::SimParams& p, unsigned v) { p.num_tcdm_banks = v; });
 
   std::printf("\n[SSR FIFO depth] (stream prefetch slack)\n");
-  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
-    sim::SimParams p = def;
-    p.ssr_fifo_depth = depth;
-    std::printf("  depth %u: exp %.3f  pi_lcg %.3f\n", depth,
-                copift_ipc(KernelId::kExp, p), copift_ipc(KernelId::kPiLcg, p));
-  }
+  knob_sweep(pool, "depth", KernelId::kExp, "exp", KernelId::kPiLcg, "pi_lcg",
+             {1u, 2u, 4u, 8u},
+             [](sim::SimParams& p, unsigned v) { p.ssr_fifo_depth = v; });
 
   std::printf("\n[mul latency] (the LCG writeback-port hazard, paper Section III-A)\n");
-  for (const unsigned lat : {1u, 2u, 3u, 5u}) {
-    sim::SimParams p = def;
-    p.mul_latency = lat;
-    kernels::KernelConfig cfg;
-    cfg.n = 1920;
-    cfg.block = 96;
-    const auto base =
-        kernels::run_kernel(kernels::generate(KernelId::kPiLcg, kernels::Variant::kBaseline, cfg), p);
-    const auto cop =
-        kernels::run_kernel(kernels::generate(KernelId::kPiLcg, kernels::Variant::kCopift, cfg), p);
-    std::printf("  latency %u: pi_lcg base %.3f copift %.3f (speedup %.2fx, wb stalls %llu)\n",
-                lat, base.ipc(), cop.ipc(),
-                static_cast<double>(base.region.cycles) / cop.region.cycles,
-                static_cast<unsigned long long>(cop.region.stall_wb_port));
+  {
+    const std::initializer_list<unsigned> lats = {1u, 2u, 3u, 5u};
+    engine::Experiment e;
+    e.over(KernelId::kPiLcg)
+        .over({Variant::kBaseline, Variant::kCopift})
+        .n(1920)
+        .block(96);
+    for (const unsigned lat : lats) {
+      sim::SimParams p;
+      p.mul_latency = lat;
+      e.with_params(std::to_string(lat), p);
+    }
+    const auto t = e.run(pool);
+    for (const unsigned lat : lats) {
+      const auto* base = t.find(KernelId::kPiLcg, Variant::kBaseline, 0, 0, std::to_string(lat));
+      const auto* cop = t.find(KernelId::kPiLcg, Variant::kCopift, 0, 0, std::to_string(lat));
+      if (base == nullptr || cop == nullptr) throw Error("missing ablation row");
+      std::printf("  latency %u: pi_lcg base %.3f copift %.3f (speedup %.2fx, wb stalls %llu)\n",
+                  lat, base->run.ipc(), cop->run.ipc(),
+                  static_cast<double>(base->run.region.cycles) / cop->run.region.cycles,
+                  static_cast<unsigned long long>(cop->run.region.stall_wb_port));
+    }
   }
   return 0;
 }

@@ -1,7 +1,9 @@
 // google-benchmark microbenchmarks of the simulator itself: host throughput
-// in simulated cycles and instructions per second, per kernel variant.
+// in simulated cycles and instructions per second, per kernel variant, plus
+// the batch engine's sweep throughput.
 #include <benchmark/benchmark.h>
 
+#include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
@@ -15,10 +17,12 @@ void run_variant(benchmark::State& state, kernels::KernelId id, kernels::Variant
   cfg.n = 1024;
   cfg.block = 64;
   const auto generated = kernels::generate(id, variant, cfg);
+  // Assemble once; every iteration shares the immutable program.
+  const auto program = kernels::assemble_kernel(generated);
   std::uint64_t cycles = 0;
   std::uint64_t instrs = 0;
   for (auto _ : state) {
-    sim::Cluster cluster(rvasm::assemble(generated.source));
+    sim::Cluster cluster(program);
     kernels::populate_inputs(cluster, generated);
     const auto result = cluster.run();
     cycles += result.cycles;
@@ -56,11 +60,32 @@ void BM_Assemble(benchmark::State& s) {
   }
 }
 
+/// Engine sweep throughput: a 8-point block sweep per iteration, at the
+/// pool size given by --benchmark arg (thread counts via BENCHMARK Range).
+void BM_EngineBlockSweep(benchmark::State& s) {
+  engine::SimEngine pool(static_cast<unsigned>(s.range(0)));
+  std::uint64_t points = 0;
+  for (auto _ : s) {
+    const auto table = engine::Experiment()
+                           .over(kernels::KernelId::kPolyLcg)
+                           .over(kernels::Variant::kCopift)
+                           .n(768)
+                           .sweep({16, 24, 32, 48, 64, 96, 128, 192})
+                           .verify(false)
+                           .run(pool);
+    points += table.size();
+    benchmark::DoNotOptimize(table.rows().data());
+  }
+  s.counters["grid_points/s"] =
+      benchmark::Counter(static_cast<double>(points), benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_ExpBaseline)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExpCopift)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PiLcgCopift)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LogCopift)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineBlockSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

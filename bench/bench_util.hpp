@@ -1,11 +1,19 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
+//
+// All figure drivers run on the batch engine: one Experiment describes the
+// grid, a SimEngine fans the independent runs out across worker threads, and
+// the drivers format the deterministic ResultTable. Pass `--threads N` to
+// any driver to pin the pool size (default: hardware concurrency).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
-#include "kernels/runner.hpp"
+#include "common/error.hpp"
+#include "engine/experiment.hpp"
 
 namespace copift::bench {
 
@@ -16,6 +24,11 @@ inline constexpr kernels::KernelId kPaperOrder[] = {
     kernels::KernelId::kLog,       kernels::KernelId::kExp,
 };
 
+/// Parse `--threads N` from the command line; 0 = hardware concurrency.
+inline unsigned parse_threads(int argc, char** argv) {
+  return engine::parse_threads(argc, argv);
+}
+
 /// Steady-state measurement configuration used by the Fig. 2 benches.
 struct SteadyConfig {
   std::uint32_t n1 = 1920;
@@ -23,11 +36,24 @@ struct SteadyConfig {
   std::uint32_t block = 96;
 };
 
-inline kernels::SteadyMetrics steady(kernels::KernelId id, kernels::Variant variant,
-                                     const SteadyConfig& sc = {}) {
-  kernels::KernelConfig cfg;
-  cfg.block = sc.block;
-  return kernels::steady_metrics(id, variant, cfg, sc.n1, sc.n2);
+/// One steady-state table covering the paper's kernels in both variants:
+/// 12 independent grid points, executed in parallel on the pool.
+inline engine::ResultTable steady_table(engine::SimEngine& pool, const SteadyConfig& sc = {}) {
+  return engine::Experiment()
+      .over(std::span<const kernels::KernelId>(kPaperOrder))
+      .over({kernels::Variant::kBaseline, kernels::Variant::kCopift})
+      .block(sc.block)
+      .steady(sc.n1, sc.n2)
+      .run(pool);
+}
+
+/// Row lookup that throws instead of returning nullptr (bench tables are
+/// complete by construction).
+inline const engine::ResultRow& row_of(const engine::ResultTable& table, kernels::KernelId id,
+                                       kernels::Variant variant) {
+  const auto* row = table.find(id, variant);
+  if (row == nullptr) throw Error("missing result row");
+  return *row;
 }
 
 inline double geomean(const std::vector<double>& values) {

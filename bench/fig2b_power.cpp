@@ -5,21 +5,24 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copift;
   using namespace copift::bench;
+  engine::SimEngine pool(parse_threads(argc, argv));
+  const auto table = steady_table(pool);
+
   std::printf("Fig. 2b: steady-state power [mW] (base vs COPIFT)\n\n");
   std::printf("%-18s %9s %9s %8s\n", "Kernel", "base mW", "COPIFT mW", "ratio");
   std::vector<double> ratios;
   double max_ratio = 0.0;
   for (const auto id : kPaperOrder) {
-    const auto base = steady(id, kernels::Variant::kBaseline);
-    const auto cop = steady(id, kernels::Variant::kCopift);
-    const double ratio = cop.power_mw / base.power_mw;
+    const auto& base = row_of(table, id, kernels::Variant::kBaseline);
+    const auto& cop = row_of(table, id, kernels::Variant::kCopift);
+    const double ratio = cop.metrics.power_mw / base.metrics.power_mw;
     ratios.push_back(ratio);
     max_ratio = std::max(max_ratio, ratio);
     std::printf("%-18s %9.2f %9.2f %7.2fx\n", kernels::kernel_name(id).c_str(),
-                base.power_mw, cop.power_mw, ratio);
+                base.metrics.power_mw, cop.metrics.power_mw, ratio);
   }
   std::printf("\ngeomean power increase: %.2fx  (paper: 1.07x)\n", geomean(ratios));
   std::printf("maximum power increase: %.2fx  (paper: 1.17x)\n", max_ratio);

@@ -2,17 +2,34 @@
 // problem and block sizes, with the ">99.5%" annotations (smallest problem
 // reaching 99.5% of a block size's maximum IPC) and the per-problem "peak"
 // block size.
+//
+// The 56-point grid is a single engine experiment; `--threads N` sets the
+// worker-pool size (`--threads 1` reproduces the serial seed behaviour and
+// must give bit-identical results).
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copift;
   using namespace copift::bench;
   const std::vector<std::uint32_t> blocks = {32, 48, 64, 96, 128, 192, 256};
   const std::vector<std::uint32_t> problems = {768,   1536,  3072,  6144,
                                                12288, 24576, 49152, 98304};
+
+  engine::SimEngine pool(parse_threads(argc, argv));
+  const auto table =
+      engine::Experiment()
+          .over(kernels::KernelId::kPolyLcg)
+          .over(kernels::Variant::kCopift)
+          .sweep_n(problems)
+          .sweep(blocks)
+          // Verify the smaller runs; skip the golden check on the largest for
+          // time (the same code path is verified at smaller sizes).
+          .verify_if([](const engine::GridPoint& p) { return p.config.n <= 6144; })
+          .run(pool);
+
   std::printf("Fig. 3: poly_lcg COPIFT IPC over problem size x block size\n\n");
   std::printf("%8s |", "n \\ B");
   for (const auto b : blocks) std::printf(" %6u", b);
@@ -24,18 +41,11 @@ int main() {
     double best = 0.0;
     std::uint32_t best_block = 0;
     for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-      kernels::KernelConfig cfg;
-      cfg.n = problems[pi];
-      cfg.block = blocks[bi];
-      // Verify the smaller runs; skip the golden check on the largest for
-      // time (the same code path is verified at smaller sizes).
-      const bool verify = problems[pi] <= 6144;
-      const auto run = kernels::run_kernel(kernels::generate(
-          kernels::KernelId::kPolyLcg, kernels::Variant::kCopift, cfg), {}, verify);
-      grid[pi][bi] = run.ipc();
-      std::printf(" %6.3f", run.ipc());
-      if (run.ipc() > best) {
-        best = run.ipc();
+      const auto& row = table.at(pi * blocks.size() + bi);
+      grid[pi][bi] = row.run.ipc();
+      std::printf(" %6.3f", row.run.ipc());
+      if (row.run.ipc() > best) {
+        best = row.run.ipc();
         best_block = blocks[bi];
       }
     }

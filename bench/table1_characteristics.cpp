@@ -5,12 +5,12 @@
 // 8 samples for the Monte Carlo kernels); the load/store deltas compare the
 // COPIFT body with the baseline; buffer counts and maximum block sizes
 // reflect the kernels' actual TCDM arenas; I', S'' and S' are the paper's
-// analytical estimates (Eq. 1-3).
+// analytical estimates (Eq. 1-3). The marginal counters come straight from
+// one steady-mode engine experiment (12 grid points, run in parallel).
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/model.hpp"
-#include "rvasm/assembler.hpp"
 
 namespace {
 
@@ -25,29 +25,21 @@ struct BodyCounts {
   unsigned fp_ldst = 0;
 };
 
-/// Dynamic per-unroll-group instruction counts from a steady-state run
+/// Dynamic per-unroll-group instruction counts from a steady-state row
 /// (marginal between two problem sizes, so prologue/setup cancel out).
-BodyCounts body_counts(KernelId id, Variant variant, std::uint32_t block) {
-  kernels::KernelConfig c1;
-  c1.n = 10 * block;
-  c1.block = block;
-  kernels::KernelConfig c2 = c1;
-  c2.n = 20 * block;
-  const auto r1 = kernels::run_kernel(kernels::generate(id, variant, c1));
-  const auto r2 = kernels::run_kernel(kernels::generate(id, variant, c2));
+BodyCounts body_counts(const engine::ResultRow& row, KernelId id, std::uint32_t n1,
+                       std::uint32_t n2) {
   const double group = kernels::is_transcendental(id) ? 4.0 : 8.0;
-  const double groups = (c2.n - c1.n) / group;
+  const double groups = (n2 - n1) / group;
+  const auto& delta = row.steady_region;
   BodyCounts out;
-  const auto per_group = [groups](std::uint64_t a, std::uint64_t b) {
-    return static_cast<std::uint64_t>((b - a) / groups + 0.5);
+  const auto per_group = [groups](std::uint64_t d) {
+    return static_cast<std::uint64_t>(d / groups + 0.5);
   };
-  out.mix.n_int = per_group(r1.region.int_retired, r2.region.int_retired);
-  out.mix.n_fp = per_group(r1.region.fp_retired, r2.region.fp_retired);
-  out.int_ldst = static_cast<unsigned>(
-      per_group(r1.region.int_load + r1.region.int_store,
-                r2.region.int_load + r2.region.int_store));
-  out.fp_ldst = static_cast<unsigned>(per_group(
-      r1.region.fp_load + r1.region.fp_store, r2.region.fp_load + r2.region.fp_store));
+  out.mix.n_int = per_group(delta.int_retired);
+  out.mix.n_fp = per_group(delta.fp_retired);
+  out.int_ldst = static_cast<unsigned>(per_group(delta.int_load + delta.int_store));
+  out.fp_ldst = static_cast<unsigned>(per_group(delta.fp_load + delta.fp_store));
   return out;
 }
 
@@ -75,8 +67,14 @@ BufferInfo buffer_info(KernelId id) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint32_t kBlock = 96;
+  constexpr std::uint32_t kN1 = 10 * kBlock;
+  constexpr std::uint32_t kN2 = 20 * kBlock;
+
+  copift::engine::SimEngine pool(copift::bench::parse_threads(argc, argv));
+  const auto table = copift::bench::steady_table(pool, {kN1, kN2, kBlock});
+
   // The paper reports counts per baseline unroll group.
   std::printf("Table I: characteristics of the evaluated kernels (paper Table I)\n");
   std::printf("Counts per unroll group (exp/log: 4 elements, MC: 8 samples)\n\n");
@@ -85,8 +83,10 @@ int main() {
       "Kernel", "#Int", "#FP", "TI", "IntL/S", "#Buff", "FPL/S", "#Repl", "MaxBlk",
       "c#Int", "c#FP", "I'", "S''", "S'");
   for (const auto id : copift::bench::kPaperOrder) {
-    const auto base = body_counts(id, Variant::kBaseline, kBlock);
-    const auto cop = body_counts(id, Variant::kCopift, kBlock);
+    const auto base = body_counts(copift::bench::row_of(table, id, Variant::kBaseline), id,
+                                  kN1, kN2);
+    const auto cop = body_counts(copift::bench::row_of(table, id, Variant::kCopift), id,
+                                 kN1, kN2);
     core::SpeedupModel model;
     model.base = base.mix;
     model.copift = cop.mix;

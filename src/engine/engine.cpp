@@ -1,0 +1,109 @@
+#include "engine/engine.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace copift::engine {
+
+unsigned parse_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || v < 0 ||
+          v > static_cast<long>(SimEngine::kMaxThreads)) {
+        return 0;  // fall back to hardware concurrency on nonsense
+      }
+      return static_cast<unsigned>(v);
+    }
+  }
+  return 0;
+}
+
+SimEngine::SimEngine(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimEngine::~SimEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void SimEngine::drain_batch(Batch& batch) {
+  std::size_t done_here = 0;
+  while (true) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) break;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      batch.errors[i] = std::current_exception();  // slot i is owned by this job
+    }
+    ++done_here;
+  }
+  if (done_here != 0) {
+    std::lock_guard lock(mutex_);
+    batch.completed += done_here;
+    if (batch.completed == batch.count) done_cv_.notify_all();
+  }
+}
+
+void SimEngine::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    if (batch) drain_batch(*batch);
+  }
+}
+
+void SimEngine::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  batch->errors.assign(count, nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    if (batch_ != nullptr && batch_->completed != batch_->count) {
+      throw Error("SimEngine::parallel_for is not reentrant");
+    }
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread is one of the workers.
+  drain_batch(*batch);
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return batch->completed == batch->count; });
+    if (batch_ == batch) batch_.reset();
+  }
+  for (const auto& err : batch->errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace copift::engine

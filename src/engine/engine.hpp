@@ -1,0 +1,79 @@
+// SimEngine: a persistent worker-thread pool for batch simulation.
+//
+// Every simulated run is an independent, deterministic function of
+// (Program, SimParams, KernelConfig), so parameter sweeps are embarrassingly
+// parallel. The engine fans jobs out across worker threads and collects
+// results keyed by job index, which makes the output independent of thread
+// count and scheduling order (see tests/test_engine.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace copift::engine {
+
+/// Parse a `--threads N` flag from a command line; returns 0 (hardware
+/// concurrency) when the flag is absent, malformed, negative, or absurd.
+unsigned parse_threads(int argc, char** argv);
+
+class SimEngine {
+ public:
+  /// Worker counts are clamped to [1, kMaxThreads].
+  static constexpr unsigned kMaxThreads = 256;
+
+  /// `threads == 0` uses the host's hardware concurrency. The calling thread
+  /// participates in every batch, so `threads == 1` runs jobs inline with no
+  /// worker threads at all (handy for debugging and determinism baselines).
+  explicit SimEngine(unsigned threads = 0);
+  ~SimEngine();
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Invoke `fn(i)` for every i in [0, count), possibly concurrently, and
+  /// block until all jobs have finished. Job exceptions are captured per
+  /// index and the one with the lowest index is rethrown after the batch
+  /// drains — identical behaviour at any thread count. Not reentrant: do not
+  /// call parallel_for from inside a job.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  // Per-batch state lives on the heap and is snapshotted (shared_ptr) by
+  // every participating thread. A worker that wakes late and still holds a
+  // finished batch finds its cursor exhausted and touches nothing else, so
+  // it can never consume a newer batch's indices or call a dead closure.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;  // guarded by the engine mutex
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void worker_loop();
+  /// Pull and run jobs from `batch` until its cursor is exhausted.
+  void drain_batch(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait here for a new batch
+  std::condition_variable done_cv_;  // parallel_for waits here for completion
+
+  std::shared_ptr<Batch> batch_;  // guarded by mutex_
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace copift::engine

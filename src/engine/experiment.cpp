@@ -1,0 +1,301 @@
+#include "engine/experiment.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace copift::engine {
+
+// --- ProgramCache -----------------------------------------------------------
+
+std::shared_ptr<const rvasm::Program> ProgramCache::get(const kernels::GeneratedKernel& kernel) {
+  const Key key{static_cast<int>(kernel.id), static_cast<int>(kernel.variant),
+                kernel.config.n, kernel.config.block, kernel.config.seed};
+  std::lock_guard lock(mutex_);
+  auto it = programs_.find(key);
+  if (it != programs_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  // Assemble under the lock: each program is built exactly once even when
+  // many workers request it simultaneously. Assembly is cheap next to the
+  // simulations that follow.
+  auto program = kernels::assemble_kernel(kernel);
+  programs_.emplace(key, program);
+  return program;
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard lock(mutex_);
+  return programs_.size();
+}
+
+std::uint64_t ProgramCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+// --- ParamGrid --------------------------------------------------------------
+
+std::size_t ParamGrid::size() const noexcept {
+  return kernels.size() * variants.size() * ns.size() * blocks.size() * seeds.size() *
+         params.size();
+}
+
+GridPoint ParamGrid::point(std::size_t index) const {
+  if (index >= size()) throw Error("ParamGrid::point: index out of range");
+  GridPoint p;
+  p.index = index;
+  // Row-major, last axis fastest.
+  std::size_t rest = index;
+  const std::size_t pi = rest % params.size();
+  rest /= params.size();
+  const std::size_t si = rest % seeds.size();
+  rest /= seeds.size();
+  const std::size_t bi = rest % blocks.size();
+  rest /= blocks.size();
+  const std::size_t ni = rest % ns.size();
+  rest /= ns.size();
+  const std::size_t vi = rest % variants.size();
+  rest /= variants.size();
+  const std::size_t ki = rest;
+  p.kernel = kernels[ki];
+  p.variant = variants[vi];
+  p.config.n = ns[ni];
+  p.config.block = blocks[bi];
+  p.config.seed = seeds[si];
+  p.params_label = params[pi].label;
+  p.params = params[pi].params;
+  return p;
+}
+
+// --- ResultTable ------------------------------------------------------------
+
+const ResultRow* ResultTable::find(kernels::KernelId id, kernels::Variant variant,
+                                   std::uint32_t n, std::uint32_t block,
+                                   const std::string& params_label) const {
+  for (const auto& row : rows_) {
+    if (row.point.kernel != id || row.point.variant != variant) continue;
+    if (n != 0 && row.point.config.n != n) continue;
+    if (block != 0 && row.point.config.block != block) continue;
+    if (!params_label.empty() && row.point.params_label != params_label) continue;
+    return &row;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* variant_name(kernels::Variant v) {
+  return v == kernels::Variant::kBaseline ? "baseline" : "copift";
+}
+
+void write_number(std::ostream& os, double v) {
+  // Shortest round-trippable representation keeps the emitted tables
+  // deterministic across thread counts and runs.
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  os << ss.str();
+}
+
+}  // namespace
+
+void ResultTable::write_csv(std::ostream& os) const {
+  os << "index,kernel,variant,n,block,seed,params,verified,cycles,region_cycles,"
+        "int_retired,fp_retired,ipc,power_mw,energy_nj,steady,steady_ipc,"
+        "cycles_per_item,energy_pj_per_item\n";
+  for (const auto& row : rows_) {
+    const auto& p = row.point;
+    os << p.index << ',' << kernels::kernel_name(p.kernel) << ',' << variant_name(p.variant)
+       << ',' << p.config.n << ',' << p.config.block << ',' << p.config.seed << ','
+       << p.params_label << ',' << (row.run.verified ? 1 : 0) << ',' << row.run.result.cycles
+       << ',' << row.run.region.cycles << ',' << row.run.region.int_retired << ','
+       << row.run.region.fp_retired << ',';
+    write_number(os, row.run.ipc());
+    os << ',';
+    write_number(os, row.run.power_mw());
+    os << ',';
+    write_number(os, row.run.energy_nj());
+    os << ',' << (row.steady ? 1 : 0) << ',';
+    write_number(os, row.steady ? row.metrics.ipc : 0.0);
+    os << ',';
+    write_number(os, row.steady ? row.metrics.cycles_per_item : 0.0);
+    os << ',';
+    write_number(os, row.steady ? row.metrics.energy_pj_per_item : 0.0);
+    os << '\n';
+  }
+}
+
+void ResultTable::write_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& row = rows_[i];
+    const auto& p = row.point;
+    os << "  {\"index\":" << p.index << ",\"kernel\":\"" << kernels::kernel_name(p.kernel)
+       << "\",\"variant\":\"" << variant_name(p.variant) << "\",\"n\":" << p.config.n
+       << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed << ",\"params\":\""
+       << p.params_label << "\",\"verified\":" << (row.run.verified ? "true" : "false")
+       << ",\"cycles\":" << row.run.result.cycles
+       << ",\"region_cycles\":" << row.run.region.cycles << ",\"ipc\":";
+    write_number(os, row.run.ipc());
+    os << ",\"power_mw\":";
+    write_number(os, row.run.power_mw());
+    os << ",\"energy_nj\":";
+    write_number(os, row.run.energy_nj());
+    if (row.steady) {
+      os << ",\"steady_ipc\":";
+      write_number(os, row.metrics.ipc);
+      os << ",\"cycles_per_item\":";
+      write_number(os, row.metrics.cycles_per_item);
+      os << ",\"energy_pj_per_item\":";
+      write_number(os, row.metrics.energy_pj_per_item);
+    }
+    os << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+std::string ResultTable::csv() const {
+  std::ostringstream ss;
+  write_csv(ss);
+  return ss.str();
+}
+
+std::string ResultTable::json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+// --- Experiment -------------------------------------------------------------
+
+Experiment& Experiment::over(std::span<const kernels::KernelId> kernels) {
+  grid_.kernels.assign(kernels.begin(), kernels.end());
+  return *this;
+}
+Experiment& Experiment::over(std::initializer_list<kernels::KernelId> kernels) {
+  grid_.kernels.assign(kernels.begin(), kernels.end());
+  return *this;
+}
+Experiment& Experiment::over(kernels::KernelId kernel) {
+  grid_.kernels.assign(1, kernel);
+  return *this;
+}
+Experiment& Experiment::over(std::span<const kernels::Variant> variants) {
+  grid_.variants.assign(variants.begin(), variants.end());
+  return *this;
+}
+Experiment& Experiment::over(std::initializer_list<kernels::Variant> variants) {
+  grid_.variants.assign(variants.begin(), variants.end());
+  return *this;
+}
+Experiment& Experiment::over(kernels::Variant variant) {
+  grid_.variants.assign(1, variant);
+  return *this;
+}
+
+Experiment& Experiment::sweep(std::span<const std::uint32_t> blocks) {
+  grid_.blocks.assign(blocks.begin(), blocks.end());
+  return *this;
+}
+Experiment& Experiment::sweep(std::initializer_list<std::uint32_t> blocks) {
+  grid_.blocks.assign(blocks.begin(), blocks.end());
+  return *this;
+}
+Experiment& Experiment::sweep_n(std::span<const std::uint32_t> ns) {
+  grid_.ns.assign(ns.begin(), ns.end());
+  return *this;
+}
+Experiment& Experiment::sweep_n(std::initializer_list<std::uint32_t> ns) {
+  grid_.ns.assign(ns.begin(), ns.end());
+  return *this;
+}
+Experiment& Experiment::sweep_seeds(std::span<const std::uint32_t> seeds) {
+  grid_.seeds.assign(seeds.begin(), seeds.end());
+  return *this;
+}
+Experiment& Experiment::sweep_seeds(std::initializer_list<std::uint32_t> seeds) {
+  grid_.seeds.assign(seeds.begin(), seeds.end());
+  return *this;
+}
+
+Experiment& Experiment::n(std::uint32_t n) {
+  grid_.ns.assign(1, n);
+  return *this;
+}
+Experiment& Experiment::block(std::uint32_t block) {
+  grid_.blocks.assign(1, block);
+  return *this;
+}
+Experiment& Experiment::seed(std::uint32_t seed) {
+  grid_.seeds.assign(1, seed);
+  return *this;
+}
+
+Experiment& Experiment::with_params(std::string label, const sim::SimParams& params) {
+  if (params_defaulted_) {
+    grid_.params.clear();
+    params_defaulted_ = false;
+  }
+  grid_.params.push_back(ParamsVariant{std::move(label), params});
+  return *this;
+}
+
+Experiment& Experiment::energy(const energy::EnergyParams& params) {
+  energy_ = params;
+  return *this;
+}
+
+Experiment& Experiment::verify(bool enabled) {
+  verify_ = enabled;
+  return *this;
+}
+
+Experiment& Experiment::verify_if(std::function<bool(const GridPoint&)> predicate) {
+  verify_pred_ = std::move(predicate);
+  return *this;
+}
+
+Experiment& Experiment::steady(std::uint32_t n1, std::uint32_t n2) {
+  if (n2 <= n1) throw Error("Experiment::steady requires n2 > n1");
+  steady_ = true;
+  steady_n1_ = n1;
+  steady_n2_ = n2;
+  return *this;
+}
+
+ResultTable Experiment::run(SimEngine& engine) const {
+  const std::size_t count = grid_.size();
+  std::vector<ResultRow> rows(count);
+  ProgramCache cache;
+  engine.parallel_for(count, [&](std::size_t i) {
+    const GridPoint pt = grid_.point(i);
+    const bool verify = verify_ && (!verify_pred_ || verify_pred_(pt));
+    ResultRow row;
+    row.point = pt;
+    if (steady_) {
+      kernels::KernelConfig c1 = pt.config;
+      c1.n = steady_n1_;
+      kernels::KernelConfig c2 = pt.config;
+      c2.n = steady_n2_;
+      const auto k1 = kernels::generate(pt.kernel, pt.variant, c1);
+      const auto k2 = kernels::generate(pt.kernel, pt.variant, c2);
+      const auto r1 = kernels::run_kernel(k1, cache.get(k1), pt.params, verify, energy_);
+      auto r2 = kernels::run_kernel(k2, cache.get(k2), pt.params, verify, energy_);
+      row.steady = true;
+      row.metrics = kernels::steady_from_runs(r1, r2, steady_n1_, steady_n2_);
+      row.steady_region = r2.region.minus(r1.region);
+      row.run = std::move(r2);
+      row.point.config.n = steady_n2_;
+    } else {
+      const auto kernel = kernels::generate(pt.kernel, pt.variant, pt.config);
+      row.run = kernels::run_kernel(kernel, cache.get(kernel), pt.params, verify, energy_);
+    }
+    rows[i] = std::move(row);
+  });
+  return ResultTable(std::move(rows));
+}
+
+}  // namespace copift::engine

@@ -1,0 +1,189 @@
+// Declarative parameter-sweep experiments over the kernel simulator.
+//
+//   engine::SimEngine pool(8);
+//   auto table = engine::Experiment()
+//                    .over(kernels::kAllKernels)
+//                    .over({kernels::Variant::kBaseline, kernels::Variant::kCopift})
+//                    .sweep({32, 64, 96, 128})        // COPIFT block sizes
+//                    .run(pool);
+//   table.write_csv(std::cout);
+//
+// The experiment expands its axes into a cartesian ParamGrid, assembles each
+// distinct kernel exactly once into a shared immutable rvasm::Program (via
+// ProgramCache), fans the runs out across the engine's worker threads, and
+// collects results keyed by grid index — so a ResultTable is bit-identical
+// whether it was produced by 1 thread or by 16.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "energy/energy.hpp"
+#include "engine/engine.hpp"
+#include "kernels/runner.hpp"
+#include "sim/params.hpp"
+
+namespace copift::engine {
+
+/// Assemble-once cache: maps (kernel, variant, config) to the shared
+/// immutable program every run of that grid point reuses. Thread-safe.
+class ProgramCache {
+ public:
+  /// Return the shared program for `kernel`, assembling it on first use.
+  std::shared_ptr<const rvasm::Program> get(const kernels::GeneratedKernel& kernel);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+
+ private:
+  using Key = std::tuple<int, int, std::uint32_t, std::uint32_t, std::uint32_t>;
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const rvasm::Program>> programs_;
+  std::uint64_t hits_ = 0;
+};
+
+/// A named simulator configuration for hardware-parameter sweeps
+/// (e.g. the ablation benchmarks sweep offload FIFO depths).
+struct ParamsVariant {
+  std::string label = "default";
+  sim::SimParams params{};
+};
+
+/// One fully resolved grid coordinate.
+struct GridPoint {
+  std::size_t index = 0;  // row-major position in the grid
+  kernels::KernelId kernel = kernels::KernelId::kExp;
+  kernels::Variant variant = kernels::Variant::kCopift;
+  kernels::KernelConfig config{};
+  std::string params_label = "default";
+  sim::SimParams params{};
+};
+
+/// Cartesian product of experiment axes. Every axis has a single default
+/// value, so an empty grid is one default COPIFT exp run.
+class ParamGrid {
+ public:
+  std::vector<kernels::KernelId> kernels{kernels::KernelId::kExp};
+  std::vector<kernels::Variant> variants{kernels::Variant::kCopift};
+  std::vector<std::uint32_t> ns{1024};
+  std::vector<std::uint32_t> blocks{32};
+  std::vector<std::uint32_t> seeds{42};
+  std::vector<ParamsVariant> params{ParamsVariant{}};
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Resolve the i-th point (row-major over kernels, variants, ns, blocks,
+  /// seeds, params — last axis fastest). Throws on out-of-range.
+  [[nodiscard]] GridPoint point(std::size_t index) const;
+};
+
+/// One completed grid point.
+struct ResultRow {
+  GridPoint point;
+  kernels::KernelRun run;  // steady mode: the larger (n2) run
+
+  // Steady-state mode extras (valid when `steady` is true).
+  bool steady = false;
+  kernels::SteadyMetrics metrics{};
+  sim::ActivityCounters steady_region{};  // marginal counters: region(n2) - region(n1)
+
+  [[nodiscard]] double ipc() const noexcept { return steady ? metrics.ipc : run.ipc(); }
+  [[nodiscard]] double power_mw() const noexcept {
+    return steady ? metrics.power_mw : run.power_mw();
+  }
+};
+
+/// Deterministically ordered sweep results (row i == grid point i).
+class ResultTable {
+ public:
+  ResultTable() = default;
+  explicit ResultTable(std::vector<ResultRow> rows) : rows_(std::move(rows)) {}
+
+  [[nodiscard]] const std::vector<ResultRow>& rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] const ResultRow& at(std::size_t index) const { return rows_.at(index); }
+
+  /// First row matching the given coordinates; 0 means "any" for the numeric
+  /// fields. Returns nullptr when no row matches.
+  [[nodiscard]] const ResultRow* find(kernels::KernelId id, kernels::Variant variant,
+                                      std::uint32_t n = 0, std::uint32_t block = 0,
+                                      const std::string& params_label = {}) const;
+
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string csv() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+/// Builder for a batch experiment. All setters return *this for chaining:
+///   Experiment().over(kernels).over(variants).sweep(blocks).run(engine)
+class Experiment {
+ public:
+  // --- kernel / variant axes ----------------------------------------------
+  Experiment& over(std::span<const kernels::KernelId> kernels);
+  Experiment& over(std::initializer_list<kernels::KernelId> kernels);
+  Experiment& over(kernels::KernelId kernel);
+  Experiment& over(std::span<const kernels::Variant> variants);
+  Experiment& over(std::initializer_list<kernels::Variant> variants);
+  Experiment& over(kernels::Variant variant);
+
+  // --- numeric axes -------------------------------------------------------
+  /// Sweep the COPIFT block size B (the paper's Fig. 3 x-axis).
+  Experiment& sweep(std::span<const std::uint32_t> blocks);
+  Experiment& sweep(std::initializer_list<std::uint32_t> blocks);
+  Experiment& sweep_n(std::span<const std::uint32_t> ns);
+  Experiment& sweep_n(std::initializer_list<std::uint32_t> ns);
+  Experiment& sweep_seeds(std::span<const std::uint32_t> seeds);
+  Experiment& sweep_seeds(std::initializer_list<std::uint32_t> seeds);
+
+  /// Fix single values without sweeping.
+  Experiment& n(std::uint32_t n);
+  Experiment& block(std::uint32_t block);
+  Experiment& seed(std::uint32_t seed);
+
+  // --- simulator / energy configuration -----------------------------------
+  /// Add a named SimParams variant to the params axis. The first call
+  /// replaces the default configuration; later calls append.
+  Experiment& with_params(std::string label, const sim::SimParams& params);
+  Experiment& energy(const energy::EnergyParams& params);
+
+  // --- run semantics -------------------------------------------------------
+  /// Verify every run against the golden references (default on).
+  Experiment& verify(bool enabled);
+  /// Per-point verification predicate (e.g. verify only small problems).
+  Experiment& verify_if(std::function<bool(const GridPoint&)> predicate);
+  /// Steady-state mode: each grid point runs at n1 and n2 > n1 and reports
+  /// marginal (prologue-free) metrics; the grid's n axis is ignored.
+  Experiment& steady(std::uint32_t n1, std::uint32_t n2);
+
+  [[nodiscard]] const ParamGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] ParamGrid& grid() noexcept { return grid_; }
+
+  /// Execute the whole grid on the engine's worker pool. Each distinct
+  /// kernel program is assembled exactly once and shared immutably across
+  /// runs. Results are keyed by grid index: the returned table is identical
+  /// for any engine thread count.
+  [[nodiscard]] ResultTable run(SimEngine& engine) const;
+
+ private:
+  ParamGrid grid_;
+  energy::EnergyParams energy_{};
+  bool verify_ = true;
+  std::function<bool(const GridPoint&)> verify_pred_;
+  bool steady_ = false;
+  std::uint32_t steady_n1_ = 0;
+  std::uint32_t steady_n2_ = 0;
+  bool params_defaulted_ = true;
+};
+
+}  // namespace copift::engine

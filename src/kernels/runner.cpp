@@ -117,9 +117,20 @@ void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
   }
 }
 
+std::shared_ptr<const rvasm::Program> assemble_kernel(const GeneratedKernel& kernel) {
+  return std::make_shared<const rvasm::Program>(rvasm::assemble(kernel.source));
+}
+
 KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params, bool verify,
                      const energy::EnergyParams& energy_params) {
-  sim::Cluster cluster(rvasm::assemble(kernel.source), params);
+  return run_kernel(kernel, assemble_kernel(kernel), params, verify, energy_params);
+}
+
+KernelRun run_kernel(const GeneratedKernel& kernel,
+                     std::shared_ptr<const rvasm::Program> program,
+                     const sim::SimParams& params, bool verify,
+                     const energy::EnergyParams& energy_params) {
+  sim::Cluster cluster(std::move(program), params);
   populate_inputs(cluster, kernel);
   KernelRun out;
   out.result = cluster.run();
@@ -155,6 +166,12 @@ SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& c
                                   energy_params);
   const KernelRun r2 = run_kernel(generate(id, variant, c2), params, /*verify=*/true,
                                   energy_params);
+  return steady_from_runs(r1, r2, n1, n2);
+}
+
+SteadyMetrics steady_from_runs(const KernelRun& r1, const KernelRun& r2, std::uint32_t n1,
+                               std::uint32_t n2) {
+  if (n2 <= n1) throw Error("steady_from_runs requires n2 > n1");
   SteadyMetrics m;
   const auto dc = r2.region.cycles - r1.region.cycles;
   const auto di = r2.region.retired() - r1.region.retired();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "energy/energy.hpp"
@@ -24,11 +25,23 @@ struct KernelRun {
   [[nodiscard]] double energy_nj() const noexcept { return region_energy.energy_nj(); }
 };
 
+/// Assemble a generated kernel into a shared immutable program. The result
+/// may be handed to many clusters at once (runs only read it), so a sweep
+/// assembles each kernel exactly once and fans the runs out.
+std::shared_ptr<const rvasm::Program> assemble_kernel(const GeneratedKernel& kernel);
+
 /// Assemble + load + populate inputs + run + verify. Throws copift::Error on
 /// assembly/simulation problems or verification mismatches (set
 /// `verify=false` to skip the golden check, e.g. for parameter sweeps).
 KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params = {},
                      bool verify = true,
+                     const energy::EnergyParams& energy_params = {});
+
+/// Same, but runs a pre-assembled shared program (no per-run program copy);
+/// `program` must have been assembled from `kernel.source`.
+KernelRun run_kernel(const GeneratedKernel& kernel,
+                     std::shared_ptr<const rvasm::Program> program,
+                     const sim::SimParams& params = {}, bool verify = true,
                      const energy::EnergyParams& energy_params = {});
 
 /// Steady-state metrics via the two-size marginal method: run the kernel at
@@ -46,6 +59,11 @@ SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& c
                              std::uint32_t n1, std::uint32_t n2,
                              const sim::SimParams& params = {},
                              const energy::EnergyParams& energy_params = {});
+
+/// Derive steady-state metrics from two completed runs at sizes n1 < n2.
+/// Shared by steady_metrics() and the engine's steady-mode experiments.
+SteadyMetrics steady_from_runs(const KernelRun& r1, const KernelRun& r2,
+                               std::uint32_t n1, std::uint32_t n2);
 
 /// Fill the kernel's input arrays (exp/log) inside the cluster's memory.
 /// Called by run_kernel; exposed for custom experiments.

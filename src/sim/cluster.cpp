@@ -4,18 +4,28 @@
 
 namespace copift::sim {
 
-Cluster::Cluster(rvasm::Program program, SimParams params)
-    : program_(std::move(program)),
+namespace {
+std::shared_ptr<const rvasm::Program> require(std::shared_ptr<const rvasm::Program> p) {
+  if (!p) throw Error("Cluster requires a non-null program");
+  return p;
+}
+}  // namespace
+
+Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, SimParams params)
+    : program_(require(std::move(program))),
       params_(params),
       arbiter_(params.num_tcdm_banks),
       icache_(params.l0_lines, params.l0_words_per_line, params.l0_branch_penalty),
       dma_(memory_, params.dma_bytes_per_cycle),
       ssr_(memory_),
       fpss_(params, memory_, ssr_, counters_, tracer_),
-      core_(params, program_, memory_, fpss_, ssr_, icache_, dma_, counters_, regions_, tracer_) {
-  memory_.write_block(program_.data_base, program_.data);
-  memory_.write_block(program_.dram_base, program_.dram);
+      core_(params, *program_, memory_, fpss_, ssr_, icache_, dma_, counters_, regions_, tracer_) {
+  memory_.write_block(program_->data_base, program_->data);
+  memory_.write_block(program_->dram_base, program_->dram);
 }
+
+Cluster::Cluster(rvasm::Program program, SimParams params)
+    : Cluster(std::make_shared<const rvasm::Program>(std::move(program)), params) {}
 
 void Cluster::tick() {
   counters_.cycles = cycle_;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/address_space.hpp"
@@ -30,6 +31,13 @@ struct RunResult {
 
 class Cluster {
  public:
+  /// Primary constructor: the program is shared, immutable, and may be run
+  /// by many clusters concurrently (e.g. a parameter sweep assembles each
+  /// kernel once and fans the runs out across engine worker threads).
+  explicit Cluster(std::shared_ptr<const rvasm::Program> program, SimParams params = {});
+
+  /// Convenience: take ownership of a freshly assembled program (moved into
+  /// a shared_ptr, not deep-copied).
   explicit Cluster(rvasm::Program program, SimParams params = {});
 
   /// Run until the program executes `ecall` or max_cycles elapse.
@@ -44,7 +52,10 @@ class Cluster {
   [[nodiscard]] const ActivityCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const std::vector<RegionEvent>& regions() const noexcept { return regions_; }
   [[nodiscard]] mem::AddressSpace& memory() noexcept { return memory_; }
-  [[nodiscard]] const rvasm::Program& program() const noexcept { return program_; }
+  [[nodiscard]] const rvasm::Program& program() const noexcept { return *program_; }
+  [[nodiscard]] const std::shared_ptr<const rvasm::Program>& program_ptr() const noexcept {
+    return program_;
+  }
   [[nodiscard]] IntCore& core() noexcept { return core_; }
   [[nodiscard]] FpSubsystem& fpss() noexcept { return fpss_; }
   [[nodiscard]] ssr::SsrUnit& ssr() noexcept { return ssr_; }
@@ -53,7 +64,7 @@ class Cluster {
   [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
 
  private:
-  rvasm::Program program_;
+  std::shared_ptr<const rvasm::Program> program_;
   SimParams params_;
   ActivityCounters counters_;
   std::vector<RegionEvent> regions_;

@@ -1,5 +1,7 @@
 #include "sim/core.hpp"
 
+#include <algorithm>
+
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "isa/csr.hpp"
@@ -30,6 +32,17 @@ IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
       tracer_(&tracer),
       pc_(program.entry) {
   regs_[2] = kStackTop;  // sp
+  // Size the write-port ring to cover the farthest-future booking any
+  // instruction can make (+2 slack for the post-grant commit cycle).
+  std::uint64_t horizon = 2;
+  for (const std::uint64_t lat : {params.div_latency, params.mul_latency,
+                                  params.load_use_latency, params.fp_load_latency}) {
+    horizon = std::max(horizon, static_cast<std::uint64_t>(lat));
+  }
+  std::uint64_t size = 1;
+  while (size < horizon + 2) size <<= 1;
+  wb_ring_.assign(size, ~std::uint64_t{0});
+  wb_ring_mask_ = size - 1;
 }
 
 void IntCore::write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at) {
@@ -223,9 +236,6 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       }
     }
   }
-  // Garbage-collect old bookings.
-  while (!wb_port_.empty() && wb_port_.begin()->first < now) wb_port_.erase(wb_port_.begin());
-
   if (halted_) return std::nullopt;
 
   if (fetch_stall_ > 0) {

@@ -46,8 +46,16 @@ class IntCore {
   static constexpr std::uint64_t kBusy = ~std::uint64_t{0};  // written by FPSS later
 
   void write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at);
-  [[nodiscard]] bool wb_free(std::uint64_t cycle) const { return wb_port_.count(cycle) == 0; }
-  void book_wb(std::uint64_t cycle) { wb_port_[cycle] += 1; }
+  // Single RF write-port bookings live in a fixed ring indexed by cycle:
+  // a slot blocks exactly the cycle stored in it, so entries for past cycles
+  // go stale by construction and are overwritten in place — no per-cycle
+  // garbage collection. This replaces a std::map that needed a GC sweep in
+  // every prepare() and paid a node allocation plus log-time lookups per
+  // booking on the issue hot path.
+  [[nodiscard]] bool wb_free(std::uint64_t cycle) const {
+    return wb_ring_[cycle & wb_ring_mask_] != cycle;
+  }
+  void book_wb(std::uint64_t cycle) { wb_ring_[cycle & wb_ring_mask_] = cycle; }
   void retire_and_advance(std::uint32_t next_pc, std::uint64_t now);
   void execute_alu(const isa::Instr& instr, std::uint64_t now);
   bool execute_csr(const isa::Instr& instr, std::uint64_t now);  // false => stall
@@ -66,7 +74,10 @@ class IntCore {
 
   std::array<std::uint32_t, 32> regs_{};
   std::array<std::uint64_t, 32> ready_{};  // cycle each register becomes usable
-  std::map<std::uint64_t, unsigned> wb_port_;
+  // Ring of booked write-port cycles; sized in the constructor to cover the
+  // largest booking horizon (the iterative divider latency).
+  std::vector<std::uint64_t> wb_ring_;
+  std::uint64_t wb_ring_mask_ = 0;
   std::uint32_t pc_;
   bool halted_ = false;
   unsigned fetch_stall_ = 0;

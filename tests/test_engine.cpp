@@ -1,0 +1,290 @@
+// Batch engine tests: worker-pool semantics, assemble-once program sharing,
+// grid expansion, and — most importantly — determinism: a sweep must produce
+// bit-identical results at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+
+#include "common/error.hpp"
+#include "engine/experiment.hpp"
+
+namespace copift::engine {
+namespace {
+
+using kernels::KernelId;
+using kernels::Variant;
+
+// --- SimEngine --------------------------------------------------------------
+
+TEST(SimEngine, RunsEveryJobExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SimEngine pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    std::vector<std::atomic<int>> hits(97);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SimEngine, EmptyBatchIsANoop) {
+  SimEngine pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEngine, PoolIsReusableAcrossBatches) {
+  SimEngine pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(10, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(SimEngine, BackToBackBatchesNeverLeakJobsAcrossBatches) {
+  // Regression: a worker waking late for a finished batch must not steal
+  // indices from (or run the closure of) the batch posted after it.
+  SimEngine pool(8);
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 7);
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SimEngine, ParseThreadsHandlesNonsense) {
+  char prog[] = "prog", flag[] = "--threads";
+  char neg[] = "-1", huge[] = "4000000000", junk[] = "abc", four[] = "4";
+  {
+    char* argv[] = {prog, flag, neg};
+    EXPECT_EQ(parse_threads(3, argv), 0u);
+  }
+  {
+    char* argv[] = {prog, flag, huge};
+    EXPECT_EQ(parse_threads(3, argv), 0u);
+  }
+  {
+    char* argv[] = {prog, flag, junk};
+    EXPECT_EQ(parse_threads(3, argv), 0u);
+  }
+  {
+    char* argv[] = {prog, flag, four};
+    EXPECT_EQ(parse_threads(3, argv), 4u);
+  }
+  {
+    char* argv[] = {prog};
+    EXPECT_EQ(parse_threads(1, argv), 0u);
+  }
+}
+
+TEST(SimEngine, RethrowsLowestIndexException) {
+  // The same (lowest-index) exception must surface at any thread count.
+  for (const unsigned threads : {1u, 8u}) {
+    SimEngine pool(threads);
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        if (i % 2 == 1) throw Error("job " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "job 1");
+    }
+  }
+}
+
+TEST(SimEngine, ZeroThreadsMeansHardwareConcurrency) {
+  SimEngine pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+// --- ProgramCache -----------------------------------------------------------
+
+TEST(ProgramCache, SharesOneProgramPerDistinctConfig) {
+  ProgramCache cache;
+  kernels::KernelConfig cfg;
+  cfg.n = 256;
+  cfg.block = 32;
+  const auto k = kernels::generate(KernelId::kExp, Variant::kCopift, cfg);
+  const auto a = cache.get(k);
+  const auto b = cache.get(k);
+  EXPECT_EQ(a.get(), b.get());  // same immutable program, not a copy
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cfg.block = 64;
+  const auto c = cache.get(kernels::generate(KernelId::kExp, Variant::kCopift, cfg));
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCache, SharedProgramRunsManyClustersBitIdentically) {
+  kernels::KernelConfig cfg;
+  cfg.n = 256;
+  cfg.block = 32;
+  const auto k = kernels::generate(KernelId::kPiLcg, Variant::kCopift, cfg);
+  const auto program = kernels::assemble_kernel(k);
+  const auto r1 = kernels::run_kernel(k, program);
+  const auto r2 = kernels::run_kernel(k, program);
+  EXPECT_EQ(r1.result.cycles, r2.result.cycles);
+  EXPECT_EQ(r1.region.cycles, r2.region.cycles);
+  EXPECT_TRUE(r1.verified);
+  // And identical to the assemble-per-run path.
+  const auto r3 = kernels::run_kernel(k);
+  EXPECT_EQ(r1.result.cycles, r3.result.cycles);
+}
+
+// --- ParamGrid --------------------------------------------------------------
+
+TEST(ParamGrid, ExpandsCartesianProductRowMajor) {
+  ParamGrid grid;
+  grid.kernels = {KernelId::kExp, KernelId::kLog};
+  grid.variants = {Variant::kBaseline, Variant::kCopift};
+  grid.ns = {256, 512};
+  grid.blocks = {32};
+  grid.seeds = {1, 2, 3};
+  ASSERT_EQ(grid.size(), 2u * 2u * 2u * 1u * 3u);
+
+  // Last axis (params, then seeds) moves fastest.
+  EXPECT_EQ(grid.point(0).config.seed, 1u);
+  EXPECT_EQ(grid.point(1).config.seed, 2u);
+  EXPECT_EQ(grid.point(2).config.seed, 3u);
+  EXPECT_EQ(grid.point(3).config.n, 512u);
+  EXPECT_EQ(grid.point(0).kernel, KernelId::kExp);
+  EXPECT_EQ(grid.point(grid.size() - 1).kernel, KernelId::kLog);
+  EXPECT_EQ(grid.point(grid.size() - 1).variant, Variant::kCopift);
+  EXPECT_EQ(grid.point(grid.size() - 1).config.seed, 3u);
+  for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_EQ(grid.point(i).index, i);
+  EXPECT_THROW(grid.point(grid.size()), Error);
+}
+
+// --- Experiment determinism (the satellite requirement) ---------------------
+
+/// Field-by-field bitwise comparison of two result tables.
+void expect_identical(const ResultTable& a, const ResultTable& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a.at(i);
+    const auto& rb = b.at(i);
+    EXPECT_EQ(ra.point.kernel, rb.point.kernel);
+    EXPECT_EQ(ra.point.variant, rb.point.variant);
+    EXPECT_EQ(ra.point.config.n, rb.point.config.n);
+    EXPECT_EQ(ra.point.config.block, rb.point.config.block);
+    EXPECT_EQ(ra.run.result.cycles, rb.run.result.cycles);
+    EXPECT_EQ(ra.run.region.cycles, rb.run.region.cycles);
+    EXPECT_EQ(ra.run.region.int_retired, rb.run.region.int_retired);
+    EXPECT_EQ(ra.run.region.fp_retired, rb.run.region.fp_retired);
+    EXPECT_EQ(ra.run.verified, rb.run.verified);
+    // Doubles must match bit-for-bit, not approximately.
+    EXPECT_EQ(std::memcmp(&ra.run.region_energy, &rb.run.region_energy,
+                          sizeof(ra.run.region_energy)),
+              0);
+    EXPECT_EQ(ra.steady, rb.steady);
+    if (ra.steady) {
+      EXPECT_EQ(std::memcmp(&ra.metrics, &rb.metrics, sizeof(ra.metrics)), 0);
+      EXPECT_EQ(ra.steady_region.cycles, rb.steady_region.cycles);
+    }
+  }
+  // The emitted artifacts are deterministic too.
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_EQ(a.json(), b.json());
+}
+
+Experiment small_sweep() {
+  Experiment e;
+  e.over({KernelId::kExp, KernelId::kPiLcg})
+      .over({Variant::kBaseline, Variant::kCopift})
+      .n(256)
+      .sweep({16, 32});
+  return e;
+}
+
+TEST(Experiment, OneThreadAndEightThreadsAreBitIdentical) {
+  const Experiment e = small_sweep();
+  SimEngine serial(1);
+  SimEngine wide(8);
+  const auto a = e.run(serial);
+  const auto b = e.run(wide);
+  ASSERT_EQ(a.size(), 8u);
+  expect_identical(a, b);
+  for (const auto& row : a.rows()) EXPECT_TRUE(row.run.verified);
+}
+
+TEST(Experiment, SteadyModeMatchesSteadyMetricsAndIsDeterministic) {
+  Experiment e;
+  e.over(KernelId::kExp).over(Variant::kCopift).block(32).steady(320, 640);
+  SimEngine serial(1);
+  SimEngine wide(8);
+  const auto a = e.run(serial);
+  const auto b = e.run(wide);
+  expect_identical(a, b);
+
+  ASSERT_EQ(a.size(), 1u);
+  const auto& row = a.at(0);
+  ASSERT_TRUE(row.steady);
+  kernels::KernelConfig cfg;
+  cfg.block = 32;
+  const auto direct = kernels::steady_metrics(KernelId::kExp, Variant::kCopift, cfg, 320, 640);
+  EXPECT_EQ(row.metrics.delta_cycles, direct.delta_cycles);
+  EXPECT_EQ(row.metrics.ipc, direct.ipc);
+  EXPECT_EQ(row.metrics.energy_pj_per_item, direct.energy_pj_per_item);
+}
+
+TEST(Experiment, ParamsAxisSweepsSimulatorConfigs) {
+  Experiment e;
+  e.over(KernelId::kPiLcg).over(Variant::kBaseline).n(256).block(32);
+  for (const unsigned lat : {1u, 5u}) {
+    sim::SimParams p;
+    p.mul_latency = lat;
+    e.with_params(std::to_string(lat), p);
+  }
+  SimEngine pool(2);
+  const auto table = e.run(pool);
+  ASSERT_EQ(table.size(), 2u);
+  const auto* fast = table.find(KernelId::kPiLcg, Variant::kBaseline, 0, 0, "1");
+  const auto* slow = table.find(KernelId::kPiLcg, Variant::kBaseline, 0, 0, "5");
+  ASSERT_NE(fast, nullptr);
+  ASSERT_NE(slow, nullptr);
+  EXPECT_LT(fast->run.region.cycles, slow->run.region.cycles);
+  EXPECT_EQ(slow->point.params.mul_latency, 5u);
+}
+
+TEST(Experiment, VerifyPredicateSelectsPerPoint) {
+  Experiment e;
+  e.over(KernelId::kExp).over(Variant::kCopift).sweep_n({256, 512}).block(32).verify_if(
+      [](const GridPoint& p) { return p.config.n <= 256; });
+  SimEngine pool(2);
+  const auto table = e.run(pool);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.at(0).run.verified);
+  EXPECT_FALSE(table.at(1).run.verified);
+}
+
+TEST(Experiment, VerificationFailurePropagatesFromWorkers) {
+  // pi estimation at a size that violates the MC unroll contract throws in
+  // generate(); a grid with such a point must surface the error.
+  Experiment e;
+  e.over(KernelId::kPiLcg).over(Variant::kCopift).sweep_n({12}).block(32);
+  SimEngine pool(4);
+  EXPECT_THROW((void)e.run(pool), Error);
+}
+
+TEST(ResultTable, CsvAndJsonCarryTheGrid) {
+  Experiment e;
+  e.over(KernelId::kExp).over(Variant::kCopift).n(256).sweep({16, 32});
+  SimEngine pool(2);
+  const auto table = e.run(pool);
+  const std::string csv = table.csv();
+  EXPECT_NE(csv.find("index,kernel,variant,n,block"), std::string::npos);
+  EXPECT_NE(csv.find("exp,copift,256,16"), std::string::npos);
+  EXPECT_NE(csv.find("exp,copift,256,32"), std::string::npos);
+  const std::string json = table.json();
+  EXPECT_NE(json.find("\"kernel\":\"exp\""), std::string::npos);
+  EXPECT_NE(json.find("\"block\":32"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copift::engine

@@ -1,20 +1,35 @@
+// Energy-model calibration dump: per-kernel activity rates used to fit the
+// per-event energies (see src/energy). Runs the 12-point grid on the engine.
 #include <cstdio>
-#include "kernels/runner.hpp"
+#include <cstring>
+
+#include "common/error.hpp"
+#include "engine/experiment.hpp"
+
+using namespace copift;
 using namespace copift::kernels;
-using copift::sim::ActivityCounters;
-int main() {
-  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
-  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
+
+int main(int argc, char** argv) {
+  engine::SimEngine pool(engine::parse_threads(argc, argv));
+  const auto table = engine::Experiment()
+                         .over(kAllKernels)
+                         .over({Variant::kBaseline, Variant::kCopift})
+                         .n(3840)
+                         .block(96)
+                         .run(pool);
+
+  const char* names[] = {"exp", "log", "poly_lcg", "pi_lcg", "poly_x", "pi_x"};
   for (int k = 0; k < 6; ++k) {
     for (auto v : {Variant::kBaseline, Variant::kCopift}) {
-      KernelConfig cfg; cfg.n = 3840; cfg.block = 96;
-      auto r = run_kernel(generate(ids[k], v, cfg));
-      const auto& c = r.region;
-      double cy = (double)c.cycles;
+      const auto* row = table.find(kAllKernels[k], v);
+      if (row == nullptr) throw Error("missing calib row");
+      const auto& c = row->run.region;
+      const double cy = static_cast<double>(c.cycles);
       printf("%-8s %-6s cyc=%7llu tcdm/cy=%.3f l0ref/cy=%.4f ssr/cy=%.3f dma_busy/cy=%.4f fp/cy=%.3f int/cy=%.3f\n",
-        names[k], v==Variant::kBaseline?"base":"copift", (unsigned long long)c.cycles,
-        (c.tcdm_reads+c.tcdm_writes)/cy, c.l0_refills/cy, c.ssr_elements/cy, c.dma_busy_cycles/cy,
-        (double)c.fp_retired/cy, (double)c.int_retired/cy);
+             names[k], v == Variant::kBaseline ? "base" : "copift",
+             (unsigned long long)c.cycles, (c.tcdm_reads + c.tcdm_writes) / cy,
+             c.l0_refills / cy, c.ssr_elements / cy, c.dma_busy_cycles / cy,
+             (double)c.fp_retired / cy, (double)c.int_retired / cy);
     }
   }
   return 0;

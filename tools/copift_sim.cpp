@@ -2,17 +2,25 @@
 //
 // Usage:
 //   copift_sim <file.s> [--trace] [--max-cycles N] [--dump-counters]
-//   copift_sim --kernel <name> --variant <base|copift> [--n N] [--block B]
+//   copift_sim --kernel <name> --variant <base|copift|both> [--n N] [--block B]
+//   copift_sim --kernel <name> --sweep <axis>=<v1,v2,...> [--sweep ...]
+//              [--threads N] [--json] [--no-verify]
 //
 // Runs an assembly file (or a generated paper kernel) and prints the run
-// summary, per-region IPC and the energy report.
+// summary, per-region IPC and the energy report. With `--sweep`, expands the
+// requested axes (block, n, seed) into a grid, fans the independent runs out
+// over `--threads N` engine workers, and prints the result table as CSV (or
+// JSON with `--json`).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "energy/energy.hpp"
+#include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
@@ -26,7 +34,9 @@ int usage() {
                "usage: copift_sim <file.s> [--trace] [--max-cycles N]\n"
                "       copift_sim --kernel <exp|log|poly_lcg|pi_lcg|poly_xoshiro128p|"
                "pi_xoshiro128p>\n"
-               "                  [--variant base|copift] [--n N] [--block B] [--trace]\n");
+               "                  [--variant base|copift|both] [--n N] [--block B] [--trace]\n"
+               "                  [--sweep block=16,64] [--sweep n=256,512] [--sweep seed=1,2]\n"
+               "                  [--threads N] [--json] [--no-verify]\n");
   return 2;
 }
 
@@ -72,6 +82,27 @@ void print_summary(sim::Cluster& cluster) {
   }
 }
 
+/// One `--sweep axis=v1,v2,...` specification.
+struct SweepSpec {
+  std::string axis;
+  std::vector<std::uint32_t> values;
+};
+
+bool parse_sweep(const std::string& arg, SweepSpec& out) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) return false;
+  out.axis = arg.substr(0, eq);
+  if (out.axis != "block" && out.axis != "n" && out.axis != "seed") return false;
+  out.values.clear();
+  std::stringstream ss(arg.substr(eq + 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) return false;
+    out.values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+  }
+  return !out.values.empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,31 +110,50 @@ int main(int argc, char** argv) {
   std::string kernel;
   std::string variant = "copift";
   bool trace = false;
+  bool json = false;
+  bool verify = true;
   std::uint64_t max_cycles = 0;
   std::uint32_t n = 1920;
   std::uint32_t block = 96;
+  unsigned threads = 0;
+  std::vector<SweepSpec> sweeps;
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--no-verify") verify = false;
     else if (arg == "--kernel" && i + 1 < argc) kernel = argv[++i];
     else if (arg == "--variant" && i + 1 < argc) variant = argv[++i];
     else if (arg == "--n" && i + 1 < argc) n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     else if (arg == "--block" && i + 1 < argc) block = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::stoull(argv[++i]);
+    else if (arg == "--threads" && i + 1 < argc) threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--sweep" && i + 1 < argc) {
+      SweepSpec spec;
+      if (!parse_sweep(argv[++i], spec)) return usage();
+      sweeps.push_back(std::move(spec));
+    }
     else if (arg.rfind("--", 0) == 0) return usage();
     else file = arg;
   }
+  } catch (const std::exception&) {
+    return usage();  // malformed numeric flag value (stoul/stoull threw)
+  }
   if (file.empty() && kernel.empty()) return usage();
+  if (!sweeps.empty() && kernel.empty()) return usage();
+  if (variant != "base" && variant != "copift" && variant != "both") return usage();
+  if (variant == "both" && sweeps.empty()) {
+    std::fprintf(stderr, "error: --variant both requires --sweep\n");
+    return usage();
+  }
 
   try {
     sim::SimParams params;
     if (max_cycles > 0) params.max_cycles = max_cycles;
 
-    std::string source;
-    kernels::GeneratedKernel generated;
-    bool have_kernel = false;
+    kernels::KernelId id = kernels::KernelId::kExp;
     if (!kernel.empty()) {
-      kernels::KernelId id;
       if (kernel == "exp") id = kernels::KernelId::kExp;
       else if (kernel == "log") id = kernels::KernelId::kLog;
       else if (kernel == "poly_lcg") id = kernels::KernelId::kPolyLcg;
@@ -111,6 +161,36 @@ int main(int argc, char** argv) {
       else if (kernel == "poly_xoshiro128p") id = kernels::KernelId::kPolyXoshiro;
       else if (kernel == "pi_xoshiro128p") id = kernels::KernelId::kPiXoshiro;
       else return usage();
+    }
+
+    if (!sweeps.empty()) {
+      // Batch mode: expand the sweep axes into one engine experiment.
+      engine::Experiment experiment;
+      experiment.over(id).n(n).block(block).verify(verify);
+      if (variant == "base") experiment.over(kernels::Variant::kBaseline);
+      else if (variant == "both")
+        experiment.over({kernels::Variant::kBaseline, kernels::Variant::kCopift});
+      else experiment.over(kernels::Variant::kCopift);
+      if (max_cycles > 0) experiment.with_params("default", params);
+      for (const auto& spec : sweeps) {
+        const std::span<const std::uint32_t> values(spec.values);
+        if (spec.axis == "block") experiment.sweep(values);
+        else if (spec.axis == "n") experiment.sweep_n(values);
+        else experiment.sweep_seeds(values);
+      }
+      engine::SimEngine pool(threads);
+      const auto table = experiment.run(pool);
+      if (json) table.write_json(std::cout);
+      else table.write_csv(std::cout);
+      std::fprintf(stderr, "sweep: %zu grid points on %u threads\n", table.size(),
+                   pool.threads());
+      return 0;
+    }
+
+    std::string source;
+    kernels::GeneratedKernel generated;
+    bool have_kernel = false;
+    if (!kernel.empty()) {
       kernels::KernelConfig cfg;
       cfg.n = n;
       cfg.block = block;
@@ -139,9 +219,11 @@ int main(int argc, char** argv) {
     std::printf("halted after %llu cycles (exit code %u)\n",
                 static_cast<unsigned long long>(result.cycles), result.exit_code);
     print_summary(cluster);
-    if (have_kernel) {
+    if (have_kernel && verify) {
       kernels::verify_outputs(cluster, generated);
       std::printf("verification:  PASS (bit-exact vs golden reference)\n");
+    } else if (have_kernel) {
+      std::printf("verification:  skipped (--no-verify)\n");
     }
     if (trace) {
       std::printf("\n--- first 64 trace entries ---\n");

@@ -1,18 +1,47 @@
+// Steady-state comparison table (base vs COPIFT) for all six paper kernels,
+// produced by one engine experiment. `--threads N` sets the pool size;
+// `--csv` dumps the raw ResultTable instead of the formatted summary.
 #include <cstdio>
-#include "kernels/runner.hpp"
+#include <cstring>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "engine/experiment.hpp"
+
+using namespace copift;
 using namespace copift::kernels;
-int main() {
-  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
-  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
-  printf("%-10s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel","b.ipc","c.ipc","gain","b.mW","c.mW","ratio","speedup","E.impr");
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  engine::SimEngine pool(engine::parse_threads(argc, argv));
+  const auto table = engine::Experiment()
+                         .over(kAllKernels)
+                         .over({Variant::kBaseline, Variant::kCopift})
+                         .block(96)
+                         .steady(1920, 3840)
+                         .run(pool);
+  if (csv) {
+    table.write_csv(std::cout);
+    return 0;
+  }
+
+  const char* names[] = {"exp", "log", "poly_lcg", "pi_lcg", "poly_x", "pi_x"};
+  printf("%-10s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel", "b.ipc", "c.ipc", "gain",
+         "b.mW", "c.mW", "ratio", "speedup", "E.impr");
   for (int k = 0; k < 6; ++k) {
-    KernelConfig cfg; cfg.block = 96;
-    auto b = steady_metrics(ids[k], Variant::kBaseline, cfg, 1920, 3840);
-    auto c = steady_metrics(ids[k], Variant::kCopift, cfg, 1920, 3840);
-    double speedup = b.cycles_per_item / c.cycles_per_item;
-    double eimpr = b.energy_pj_per_item / c.energy_pj_per_item;
-    printf("%-10s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n",
-           names[k], b.ipc, c.ipc, c.ipc/b.ipc, b.power_mw, c.power_mw, c.power_mw/b.power_mw, speedup, eimpr);
+    const auto* b = table.find(kAllKernels[k], Variant::kBaseline);
+    const auto* c = table.find(kAllKernels[k], Variant::kCopift);
+    if (b == nullptr || c == nullptr) throw Error("missing steady row");
+    const double speedup = b->metrics.cycles_per_item / c->metrics.cycles_per_item;
+    const double eimpr = b->metrics.energy_pj_per_item / c->metrics.energy_pj_per_item;
+    printf("%-10s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n", names[k],
+           b->metrics.ipc, c->metrics.ipc, c->metrics.ipc / b->metrics.ipc,
+           b->metrics.power_mw, c->metrics.power_mw,
+           c->metrics.power_mw / b->metrics.power_mw, speedup, eimpr);
   }
   return 0;
 }
