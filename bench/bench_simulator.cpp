@@ -67,7 +67,7 @@ void BM_EngineBlockSweep(benchmark::State& s) {
   std::uint64_t points = 0;
   for (auto _ : s) {
     const auto table = engine::Experiment()
-                           .over(kernels::KernelId::kPolyLcg)
+                           .over("poly_lcg")
                            .over(kernels::Variant::kCopift)
                            .n(768)
                            .sweep({16, 24, 32, 48, 64, 96, 128, 192})

@@ -1,15 +1,17 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 //
 // All figure drivers run on the batch engine: one Experiment describes the
-// grid, a SimEngine fans the independent runs out across worker threads, and
-// the drivers format the deterministic ResultTable. Pass `--threads N` to
-// any driver to pin the pool size (default: hardware concurrency).
+// grid over workload-registry names, a SimEngine fans the independent runs
+// out across worker threads, and the drivers format the deterministic
+// ResultTable. Pass `--threads N` to any driver to pin the pool size
+// (default: hardware concurrency).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -17,11 +19,9 @@
 
 namespace copift::bench {
 
-inline constexpr kernels::KernelId kPaperOrder[] = {
+inline constexpr std::string_view kPaperOrder[] = {
     // Paper Fig. 2 orders kernels by increasing expected speedup S'.
-    kernels::KernelId::kPiXoshiro, kernels::KernelId::kPolyXoshiro,
-    kernels::KernelId::kPiLcg,     kernels::KernelId::kPolyLcg,
-    kernels::KernelId::kLog,       kernels::KernelId::kExp,
+    "pi_xoshiro128p", "poly_xoshiro128p", "pi_lcg", "poly_lcg", "log", "exp",
 };
 
 /// Parse `--threads N` from the command line; 0 = hardware concurrency.
@@ -40,8 +40,8 @@ struct SteadyConfig {
 /// 12 independent grid points, executed in parallel on the pool.
 inline engine::ResultTable steady_table(engine::SimEngine& pool, const SteadyConfig& sc = {}) {
   return engine::Experiment()
-      .over(std::span<const kernels::KernelId>(kPaperOrder))
-      .over({kernels::Variant::kBaseline, kernels::Variant::kCopift})
+      .over(std::span<const std::string_view>(kPaperOrder))
+      .over({workload::Variant::kBaseline, workload::Variant::kCopift})
       .block(sc.block)
       .steady(sc.n1, sc.n2)
       .run(pool);
@@ -49,9 +49,10 @@ inline engine::ResultTable steady_table(engine::SimEngine& pool, const SteadyCon
 
 /// Row lookup that throws instead of returning nullptr (bench tables are
 /// complete by construction).
-inline const engine::ResultRow& row_of(const engine::ResultTable& table, kernels::KernelId id,
-                                       kernels::Variant variant) {
-  const auto* row = table.find(id, variant);
+inline const engine::ResultRow& row_of(const engine::ResultTable& table,
+                                       std::string_view workload,
+                                       workload::Variant variant) {
+  const auto* row = table.find(workload, variant);
   if (row == nullptr) throw Error("missing result row");
   return *row;
 }

@@ -20,14 +20,14 @@ int main(int argc, char** argv) {
   std::printf("%-18s %8s %8s %8s %10s\n", "Kernel", "base", "COPIFT", "gain", "expect I'");
   std::vector<double> gains;
   std::vector<double> cop_ipcs;
-  for (const auto id : kPaperOrder) {
-    const auto& base = row_of(table, id, kernels::Variant::kBaseline);
-    const auto& cop = row_of(table, id, kernels::Variant::kCopift);
+  for (const auto name : kPaperOrder) {
+    const auto& base = row_of(table, name, workload::Variant::kBaseline);
+    const auto& cop = row_of(table, name, workload::Variant::kCopift);
     // Expected I' from the steady-state dynamic instruction mixes (paper Eq. 2).
     core::SpeedupModel model;
     model.copift = {cop.steady_region.int_retired, cop.steady_region.fp_retired};
     const double gain = cop.metrics.ipc / base.metrics.ipc;
-    std::printf("%-18s %8.2f %8.2f %7.2fx %10.2f\n", kernels::kernel_name(id).c_str(),
+    std::printf("%-18s %8.2f %8.2f %7.2fx %10.2f\n", std::string(name).c_str(),
                 base.metrics.ipc, cop.metrics.ipc, gain, model.i_prime());
     gains.push_back(gain);
     cop_ipcs.push_back(cop.metrics.ipc);

@@ -15,13 +15,13 @@ int main(int argc, char** argv) {
   std::printf("%-18s %9s %9s %8s\n", "Kernel", "base mW", "COPIFT mW", "ratio");
   std::vector<double> ratios;
   double max_ratio = 0.0;
-  for (const auto id : kPaperOrder) {
-    const auto& base = row_of(table, id, kernels::Variant::kBaseline);
-    const auto& cop = row_of(table, id, kernels::Variant::kCopift);
+  for (const auto name : kPaperOrder) {
+    const auto& base = row_of(table, name, workload::Variant::kBaseline);
+    const auto& cop = row_of(table, name, workload::Variant::kCopift);
     const double ratio = cop.metrics.power_mw / base.metrics.power_mw;
     ratios.push_back(ratio);
     max_ratio = std::max(max_ratio, ratio);
-    std::printf("%-18s %9.2f %9.2f %7.2fx\n", kernels::kernel_name(id).c_str(),
+    std::printf("%-18s %9.2f %9.2f %7.2fx\n", std::string(name).c_str(),
                 base.metrics.power_mw, cop.metrics.power_mw, ratio);
   }
   std::printf("\ngeomean power increase: %.2fx  (paper: 1.07x)\n", geomean(ratios));

@@ -21,16 +21,16 @@ int main(int argc, char** argv) {
   std::vector<double> energies;
   double peak_speedup = 0.0;
   double peak_energy = 0.0;
-  for (const auto id : kPaperOrder) {
-    const auto& base = row_of(table, id, kernels::Variant::kBaseline);
-    const auto& cop = row_of(table, id, kernels::Variant::kCopift);
+  for (const auto name : kPaperOrder) {
+    const auto& base = row_of(table, name, workload::Variant::kBaseline);
+    const auto& cop = row_of(table, name, workload::Variant::kCopift);
     const double speedup = base.metrics.cycles_per_item / cop.metrics.cycles_per_item;
     const double energy = base.metrics.energy_pj_per_item / cop.metrics.energy_pj_per_item;
     // Expected speedup S' from the dynamic mixes (paper Eq. 1).
     core::SpeedupModel model;
     model.base = {base.steady_region.int_retired, base.steady_region.fp_retired};
     model.copift = {cop.steady_region.int_retired, cop.steady_region.fp_retired};
-    std::printf("%-18s %8.2fx %9.2fx %10.2f\n", kernels::kernel_name(id).c_str(), speedup,
+    std::printf("%-18s %8.2fx %9.2fx %10.2f\n", std::string(name).c_str(), speedup,
                 energy, model.s_prime());
     speedups.push_back(speedup);
     energies.push_back(energy);

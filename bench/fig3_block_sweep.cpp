@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   engine::SimEngine pool(parse_threads(argc, argv));
   const auto table =
       engine::Experiment()
-          .over(kernels::KernelId::kPolyLcg)
+          .over("poly_lcg")
           .over(kernels::Variant::kCopift)
           .sweep_n(problems)
           .sweep(blocks)

@@ -16,8 +16,7 @@ namespace {
 
 using namespace copift;
 using core::InstrMix;
-using kernels::KernelId;
-using kernels::Variant;
+using workload::Variant;
 
 struct BodyCounts {
   InstrMix mix;
@@ -27,9 +26,9 @@ struct BodyCounts {
 
 /// Dynamic per-unroll-group instruction counts from a steady-state row
 /// (marginal between two problem sizes, so prologue/setup cancel out).
-BodyCounts body_counts(const engine::ResultRow& row, KernelId id, std::uint32_t n1,
+BodyCounts body_counts(const engine::ResultRow& row, std::string_view name, std::uint32_t n1,
                        std::uint32_t n2) {
-  const double group = kernels::is_transcendental(id) ? 4.0 : 8.0;
+  const double group = kernels::is_transcendental(name) ? 4.0 : 8.0;
   const double groups = (n2 - n1) / group;
   const auto& delta = row.steady_region;
   BodyCounts out;
@@ -51,18 +50,17 @@ struct BufferInfo {
   unsigned bytes_per_element; // arena + in/out bytes per element
 };
 
-BufferInfo buffer_info(KernelId id) {
-  switch (id) {
-    case KernelId::kExp:
-      // arena: [ki | w | t] x 3 slots (8 B each) + x,y blocks resident.
-      return {3, 9, 3 * 3 * 8 + 16};
-    case KernelId::kLog:
-      // izk cells (16 B/elem) + idx (8 B/elem), double-buffered; x,y blocks.
-      return {2, 4, 2 * (16 + 8) + 12};
-    default:
-      // MC: raw (x, y) pair cells, double-buffered; no in/out arrays.
-      return {1, 2, 2 * 16};
+BufferInfo buffer_info(std::string_view name) {
+  if (name == "exp") {
+    // arena: [ki | w | t] x 3 slots (8 B each) + x,y blocks resident.
+    return {3, 9, 3 * 3 * 8 + 16};
   }
+  if (name == "log") {
+    // izk cells (16 B/elem) + idx (8 B/elem), double-buffered; x,y blocks.
+    return {2, 4, 2 * (16 + 8) + 12};
+  }
+  // MC: raw (x, y) pair cells, double-buffered; no in/out arrays.
+  return {1, 2, 2 * 16};
 }
 
 }  // namespace
@@ -82,20 +80,20 @@ int main(int argc, char** argv) {
       "%-18s | %5s %5s %5s | %7s %6s | %7s %6s | %6s | %5s %5s | %5s %5s %5s\n",
       "Kernel", "#Int", "#FP", "TI", "IntL/S", "#Buff", "FPL/S", "#Repl", "MaxBlk",
       "c#Int", "c#FP", "I'", "S''", "S'");
-  for (const auto id : copift::bench::kPaperOrder) {
-    const auto base = body_counts(copift::bench::row_of(table, id, Variant::kBaseline), id,
-                                  kN1, kN2);
-    const auto cop = body_counts(copift::bench::row_of(table, id, Variant::kCopift), id,
+  for (const auto name : copift::bench::kPaperOrder) {
+    const auto base = body_counts(copift::bench::row_of(table, name, Variant::kBaseline),
+                                  name, kN1, kN2);
+    const auto cop = body_counts(copift::bench::row_of(table, name, Variant::kCopift), name,
                                  kN1, kN2);
     core::SpeedupModel model;
     model.base = base.mix;
     model.copift = cop.mix;
-    const BufferInfo buf = buffer_info(id);
+    const BufferInfo buf = buffer_info(name);
     const std::uint64_t max_block = (96 * 1024ull) / buf.bytes_per_element;
     std::printf(
         "%-18s | %5llu %5llu %5.2f | %+7d %6u | %+7d %6u | %6llu | %5llu %5llu |"
         " %5.2f %5.2f %5.2f\n",
-        kernels::kernel_name(id).c_str(), (unsigned long long)base.mix.n_int,
+        std::string(name).c_str(), (unsigned long long)base.mix.n_int,
         (unsigned long long)base.mix.n_fp, base.mix.thread_imbalance(),
         static_cast<int>(cop.int_ldst) - static_cast<int>(base.int_ldst),
         buf.logical_buffers,

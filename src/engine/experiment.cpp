@@ -10,8 +10,8 @@ namespace copift::engine {
 // --- ProgramCache -----------------------------------------------------------
 
 std::shared_ptr<const rvasm::Program> ProgramCache::get(const kernels::GeneratedKernel& kernel) {
-  const Key key{static_cast<int>(kernel.id), static_cast<int>(kernel.variant),
-                kernel.config.n, kernel.config.block, kernel.config.seed};
+  Key key{kernel.name(), static_cast<int>(kernel.variant), kernel.config.n,
+          kernel.config.block, kernel.config.seed};
   std::lock_guard lock(mutex_);
   auto it = programs_.find(key);
   if (it != programs_.end()) {
@@ -22,7 +22,7 @@ std::shared_ptr<const rvasm::Program> ProgramCache::get(const kernels::Generated
   // many workers request it simultaneously. Assembly is cheap next to the
   // simulations that follow.
   auto program = kernels::assemble_kernel(kernel);
-  programs_.emplace(key, program);
+  programs_.emplace(std::move(key), program);
   return program;
 }
 
@@ -39,7 +39,7 @@ std::uint64_t ProgramCache::hits() const {
 // --- ParamGrid --------------------------------------------------------------
 
 std::size_t ParamGrid::size() const noexcept {
-  return kernels.size() * variants.size() * ns.size() * blocks.size() * seeds.size() *
+  return workloads.size() * variants.size() * ns.size() * blocks.size() * seeds.size() *
          params.size();
 }
 
@@ -60,7 +60,7 @@ GridPoint ParamGrid::point(std::size_t index) const {
   const std::size_t vi = rest % variants.size();
   rest /= variants.size();
   const std::size_t ki = rest;
-  p.kernel = kernels[ki];
+  p.workload = workload::WorkloadRegistry::instance().at(workloads[ki]);
   p.variant = variants[vi];
   p.config.n = ns[ni];
   p.config.block = blocks[bi];
@@ -72,11 +72,11 @@ GridPoint ParamGrid::point(std::size_t index) const {
 
 // --- ResultTable ------------------------------------------------------------
 
-const ResultRow* ResultTable::find(kernels::KernelId id, kernels::Variant variant,
+const ResultRow* ResultTable::find(std::string_view workload, Variant variant,
                                    std::uint32_t n, std::uint32_t block,
                                    const std::string& params_label) const {
   for (const auto& row : rows_) {
-    if (row.point.kernel != id || row.point.variant != variant) continue;
+    if (row.point.name() != workload || row.point.variant != variant) continue;
     if (n != 0 && row.point.config.n != n) continue;
     if (block != 0 && row.point.config.block != block) continue;
     if (!params_label.empty() && row.point.params_label != params_label) continue;
@@ -86,10 +86,6 @@ const ResultRow* ResultTable::find(kernels::KernelId id, kernels::Variant varian
 }
 
 namespace {
-
-const char* variant_name(kernels::Variant v) {
-  return v == kernels::Variant::kBaseline ? "baseline" : "copift";
-}
 
 void write_number(std::ostream& os, double v) {
   // Shortest round-trippable representation keeps the emitted tables
@@ -108,7 +104,7 @@ void ResultTable::write_csv(std::ostream& os) const {
         "cycles_per_item,energy_pj_per_item\n";
   for (const auto& row : rows_) {
     const auto& p = row.point;
-    os << p.index << ',' << kernels::kernel_name(p.kernel) << ',' << variant_name(p.variant)
+    os << p.index << ',' << p.name() << ',' << workload::variant_name(p.variant)
        << ',' << p.config.n << ',' << p.config.block << ',' << p.config.seed << ','
        << p.params_label << ',' << (row.run.verified ? 1 : 0) << ',' << row.run.result.cycles
        << ',' << row.run.region.cycles << ',' << row.run.region.int_retired << ','
@@ -133,8 +129,9 @@ void ResultTable::write_json(std::ostream& os) const {
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const auto& row = rows_[i];
     const auto& p = row.point;
-    os << "  {\"index\":" << p.index << ",\"kernel\":\"" << kernels::kernel_name(p.kernel)
-       << "\",\"variant\":\"" << variant_name(p.variant) << "\",\"n\":" << p.config.n
+    os << "  {\"index\":" << p.index << ",\"kernel\":\"" << p.name()
+       << "\",\"variant\":\"" << workload::variant_name(p.variant)
+       << "\",\"n\":" << p.config.n
        << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed << ",\"params\":\""
        << p.params_label << "\",\"verified\":" << (row.run.verified ? "true" : "false")
        << ",\"cycles\":" << row.run.result.cycles
@@ -171,28 +168,32 @@ std::string ResultTable::json() const {
 
 // --- Experiment -------------------------------------------------------------
 
-Experiment& Experiment::over(std::span<const kernels::KernelId> kernels) {
-  grid_.kernels.assign(kernels.begin(), kernels.end());
+Experiment& Experiment::over(std::string_view workload) {
+  grid_.workloads.assign(1, std::string(workload));
   return *this;
 }
-Experiment& Experiment::over(std::initializer_list<kernels::KernelId> kernels) {
-  grid_.kernels.assign(kernels.begin(), kernels.end());
+Experiment& Experiment::over(std::span<const std::string_view> workloads) {
+  grid_.workloads.assign(workloads.begin(), workloads.end());
   return *this;
 }
-Experiment& Experiment::over(kernels::KernelId kernel) {
-  grid_.kernels.assign(1, kernel);
+Experiment& Experiment::over(std::span<const std::string> workloads) {
+  grid_.workloads.assign(workloads.begin(), workloads.end());
   return *this;
 }
-Experiment& Experiment::over(std::span<const kernels::Variant> variants) {
-  grid_.variants.assign(variants.begin(), variants.end());
+Experiment& Experiment::over(std::initializer_list<std::string_view> workloads) {
+  grid_.workloads.assign(workloads.begin(), workloads.end());
   return *this;
 }
-Experiment& Experiment::over(std::initializer_list<kernels::Variant> variants) {
-  grid_.variants.assign(variants.begin(), variants.end());
-  return *this;
-}
-Experiment& Experiment::over(kernels::Variant variant) {
+Experiment& Experiment::over(Variant variant) {
   grid_.variants.assign(1, variant);
+  return *this;
+}
+Experiment& Experiment::over(std::span<const Variant> variants) {
+  grid_.variants.assign(variants.begin(), variants.end());
+  return *this;
+}
+Experiment& Experiment::over(std::initializer_list<Variant> variants) {
+  grid_.variants.assign(variants.begin(), variants.end());
   return *this;
 }
 
@@ -280,17 +281,18 @@ ResultTable Experiment::run(SimEngine& engine) const {
       c1.n = steady_n1_;
       kernels::KernelConfig c2 = pt.config;
       c2.n = steady_n2_;
-      const auto k1 = kernels::generate(pt.kernel, pt.variant, c1);
-      const auto k2 = kernels::generate(pt.kernel, pt.variant, c2);
+      const auto k1 = pt.workload->instantiate(pt.variant, c1);
+      const auto k2 = pt.workload->instantiate(pt.variant, c2);
       const auto r1 = kernels::run_kernel(k1, cache.get(k1), pt.params, verify, energy_);
       auto r2 = kernels::run_kernel(k2, cache.get(k2), pt.params, verify, energy_);
       row.steady = true;
-      row.metrics = kernels::steady_from_runs(r1, r2, steady_n1_, steady_n2_);
+      row.metrics = kernels::steady_from_runs(r1, r2, pt.workload->items(c1),
+                                              pt.workload->items(c2));
       row.steady_region = r2.region.minus(r1.region);
       row.run = std::move(r2);
       row.point.config.n = steady_n2_;
     } else {
-      const auto kernel = kernels::generate(pt.kernel, pt.variant, pt.config);
+      const auto kernel = pt.workload->instantiate(pt.variant, pt.config);
       row.run = kernels::run_kernel(kernel, cache.get(kernel), pt.params, verify, energy_);
     }
     rows[i] = std::move(row);

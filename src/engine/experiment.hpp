@@ -1,18 +1,21 @@
-// Declarative parameter-sweep experiments over the kernel simulator.
+// Declarative parameter-sweep experiments over the workload simulator.
 //
 //   engine::SimEngine pool(8);
 //   auto table = engine::Experiment()
-//                    .over(kernels::kAllKernels)
-//                    .over({kernels::Variant::kBaseline, kernels::Variant::kCopift})
+//                    .over({"exp", "log", "pi_lcg"})  // registry names
+//                    .over({workload::Variant::kBaseline, workload::Variant::kCopift})
 //                    .sweep({32, 64, 96, 128})        // COPIFT block sizes
 //                    .run(pool);
 //   table.write_csv(std::cout);
 //
-// The experiment expands its axes into a cartesian ParamGrid, assembles each
-// distinct kernel exactly once into a shared immutable rvasm::Program (via
-// ProgramCache), fans the runs out across the engine's worker threads, and
-// collects results keyed by grid index — so a ResultTable is bit-identical
-// whether it was produced by 1 thread or by 16.
+// Workloads are addressed by their WorkloadRegistry names — any workload
+// registered through the public API (including out-of-tree ones) sweeps
+// exactly like the paper kernels. The experiment expands its axes into a
+// cartesian ParamGrid, assembles each distinct program exactly once into a
+// shared immutable rvasm::Program (via ProgramCache), fans the runs out
+// across the engine's worker threads, and collects results keyed by grid
+// index — so a ResultTable is bit-identical whether it was produced by
+// 1 thread or by 16.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -30,10 +34,13 @@
 #include "engine/engine.hpp"
 #include "kernels/runner.hpp"
 #include "sim/params.hpp"
+#include "workload/workload.hpp"
 
 namespace copift::engine {
 
-/// Assemble-once cache: maps (kernel, variant, config) to the shared
+using workload::Variant;
+
+/// Assemble-once cache: maps (workload name, variant, config) to the shared
 /// immutable program every run of that grid point reuses. Thread-safe.
 class ProgramCache {
  public:
@@ -44,7 +51,7 @@ class ProgramCache {
   [[nodiscard]] std::uint64_t hits() const;
 
  private:
-  using Key = std::tuple<int, int, std::uint32_t, std::uint32_t, std::uint32_t>;
+  using Key = std::tuple<std::string, int, std::uint32_t, std::uint32_t, std::uint32_t>;
   mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<const rvasm::Program>> programs_;
   std::uint64_t hits_ = 0;
@@ -57,30 +64,38 @@ struct ParamsVariant {
   sim::SimParams params{};
 };
 
-/// One fully resolved grid coordinate.
+/// One fully resolved grid coordinate. `workload` is the registry handle for
+/// the point's workload name.
 struct GridPoint {
   std::size_t index = 0;  // row-major position in the grid
-  kernels::KernelId kernel = kernels::KernelId::kExp;
-  kernels::Variant variant = kernels::Variant::kCopift;
+  std::shared_ptr<const workload::Workload> workload;
+  Variant variant = Variant::kCopift;
   kernels::KernelConfig config{};
   std::string params_label = "default";
   sim::SimParams params{};
+
+  [[nodiscard]] std::string name() const {
+    return workload ? workload->name() : std::string();
+  }
 };
 
 /// Cartesian product of experiment axes. Every axis has a single default
-/// value, so an empty grid is one default COPIFT exp run.
+/// value, so an empty grid is one default COPIFT exp run. Workloads are
+/// named; names resolve through the process-wide WorkloadRegistry when a
+/// point is materialized (unknown names throw, listing what is registered).
 class ParamGrid {
  public:
-  std::vector<kernels::KernelId> kernels{kernels::KernelId::kExp};
-  std::vector<kernels::Variant> variants{kernels::Variant::kCopift};
+  std::vector<std::string> workloads{"exp"};
+  std::vector<Variant> variants{Variant::kCopift};
   std::vector<std::uint32_t> ns{1024};
   std::vector<std::uint32_t> blocks{32};
   std::vector<std::uint32_t> seeds{42};
   std::vector<ParamsVariant> params{ParamsVariant{}};
 
   [[nodiscard]] std::size_t size() const noexcept;
-  /// Resolve the i-th point (row-major over kernels, variants, ns, blocks,
-  /// seeds, params — last axis fastest). Throws on out-of-range.
+  /// Resolve the i-th point (row-major over workloads, variants, ns, blocks,
+  /// seeds, params — last axis fastest). Throws on out-of-range or an
+  /// unregistered workload name.
   [[nodiscard]] GridPoint point(std::size_t index) const;
 };
 
@@ -112,7 +127,7 @@ class ResultTable {
 
   /// First row matching the given coordinates; 0 means "any" for the numeric
   /// fields. Returns nullptr when no row matches.
-  [[nodiscard]] const ResultRow* find(kernels::KernelId id, kernels::Variant variant,
+  [[nodiscard]] const ResultRow* find(std::string_view workload, Variant variant,
                                       std::uint32_t n = 0, std::uint32_t block = 0,
                                       const std::string& params_label = {}) const;
 
@@ -126,16 +141,17 @@ class ResultTable {
 };
 
 /// Builder for a batch experiment. All setters return *this for chaining:
-///   Experiment().over(kernels).over(variants).sweep(blocks).run(engine)
+///   Experiment().over({"exp", "log"}).over(variants).sweep(blocks).run(engine)
 class Experiment {
  public:
-  // --- kernel / variant axes ----------------------------------------------
-  Experiment& over(std::span<const kernels::KernelId> kernels);
-  Experiment& over(std::initializer_list<kernels::KernelId> kernels);
-  Experiment& over(kernels::KernelId kernel);
-  Experiment& over(std::span<const kernels::Variant> variants);
-  Experiment& over(std::initializer_list<kernels::Variant> variants);
-  Experiment& over(kernels::Variant variant);
+  // --- workload / variant axes ---------------------------------------------
+  Experiment& over(std::string_view workload);
+  Experiment& over(std::span<const std::string_view> workloads);
+  Experiment& over(std::span<const std::string> workloads);
+  Experiment& over(std::initializer_list<std::string_view> workloads);
+  Experiment& over(Variant variant);
+  Experiment& over(std::span<const Variant> variants);
+  Experiment& over(std::initializer_list<Variant> variants);
 
   // --- numeric axes -------------------------------------------------------
   /// Sweep the COPIFT block size B (the paper's Fig. 3 x-axis).
@@ -163,16 +179,17 @@ class Experiment {
   /// Per-point verification predicate (e.g. verify only small problems).
   Experiment& verify_if(std::function<bool(const GridPoint&)> predicate);
   /// Steady-state mode: each grid point runs at n1 and n2 > n1 and reports
-  /// marginal (prologue-free) metrics; the grid's n axis is ignored.
+  /// marginal (prologue-free) metrics; the grid's n axis is ignored. The
+  /// per-item normalization uses the workload's items() accounting.
   Experiment& steady(std::uint32_t n1, std::uint32_t n2);
 
   [[nodiscard]] const ParamGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] ParamGrid& grid() noexcept { return grid_; }
 
   /// Execute the whole grid on the engine's worker pool. Each distinct
-  /// kernel program is assembled exactly once and shared immutably across
-  /// runs. Results are keyed by grid index: the returned table is identical
-  /// for any engine thread count.
+  /// program is assembled exactly once and shared immutably across runs.
+  /// Results are keyed by grid index: the returned table is identical for
+  /// any engine thread count.
   [[nodiscard]] ResultTable run(SimEngine& engine) const;
 
  private:

@@ -105,7 +105,7 @@ void emit_int_lookup4(AsmBuilder& b, const std::string& rp, const std::string& w
 }
 
 std::string generate_baseline(const KernelConfig& cfg) {
-  if (cfg.n % kUnroll != 0) throw Error("exp baseline: n must be a multiple of 4");
+  if (cfg.n % kUnroll != 0) throw Error(cat("exp/baseline: n=", cfg.n, " must be a multiple of 4"));
   AsmBuilder b;
   emit_exp_data(b, cfg, /*copift=*/false);
   b.label("_start");
@@ -224,10 +224,10 @@ void emit_rotate(AsmBuilder& b) {
 
 std::string generate_copift(const KernelConfig& cfg) {
   const std::uint32_t block = cfg.block;
-  if (block % kUnroll != 0) throw Error("exp copift: block must be a multiple of 4");
-  if (cfg.n % block != 0) throw Error("exp copift: n must be a multiple of block");
+  if (block % kUnroll != 0) throw Error(cat("exp/copift: block=", block, " must be a multiple of 4"));
+  if (cfg.n % block != 0) throw Error(cat("exp/copift: block=", block, " does not divide n=", cfg.n));
   const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error("exp copift: need at least 2 blocks");
+  if (nb < 2) throw Error(cat("exp/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
 
   AsmBuilder b;
   emit_exp_data(b, cfg, /*copift=*/true);

@@ -1,52 +1,25 @@
 #include "kernels/kernels.hpp"
 
 #include "common/error.hpp"
-#include "kernels/kernel_internal.hpp"
 
 namespace copift::kernels {
 
 std::string kernel_name(KernelId id) {
-  switch (id) {
-    case KernelId::kExp: return "exp";
-    case KernelId::kLog: return "log";
-    case KernelId::kPolyLcg: return "poly_lcg";
-    case KernelId::kPiLcg: return "pi_lcg";
-    case KernelId::kPolyXoshiro: return "poly_xoshiro128p";
-    case KernelId::kPiXoshiro: return "pi_xoshiro128p";
-  }
-  return "?";
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= std::size(kPaperWorkloads)) throw Error("kernel_name: invalid KernelId");
+  return std::string(kPaperWorkloads[index]);
+}
+
+bool is_transcendental(std::string_view name) {
+  return name == "exp" || name == "log";
 }
 
 bool is_transcendental(KernelId id) {
-  return id == KernelId::kExp || id == KernelId::kLog;
+  return is_transcendental(kernel_name(id));
 }
 
 GeneratedKernel generate(KernelId id, Variant variant, const KernelConfig& config) {
-  GeneratedKernel g;
-  g.id = id;
-  g.variant = variant;
-  g.config = config;
-  switch (id) {
-    case KernelId::kExp:
-      g.source = generate_exp(variant, config);
-      break;
-    case KernelId::kLog:
-      g.source = generate_log(variant, config);
-      break;
-    case KernelId::kPolyLcg:
-      g.source = generate_mc(variant, config, /*poly=*/true, /*xoshiro=*/false);
-      break;
-    case KernelId::kPiLcg:
-      g.source = generate_mc(variant, config, /*poly=*/false, /*xoshiro=*/false);
-      break;
-    case KernelId::kPolyXoshiro:
-      g.source = generate_mc(variant, config, /*poly=*/true, /*xoshiro=*/true);
-      break;
-    case KernelId::kPiXoshiro:
-      g.source = generate_mc(variant, config, /*poly=*/false, /*xoshiro=*/true);
-      break;
-  }
-  return g;
+  return workload::generate(kernel_name(id), variant, config);
 }
 
 }  // namespace copift::kernels

@@ -1,20 +1,43 @@
-// Kernel registry: the six paper kernels, each in an optimized RV32G
-// baseline variant and a COPIFT variant (paper Table I).
+// The six paper kernels (paper Table I), published as workload-registry
+// entries: "exp", "log", "poly_lcg", "pi_lcg", "poly_xoshiro128p" and
+// "pi_xoshiro128p", each in an optimized RV32G baseline variant and a COPIFT
+// variant. See src/workload/workload.hpp for the Workload interface the
+// whole harness dispatches through.
 //
 // Each generator returns complete assembly for the simulated cluster:
 //   _start -> setup -> [region marker 1] main loop [region marker 2]
 //          -> drain FPSS -> store results -> ecall
 // Inputs (x arrays, seeds) are poked into data-section symbols by the
-// harness (see runner.hpp); results are read back from the `result` symbol.
+// workload's populate_inputs; results are read back by verify_outputs.
 //
 // Convention of labels used by the analysis/bench code:
 //   body_begin / body_end — the steady-state loop body (Table I counting)
+//
+// `KernelId` survives only as a thin compatibility shim that resolves to
+// registry names; nothing in the harness dispatches on it anymore.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "workload/workload.hpp"
 
 namespace copift::kernels {
+
+// The workload vocabulary, re-exported under the legacy names.
+using Variant = workload::Variant;
+using KernelConfig = workload::WorkloadConfig;
+using GeneratedKernel = workload::GeneratedWorkload;
+
+/// Registry names of the six paper kernels, in enum-shim order.
+inline constexpr std::string_view kPaperWorkloads[] = {
+    "exp", "log", "poly_lcg", "pi_lcg", "poly_xoshiro128p", "pi_xoshiro128p"};
+
+// --- KernelId compatibility shim -------------------------------------------
+// Legacy callers identified kernels with this closed enum. It now only maps
+// onto the open registry: kernel_name() yields the registry key and
+// generate() resolves through WorkloadRegistry. New code should use names.
 
 enum class KernelId {
   kExp,          // y[i] = exp(x[i]) (glibc-style, paper Fig. 1)
@@ -25,34 +48,21 @@ enum class KernelId {
   kPiXoshiro,    // MC pi, xoshiro128+ PRNG
 };
 
-enum class Variant { kBaseline, kCopift };
-
 inline constexpr KernelId kAllKernels[] = {KernelId::kExp,     KernelId::kLog,
                                            KernelId::kPolyLcg, KernelId::kPiLcg,
                                            KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
 
+/// Registry name of a legacy kernel id.
 [[nodiscard]] std::string kernel_name(KernelId id);
-[[nodiscard]] bool is_transcendental(KernelId id);  // exp/log vs Monte Carlo
 
-struct KernelConfig {
-  /// Problem size: elements (exp/log) or samples (MC). Must be a multiple of
-  /// the block size; MC requires multiples of kMcUnroll.
-  std::uint32_t n = 1024;
-  /// COPIFT block size B (ignored by baselines). Must divide n.
-  std::uint32_t block = 32;
-  /// PRNG seed for the MC kernels / input generator seed for exp/log.
-  std::uint32_t seed = 42;
-};
+/// exp/log vs Monte Carlo, by registry name (and the legacy-id wrapper).
+[[nodiscard]] bool is_transcendental(std::string_view name);
+[[nodiscard]] bool is_transcendental(KernelId id);
 
-struct GeneratedKernel {
-  std::string source;
-  KernelId id;
-  Variant variant;
-  KernelConfig config;
-};
-
-/// Generate the assembly for a kernel variant. Throws copift::Error on
-/// invalid configurations (non-divisible block, FREP body too large, ...).
-GeneratedKernel generate(KernelId id, Variant variant, const KernelConfig& config);
+/// Generate the assembly for a kernel variant by resolving the registry.
+/// Throws workload::ConfigError on invalid configurations (non-divisible
+/// block, too few blocks, ...).
+[[nodiscard]] GeneratedKernel generate(KernelId id, Variant variant,
+                                       const KernelConfig& config);
 
 }  // namespace copift::kernels

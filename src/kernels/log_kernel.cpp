@@ -88,7 +88,7 @@ void emit_dma_stream(AsmBuilder& b, std::uint32_t bytes) {
 }
 
 std::string generate_baseline(const KernelConfig& cfg) {
-  if (cfg.n % kUnroll != 0) throw Error("log baseline: n must be a multiple of 4");
+  if (cfg.n % kUnroll != 0) throw Error(cat("log/baseline: n=", cfg.n, " must be a multiple of 4"));
   const LogConstants cst = log_constants();
   AsmBuilder b;
   emit_log_data(b, cfg, /*copift=*/false);
@@ -234,10 +234,10 @@ void emit_swap_slots(AsmBuilder& b) {
 
 std::string generate_copift(const KernelConfig& cfg) {
   const std::uint32_t block = cfg.block;
-  if (block % kUnroll != 0) throw Error("log copift: block must be a multiple of 4");
-  if (cfg.n % block != 0) throw Error("log copift: n must be a multiple of block");
+  if (block % kUnroll != 0) throw Error(cat("log/copift: block=", block, " must be a multiple of 4"));
+  if (cfg.n % block != 0) throw Error(cat("log/copift: block=", block, " does not divide n=", cfg.n));
   const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error("log copift: need at least 2 blocks");
+  if (nb < 2) throw Error(cat("log/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
   const LogConstants cst = log_constants();
 
   AsmBuilder b;

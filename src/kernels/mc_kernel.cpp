@@ -90,7 +90,7 @@ const char* poly_p_reg(unsigned u) {
 // ---------------------------------------------------------------------------
 
 std::string lcg_baseline(const KernelConfig& cfg, bool poly) {
-  if (cfg.n % kMcUnroll != 0) throw Error("mc baseline: n must be a multiple of 8");
+  if (cfg.n % kMcUnroll != 0) throw Error(cat("mc/baseline: n=", cfg.n, " must be a multiple of 8"));
   AsmBuilder b;
   emit_mc_data(b, cfg, poly, /*copift=*/false);
   b.label("_start");
@@ -174,7 +174,7 @@ void emit_xoshiro_seed(AsmBuilder& b, std::uint32_t seed, bool y_gen) {
 }
 
 std::string xoshiro_baseline(const KernelConfig& cfg, bool poly) {
-  if (cfg.n % kMcUnroll != 0) throw Error("mc baseline: n must be a multiple of 8");
+  if (cfg.n % kMcUnroll != 0) throw Error(cat("mc/baseline: n=", cfg.n, " must be a multiple of 8"));
   AsmBuilder b;
   emit_mc_data(b, cfg, poly, /*copift=*/false);
   b.label("_start");
@@ -323,10 +323,10 @@ void emit_fp_frep(AsmBuilder& b, bool poly) {
 
 std::string mc_copift(const KernelConfig& cfg, bool poly, bool xoshiro) {
   const std::uint32_t block = cfg.block;
-  if (block % kMcUnroll != 0) throw Error("mc copift: block must be a multiple of 8");
-  if (cfg.n % block != 0) throw Error("mc copift: n must be a multiple of block");
+  if (block % kMcUnroll != 0) throw Error(cat("mc/copift: block=", block, " must be a multiple of 8"));
+  if (cfg.n % block != 0) throw Error(cat("mc/copift: block=", block, " does not divide n=", cfg.n));
   const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error("mc copift: need at least 2 blocks");
+  if (nb < 2) throw Error(cat("mc/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
 
   AsmBuilder b;
   emit_mc_data(b, cfg, poly, /*copift=*/true);

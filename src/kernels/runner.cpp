@@ -1,12 +1,8 @@
 #include "kernels/runner.hpp"
 
 #include <cmath>
-#include <sstream>
 
-#include "common/bits.hpp"
 #include "common/error.hpp"
-#include "kernels/glibc_math.hpp"
-#include "kernels/montecarlo.hpp"
 #include "kernels/prng.hpp"
 #include "rvasm/assembler.hpp"
 
@@ -29,92 +25,13 @@ std::vector<float> log_inputs(std::uint32_t n, std::uint32_t seed) {
 }
 
 void populate_inputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
-  const auto& program = cluster.program();
-  if (kernel.id == KernelId::kExp) {
-    const std::uint32_t base = program.symbol("xarr");
-    const auto x = exp_inputs(kernel.config.n, kernel.config.seed);
-    for (std::uint32_t i = 0; i < kernel.config.n; ++i) {
-      cluster.memory().store64(base + i * 8, copift::bit_cast<std::uint64_t>(x[i]));
-    }
-  } else if (kernel.id == KernelId::kLog) {
-    const std::uint32_t base = program.symbol("xarr");
-    const auto x = log_inputs(kernel.config.n, kernel.config.seed);
-    for (std::uint32_t i = 0; i < kernel.config.n; ++i) {
-      cluster.memory().store32(base + i * 4, copift::bit_cast<std::uint32_t>(x[i]));
-    }
-  }
-  // Monte Carlo kernels seed their PRNGs from immediates; nothing to do.
+  if (kernel.workload == nullptr) throw Error("populate_inputs: kernel has no workload");
+  kernel.workload->populate_inputs(cluster, kernel.config);
 }
-
-namespace {
-
-void verify_transcendental(sim::Cluster& cluster, const GeneratedKernel& kernel) {
-  const auto& cfg = kernel.config;
-  const std::uint32_t ybase = cluster.program().symbol("yarr");
-  std::uint64_t mismatches = 0;
-  std::ostringstream detail;
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    double expected;
-    if (kernel.id == KernelId::kExp) {
-      expected = ref_exp(exp_inputs(cfg.n, cfg.seed)[i]);
-    } else {
-      expected = ref_log(log_inputs(cfg.n, cfg.seed)[i]);
-    }
-    const std::uint64_t got = cluster.memory().load64(ybase + i * 8);
-    if (got != copift::bit_cast<std::uint64_t>(expected)) {
-      if (mismatches == 0) {
-        detail << " first at i=" << i << ": got " << copift::bit_cast<double>(got)
-               << ", expected " << expected;
-      }
-      ++mismatches;
-    }
-  }
-  if (mismatches != 0) {
-    throw Error(kernel_name(kernel.id) + std::string(" verification failed: ") +
-                std::to_string(mismatches) + " mismatches" + detail.str());
-  }
-}
-
-std::uint64_t expected_hits(const GeneratedKernel& kernel) {
-  const auto& cfg = kernel.config;
-  // The COPIFT poly kernels evaluate an even/odd split (raw-domain, which
-  // differs from the unit-domain reference only by exact power-of-two
-  // scalings); the baselines evaluate Horner.
-  const PolyScheme scheme =
-      kernel.variant == Variant::kCopift ? PolyScheme::kEvenOdd : PolyScheme::kHorner;
-  switch (kernel.id) {
-    case KernelId::kPiLcg: return ref_pi_hits_lcg(cfg.seed, cfg.n);
-    case KernelId::kPolyLcg: return ref_poly_hits_lcg(cfg.seed, cfg.n, scheme);
-    case KernelId::kPiXoshiro: return ref_pi_hits_xoshiro(cfg.seed, cfg.n);
-    case KernelId::kPolyXoshiro: return ref_poly_hits_xoshiro(cfg.seed, cfg.n, scheme);
-    default: throw Error("not an MC kernel");
-  }
-}
-
-void verify_mc(sim::Cluster& cluster, const GeneratedKernel& kernel) {
-  const std::uint32_t addr = cluster.program().symbol("result");
-  std::uint64_t got;
-  if (kernel.variant == Variant::kBaseline) {
-    got = cluster.memory().load32(addr);
-  } else {
-    got = static_cast<std::uint64_t>(
-        copift::bit_cast<double>(cluster.memory().load64(addr)));
-  }
-  const std::uint64_t expected = expected_hits(kernel);
-  if (got != expected) {
-    throw Error(kernel_name(kernel.id) + std::string(" verification failed: got ") +
-                std::to_string(got) + " hits, expected " + std::to_string(expected));
-  }
-}
-
-}  // namespace
 
 void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
-  if (is_transcendental(kernel.id)) {
-    verify_transcendental(cluster, kernel);
-  } else {
-    verify_mc(cluster, kernel);
-  }
+  if (kernel.workload == nullptr) throw Error("verify_outputs: kernel has no workload");
+  kernel.workload->verify_outputs(cluster, kernel.variant, kernel.config);
 }
 
 std::shared_ptr<const rvasm::Program> assemble_kernel(const GeneratedKernel& kernel) {
@@ -154,33 +71,42 @@ KernelRun run_kernel(const GeneratedKernel& kernel,
   return out;
 }
 
-SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& config,
-                             std::uint32_t n1, std::uint32_t n2, const sim::SimParams& params,
+SteadyMetrics steady_metrics(std::string_view workload, Variant variant,
+                             const KernelConfig& config, std::uint32_t n1, std::uint32_t n2,
+                             const sim::SimParams& params,
                              const energy::EnergyParams& energy_params) {
   if (n2 <= n1) throw Error("steady_metrics requires n2 > n1");
+  const auto handle = workload::WorkloadRegistry::instance().at(workload);
   KernelConfig c1 = config;
   c1.n = n1;
   KernelConfig c2 = config;
   c2.n = n2;
-  const KernelRun r1 = run_kernel(generate(id, variant, c1), params, /*verify=*/true,
+  const KernelRun r1 = run_kernel(handle->instantiate(variant, c1), params, /*verify=*/true,
                                   energy_params);
-  const KernelRun r2 = run_kernel(generate(id, variant, c2), params, /*verify=*/true,
+  const KernelRun r2 = run_kernel(handle->instantiate(variant, c2), params, /*verify=*/true,
                                   energy_params);
-  return steady_from_runs(r1, r2, n1, n2);
+  return steady_from_runs(r1, r2, handle->items(c1), handle->items(c2));
 }
 
-SteadyMetrics steady_from_runs(const KernelRun& r1, const KernelRun& r2, std::uint32_t n1,
-                               std::uint32_t n2) {
-  if (n2 <= n1) throw Error("steady_from_runs requires n2 > n1");
+SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& config,
+                             std::uint32_t n1, std::uint32_t n2, const sim::SimParams& params,
+                             const energy::EnergyParams& energy_params) {
+  return steady_metrics(kernel_name(id), variant, config, n1, n2, params, energy_params);
+}
+
+SteadyMetrics steady_from_runs(const KernelRun& r1, const KernelRun& r2, std::uint64_t items1,
+                               std::uint64_t items2) {
+  if (items2 <= items1) throw Error("steady_from_runs requires items2 > items1");
   SteadyMetrics m;
   const auto dc = r2.region.cycles - r1.region.cycles;
   const auto di = r2.region.retired() - r1.region.retired();
   const double de = r2.region_energy.total_pj - r1.region_energy.total_pj;
+  const auto d_items = static_cast<double>(items2 - items1);
   m.delta_cycles = dc;
   m.ipc = dc == 0 ? 0.0 : static_cast<double>(di) / static_cast<double>(dc);
   m.power_mw = dc == 0 ? 0.0 : de / static_cast<double>(dc);
-  m.cycles_per_item = static_cast<double>(dc) / (n2 - n1);
-  m.energy_pj_per_item = de / (n2 - n1);
+  m.cycles_per_item = static_cast<double>(dc) / d_items;
+  m.energy_pj_per_item = de / d_items;
   return m;
 }
 

@@ -1,15 +1,20 @@
-// Kernel execution harness: assemble a generated kernel, populate its
+// Workload execution harness: assemble a generated workload, populate its
 // inputs, run it on the cluster, verify results against the golden
-// references, and extract performance/energy metrics.
+// references, and extract performance/energy metrics. All per-workload
+// behaviour (inputs, verification, item counting) is delegated to the
+// Workload handle carried by the GeneratedWorkload — the harness contains
+// no per-workload dispatch.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "energy/energy.hpp"
 #include "kernels/kernels.hpp"
 #include "sim/cluster.hpp"
+#include "workload/workload.hpp"
 
 namespace copift::kernels {
 
@@ -25,9 +30,9 @@ struct KernelRun {
   [[nodiscard]] double energy_nj() const noexcept { return region_energy.energy_nj(); }
 };
 
-/// Assemble a generated kernel into a shared immutable program. The result
+/// Assemble a generated workload into a shared immutable program. The result
 /// may be handed to many clusters at once (runs only read it), so a sweep
-/// assembles each kernel exactly once and fans the runs out.
+/// assembles each program exactly once and fans the runs out.
 std::shared_ptr<const rvasm::Program> assemble_kernel(const GeneratedKernel& kernel);
 
 /// Assemble + load + populate inputs + run + verify. Throws copift::Error on
@@ -44,7 +49,7 @@ KernelRun run_kernel(const GeneratedKernel& kernel,
                      const sim::SimParams& params = {}, bool verify = true,
                      const energy::EnergyParams& energy_params = {});
 
-/// Steady-state metrics via the two-size marginal method: run the kernel at
+/// Steady-state metrics via the two-size marginal method: run the workload at
 /// n1 and n2 > n1 and report marginal IPC/power over the extra work. This
 /// removes prologue/epilogue and setup overheads exactly (paper Fig. 2
 /// reports steady-state iterations).
@@ -55,21 +60,25 @@ struct SteadyMetrics {
   double energy_pj_per_item = 0.0;
   std::uint64_t delta_cycles = 0;
 };
+SteadyMetrics steady_metrics(std::string_view workload, Variant variant,
+                             const KernelConfig& config, std::uint32_t n1, std::uint32_t n2,
+                             const sim::SimParams& params = {},
+                             const energy::EnergyParams& energy_params = {});
+/// Legacy-enum wrapper.
 SteadyMetrics steady_metrics(KernelId id, Variant variant, const KernelConfig& config,
                              std::uint32_t n1, std::uint32_t n2,
                              const sim::SimParams& params = {},
                              const energy::EnergyParams& energy_params = {});
 
-/// Derive steady-state metrics from two completed runs at sizes n1 < n2.
-/// Shared by steady_metrics() and the engine's steady-mode experiments.
+/// Derive steady-state metrics from two completed runs that performed
+/// items1 < items2 work items. Shared by steady_metrics() and the engine's
+/// steady-mode experiments.
 SteadyMetrics steady_from_runs(const KernelRun& r1, const KernelRun& r2,
-                               std::uint32_t n1, std::uint32_t n2);
+                               std::uint64_t items1, std::uint64_t items2);
 
-/// Fill the kernel's input arrays (exp/log) inside the cluster's memory.
-/// Called by run_kernel; exposed for custom experiments.
+/// Delegates to the workload carried by `kernel` (kept as free functions for
+/// the single-run CLI path and custom experiments).
 void populate_inputs(sim::Cluster& cluster, const GeneratedKernel& kernel);
-
-/// Verify kernel outputs against the golden references; throws on mismatch.
 void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel);
 
 /// Deterministic input vectors (shared by populate/verify/tests).

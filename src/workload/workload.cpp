@@ -1,0 +1,146 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "sim/cluster.hpp"
+
+namespace copift::workload {
+
+const char* variant_name(Variant v) noexcept {
+  return v == Variant::kBaseline ? "baseline" : "copift";
+}
+
+Variant variant_from(std::string_view name) {
+  if (name == "base" || name == "baseline") return Variant::kBaseline;
+  if (name == "copift") return Variant::kCopift;
+  throw Error("unknown variant '" + std::string(name) + "' (expected base|baseline|copift)");
+}
+
+std::string GeneratedWorkload::name() const {
+  return workload ? workload->name() : std::string();
+}
+
+bool Workload::supports(Variant v) const {
+  const auto vs = variants();
+  return std::find(vs.begin(), vs.end(), v) != vs.end();
+}
+
+Variant Workload::default_variant() const {
+  const auto vs = variants();
+  if (vs.empty()) throw Error(name() + ": workload declares no variants");
+  return vs.front();
+}
+
+std::string Workload::variants_list() const {
+  std::string out;
+  for (const Variant v : variants()) {
+    if (!out.empty()) out += ", ";
+    out += variant_name(v);
+  }
+  return out;
+}
+
+void Workload::validate(Variant variant, const WorkloadConfig& config) const {
+  if (!supports(variant)) {
+    throw ConfigError(name(), variant,
+                      "variant not supported (supported: " + variants_list() + ")");
+  }
+  if (config.n == 0) throw ConfigError(name(), variant, "n must be positive");
+}
+
+void Workload::populate_inputs(sim::Cluster&, const WorkloadConfig&) const {}
+
+GeneratedWorkload Workload::instantiate(Variant variant, const WorkloadConfig& config) const {
+  validate(variant, config);
+  GeneratedWorkload g;
+  g.source = generate(variant, config);
+  g.workload = shared_from_this();
+  g.variant = variant;
+  g.config = config;
+  return g;
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(std::shared_ptr<const Workload> workload) {
+  if (workload == nullptr) throw Error("WorkloadRegistry: null workload");
+  const std::string name = workload->name();
+  if (name.empty()) throw Error("WorkloadRegistry: workload name must not be empty");
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(name, std::move(workload));
+  if (!inserted) {
+    throw Error("WorkloadRegistry: duplicate registration of workload '" + name + "'");
+  }
+}
+
+std::shared_ptr<const Workload> WorkloadRegistry::find(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Workload> WorkloadRegistry::at(std::string_view name) const {
+  auto workload = find(name);
+  if (workload == nullptr) {
+    throw Error("unknown workload '" + std::string(name) + "'; registered workloads: " +
+                names_list());
+  }
+  return workload;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, workload] : entries_) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+std::string WorkloadRegistry::names_list() const {
+  std::string out;
+  for (const auto& name : names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::size_t WorkloadRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+GeneratedWorkload generate(std::string_view name, Variant variant,
+                           const WorkloadConfig& config) {
+  return WorkloadRegistry::instance().at(name)->instantiate(variant, config);
+}
+
+void verify_doubles(sim::Cluster& cluster, std::string_view workload,
+                    std::string_view symbol, std::uint32_t n,
+                    const std::function<double(std::uint32_t)>& expected) {
+  const std::uint32_t base = cluster.program().symbol(symbol);
+  std::uint64_t mismatches = 0;
+  std::ostringstream detail;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double want = expected(i);
+    const std::uint64_t got = cluster.memory().load64(base + i * 8);
+    if (got != copift::bit_cast<std::uint64_t>(want)) {
+      if (mismatches == 0) {
+        detail << " first at i=" << i << ": got " << copift::bit_cast<double>(got)
+               << ", expected " << want;
+      }
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    throw Error(std::string(workload) + " verification failed: " +
+                std::to_string(mismatches) + " mismatches" + detail.str());
+  }
+}
+
+}  // namespace copift::workload

@@ -1,0 +1,189 @@
+// Open workload API: self-describing, name-registered workloads.
+//
+// A Workload owns everything the harness needs to run one scenario on the
+// simulated cluster: assembly generation per variant, configuration
+// validation, input population, golden-reference output verification and
+// work-item counting for steady-state metrics. Workloads register themselves
+// under a unique name in the process-wide WorkloadRegistry; every layer above
+// (runner, batch engine, CLI tools, benchmarks) resolves workloads by name,
+// so adding a scenario means adding ONE translation unit — no harness edits.
+//
+//   class Axpy final : public workload::Workload { ... };
+//   const workload::Registrar kReg(std::make_shared<Axpy>());
+//
+// See src/workloads/axpy.cpp for a complete worked example and the README
+// "Adding a workload" guide.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace copift::sim {
+class Cluster;
+}  // namespace copift::sim
+
+namespace copift::workload {
+
+/// Code-generation strategy. kBaseline is the Snitch-optimized RV32G code;
+/// kCopift applies the paper's pseudo-dual-issue transformation (or, for
+/// workloads without a mixed int/FP body, an SSR/FREP-streamed form).
+enum class Variant { kBaseline, kCopift };
+
+[[nodiscard]] const char* variant_name(Variant v) noexcept;
+/// Parse "base"/"baseline"/"copift"; throws copift::Error on anything else.
+[[nodiscard]] Variant variant_from(std::string_view name);
+
+/// Per-run configuration shared by all workloads. Interpretation of each
+/// field is up to the workload (documented via Workload::validate errors).
+struct WorkloadConfig {
+  /// Problem size: elements (exp/log/axpy/softmax) or samples (Monte Carlo).
+  std::uint32_t n = 1024;
+  /// COPIFT block size B (ignored by baseline variants).
+  std::uint32_t block = 32;
+  /// PRNG seed for random inputs / PRN streams.
+  std::uint32_t seed = 42;
+};
+
+/// Raised by Workload::validate on unusable configurations. The message
+/// always leads with "<workload>/<variant>:" and names the offending values,
+/// e.g. "exp/copift: block=48 does not divide n=1024".
+class ConfigError : public Error {
+ public:
+  ConfigError(std::string_view workload, Variant variant, const std::string& what)
+      : Error(std::string(workload) + "/" + variant_name(variant) + ": " + what) {}
+};
+
+class Workload;
+
+/// One generated program instance: the assembly source plus the workload
+/// handle and configuration needed to populate inputs and verify outputs.
+struct GeneratedWorkload {
+  std::string source;
+  std::shared_ptr<const Workload> workload;
+  Variant variant = Variant::kCopift;
+  WorkloadConfig config{};
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// A self-describing workload. Implementations are immutable and shared;
+/// every virtual must be const and thread-safe (the batch engine calls them
+/// concurrently from worker threads).
+class Workload : public std::enable_shared_from_this<Workload> {
+ public:
+  virtual ~Workload() = default;
+
+  /// Unique registry key (also the CSV/JSON "kernel" column and the CLI
+  /// `--kernel` spelling).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line human description for `copift_sim --list`.
+  [[nodiscard]] virtual std::string description() const { return {}; }
+
+  /// The variants this workload can generate, in preference order (first is
+  /// the default the CLI picks when the user does not ask for one).
+  [[nodiscard]] virtual std::vector<Variant> variants() const {
+    return {Variant::kCopift, Variant::kBaseline};
+  }
+  [[nodiscard]] bool supports(Variant v) const;
+  [[nodiscard]] Variant default_variant() const;
+  /// The supported variants joined as "copift, baseline" (for messages/UIs).
+  [[nodiscard]] std::string variants_list() const;
+
+  /// Default configuration (shown by `copift_sim --list`, used by the CLI
+  /// when no -n/--block flags are given).
+  [[nodiscard]] virtual WorkloadConfig default_config() const { return {}; }
+
+  /// Throw ConfigError when the configuration cannot be generated. The base
+  /// implementation rejects unsupported variants; overrides should call it
+  /// first, then add workload-specific checks with value-carrying messages.
+  virtual void validate(Variant variant, const WorkloadConfig& config) const;
+
+  /// Generate the complete assembly source for one run:
+  ///   _start -> setup -> [region marker 1] main loop [region marker 2]
+  ///          -> drain FPSS -> ecall
+  /// plus `body_begin`/`body_end` labels around the steady-state loop body.
+  /// May assume validate() passed.
+  [[nodiscard]] virtual std::string generate(Variant variant,
+                                             const WorkloadConfig& config) const = 0;
+
+  /// Poke input data (arrays, seeds) into the loaded program's data-section
+  /// symbols before the run. Default: no inputs.
+  virtual void populate_inputs(sim::Cluster& cluster, const WorkloadConfig& config) const;
+
+  /// Check outputs against the golden reference; throw copift::Error on any
+  /// mismatch.
+  virtual void verify_outputs(sim::Cluster& cluster, Variant variant,
+                              const WorkloadConfig& config) const = 0;
+
+  /// Work items performed at `config` (elements, samples, ...). Steady-state
+  /// metrics divide marginal cycles/energy by the marginal item count.
+  [[nodiscard]] virtual std::uint64_t items(const WorkloadConfig& config) const {
+    return config.n;
+  }
+
+  /// validate() + generate(), bundling the handle for the runner.
+  [[nodiscard]] GeneratedWorkload instantiate(Variant variant,
+                                              const WorkloadConfig& config) const;
+};
+
+/// Name-keyed workload registry. The process-wide instance() is what the
+/// harness uses; independent instances can be created for tests.
+class WorkloadRegistry {
+ public:
+  WorkloadRegistry() = default;
+  WorkloadRegistry(const WorkloadRegistry&) = delete;
+  WorkloadRegistry& operator=(const WorkloadRegistry&) = delete;
+
+  /// The process-wide registry (initialized on first use; safe to call from
+  /// static initializers in any translation unit).
+  static WorkloadRegistry& instance();
+
+  /// Register a workload under its name(). Throws copift::Error on an empty
+  /// name or a duplicate registration.
+  void add(std::shared_ptr<const Workload> workload);
+
+  /// nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const Workload> find(std::string_view name) const;
+  /// Throws copift::Error listing the registered names when unknown.
+  [[nodiscard]] std::shared_ptr<const Workload> at(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// The registered names joined as "a, b, c" (for error/usage messages).
+  [[nodiscard]] std::string names_list() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Workload>, std::less<>> entries_;
+};
+
+/// Static-initialization helper: `const Registrar r(std::make_shared<W>());`
+/// at namespace scope registers W with the process-wide registry.
+struct Registrar {
+  explicit Registrar(std::shared_ptr<const Workload> workload) {
+    WorkloadRegistry::instance().add(std::move(workload));
+  }
+};
+
+/// Registry-level conveniences used by the runner/engine/CLI.
+[[nodiscard]] GeneratedWorkload generate(std::string_view name, Variant variant,
+                                         const WorkloadConfig& config);
+
+/// Shared verifier: compare `n` doubles at data-section `symbol` against
+/// `expected(i)` bit-for-bit; throws copift::Error naming `workload`, the
+/// mismatch count and the first differing element. Implement verify_outputs
+/// with this whenever outputs are a dense array of doubles.
+void verify_doubles(sim::Cluster& cluster, std::string_view workload,
+                    std::string_view symbol, std::uint32_t n,
+                    const std::function<double(std::uint32_t)>& expected);
+
+}  // namespace copift::workload

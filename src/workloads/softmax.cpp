@@ -1,0 +1,242 @@
+// Softmax workload: p[i] = exp(x[i]) / sum_j exp(x[j]), entirely on the
+// simulated cluster — promoted from examples/softmax.cpp (which ran only the
+// exp phase on-device and normalized on the host). The paper motivates exp
+// as "the main component of softmax, which consumes a considerable fraction
+// of cycles in modern LLMs" (Section III-A); this workload completes the
+// story: exponentiation, the serial denominator reduction and the normalizing
+// division all execute on the cluster and verify bit-exactly.
+//
+// Like axpy, this file is an out-of-paper scenario implemented purely against
+// the public workload API — registration alone wires it into the runner, the
+// batch engine, copift_sim sweeps and the CSV/JSON emitters.
+//
+// Variant support is intentionally partial: only the baseline variant exists
+// (a COPIFT partition of the fused softmax loop is future work), which
+// exercises the registry's declared-variants machinery end to end.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "kernels/codegen.hpp"
+#include "kernels/glibc_math.hpp"
+#include "kernels/prng.hpp"
+#include "sim/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace copift::workloads {
+namespace {
+
+using kernels::AsmBuilder;
+using kernels::cat;
+using kernels::dword_of;
+using kernels::exp_constants;
+using kernels::exp_table;
+using kernels::Lcg;
+using kernels::ref_exp;
+using kernels::to_unit_double;
+using workload::ConfigError;
+using workload::Variant;
+using workload::WorkloadConfig;
+
+constexpr unsigned kUnroll = 2;
+
+/// Logits in [-1, 1) — the glibc expf table path is exact on this range.
+std::vector<double> softmax_logits(std::uint32_t n, std::uint32_t seed) {
+  Lcg gen(seed ^ 0x50F7A3C5u);
+  std::vector<double> x(n);
+  for (auto& v : x) v = to_unit_double(gen.next()) * 2.0 - 1.0;
+  return x;
+}
+
+/// Host reference: exp via the bit-exact glibc oracle, then the same serial
+/// reduction and division order the assembly performs.
+struct SoftmaxRef {
+  std::vector<double> probs;
+  double denom = 0.0;
+};
+
+SoftmaxRef softmax_ref(std::uint32_t n, std::uint32_t seed) {
+  const auto x = softmax_logits(n, seed);
+  SoftmaxRef ref;
+  ref.probs.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) ref.probs[i] = ref_exp(x[i]);
+  for (std::uint32_t i = 0; i < n; ++i) ref.denom += ref.probs[i];
+  for (std::uint32_t i = 0; i < n; ++i) ref.probs[i] /= ref.denom;
+  return ref;
+}
+
+void emit_data(AsmBuilder& b, const WorkloadConfig& cfg) {
+  const auto cst = exp_constants();
+  b.raw(".data\n");
+  b.l(".align 3");
+  b.label("exp_tab");
+  for (const std::uint64_t entry : exp_table()) b.l(dword_of(entry));
+  b.label("exp_const");
+  b.l(dword_of(cst.inv_ln2_n));
+  b.l(dword_of(cst.shift));
+  b.l(dword_of(cst.c0));
+  b.l(dword_of(cst.c1));
+  b.l(dword_of(cst.c2));
+  b.l(dword_of(1.0));
+  b.label("kd_buf");
+  b.l(cat(".space ", kUnroll * 8));
+  b.label("t_buf");
+  b.l(cat(".space ", kUnroll * 8));
+  b.label("result");
+  b.l(".space 8");
+  b.label("xarr");
+  b.l(cat(".space ", cfg.n * 8));
+  b.label("yarr");
+  b.l(cat(".space ", cfg.n * 8));
+  b.raw(".text\n");
+}
+
+std::string generate_baseline(const WorkloadConfig& cfg) {
+  AsmBuilder b;
+  emit_data(b, cfg);
+  b.label("_start");
+  b.l("la a3, xarr");
+  b.l("la a4, yarr");
+  b.l("la t0, exp_tab");
+  b.l("la t1, kd_buf");
+  b.l("la t2, t_buf");
+  b.l("la s0, exp_const");
+  for (unsigned i = 0; i < 6; ++i) b.l(cat("fld fs", i, ", ", i * 8, "(s0)"));
+  b.l(cat("li t3, ", cfg.n / kUnroll));
+  b.l("csrwi region, 1");
+
+  b.c("pass 1: y[i] = exp(x[i]) (glibc dataflow, 2x unrolled)");
+  b.label("body_begin");
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fld fa", u, ", ", u * 8, "(a3)"));
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fmul.d fa", u, ", fs0, fa", u));  // z
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fadd.d fa", 2 + u, ", fa", u, ", fs1"));  // kd
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fsd fa", 2 + u, ", ", u * 8, "(t1)"));
+  b.c("integer table lookup (low word of kd)");
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    const char* ki = u == 0 ? "a0" : "a5";
+    const char* ptr = u == 0 ? "a1" : "a6";
+    const char* lo = u == 0 ? "a2" : "a7";
+    b.l(cat("lw ", ki, ", ", u * 8, "(t1)"));
+    b.l(cat("andi ", ptr, ", ", ki, ", 31"));
+    b.l(cat("slli ", ptr, ", ", ptr, ", 3"));
+    b.l(cat("add ", ptr, ", t0, ", ptr));
+    b.l(cat("lw ", lo, ", 0(", ptr, ")"));
+    b.l(cat("lw ", ptr, ", 4(", ptr, ")"));
+    b.l(cat("slli ", ki, ", ", ki, ", 15"));
+    b.l(cat("add ", ki, ", ", ki, ", ", ptr));
+    b.l(cat("sw ", lo, ", ", u * 8, "(t2)"));
+    b.l(cat("sw ", ki, ", ", u * 8 + 4, "(t2)"));
+  }
+  b.c("FP tail: r, p1, p2, w = p1*r2 + p2, y = w * s");
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fsub.d fa", 2 + u, ", fa", 2 + u, ", fs1"));  // kd2
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fsub.d fa", u, ", fa", u, ", fa", 2 + u));  // r
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fmadd.d ft", u, ", fs2, fa", u, ", fs3"));  // p1
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fmadd.d fa", 2 + u, ", fs4, fa", u, ", fs5"));  // p2
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fmul.d fa", u, ", fa", u, ", fa", u));  // r2
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fld ft", 2 + u, ", ", u * 8, "(t2)"));
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fmadd.d fa", 2 + u, ", ft", u, ", fa", u, ", fa", 2 + u));  // w
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) {
+    b.l(cat("fmul.d fa", 2 + u, ", fa", 2 + u, ", ft", 2 + u));  // y = w * s
+  }
+  for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fsd fa", 2 + u, ", ", u * 8, "(a4)"));
+  b.l(cat("addi a3, a3, ", kUnroll * 8));
+  b.l(cat("addi a4, a4, ", kUnroll * 8));
+  b.l("addi t3, t3, -1");
+  b.l("bnez t3, body_begin");
+  b.label("body_end");
+
+  b.c("pass 2: denom = serial sum of y (same order as the host reference)");
+  b.l("la a3, yarr");
+  b.l(cat("li t3, ", cfg.n));
+  b.l("fcvt.d.w fa0, zero");
+  b.label("sum_loop");
+  b.l("fld fa1, 0(a3)");
+  b.l("fadd.d fa0, fa0, fa1");
+  b.l("addi a3, a3, 8");
+  b.l("addi t3, t3, -1");
+  b.l("bnez t3, sum_loop");
+  b.l("la t5, result");
+  b.l("fsd fa0, 0(t5)");
+
+  b.c("pass 3: p[i] = y[i] / denom");
+  b.l("la a3, yarr");
+  b.l(cat("li t3, ", cfg.n));
+  b.label("norm_loop");
+  b.l("fld fa1, 0(a3)");
+  b.l("fdiv.d fa1, fa1, fa0");
+  b.l("fsd fa1, 0(a3)");
+  b.l("addi a3, a3, 8");
+  b.l("addi t3, t3, -1");
+  b.l("bnez t3, norm_loop");
+
+  b.l("csrr t0, fpss");  // drain offloaded stores
+  b.l("csrwi region, 2");
+  b.l("ecall");
+  return b.str();
+}
+
+class SoftmaxWorkload final : public workload::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "softmax"; }
+  [[nodiscard]] std::string description() const override {
+    return "p[i] = exp(x[i]) / sum(exp(x)), fully on-device (attention-row softmax)";
+  }
+
+  [[nodiscard]] std::vector<Variant> variants() const override {
+    return {Variant::kBaseline};
+  }
+
+  void validate(Variant variant, const WorkloadConfig& config) const override {
+    Workload::validate(variant, config);
+    if (config.n % kUnroll != 0) {
+      throw ConfigError(name(), variant, "n=" + std::to_string(config.n) +
+                                             " must be a multiple of the unroll factor 2");
+    }
+  }
+
+  [[nodiscard]] std::string generate(Variant,
+                                     const WorkloadConfig& config) const override {
+    return generate_baseline(config);
+  }
+
+  void populate_inputs(sim::Cluster& cluster, const WorkloadConfig& config) const override {
+    const std::uint32_t base = cluster.program().symbol("xarr");
+    const auto x = softmax_logits(config.n, config.seed);
+    for (std::uint32_t i = 0; i < config.n; ++i) {
+      cluster.memory().store64(base + i * 8, copift::bit_cast<std::uint64_t>(x[i]));
+    }
+  }
+
+  void verify_outputs(sim::Cluster& cluster, Variant,
+                      const WorkloadConfig& config) const override {
+    const auto& program = cluster.program();
+    const SoftmaxRef ref = softmax_ref(config.n, config.seed);
+    const std::uint64_t denom_got = cluster.memory().load64(program.symbol("result"));
+    if (denom_got != copift::bit_cast<std::uint64_t>(ref.denom)) {
+      throw Error("softmax verification failed: denominator got " +
+                  std::to_string(copift::bit_cast<double>(denom_got)) + ", expected " +
+                  std::to_string(ref.denom));
+    }
+    workload::verify_doubles(cluster, name(), "yarr", config.n,
+                             [&](std::uint32_t i) { return ref.probs[i]; });
+  }
+};
+
+const workload::Registrar kSoftmaxReg(std::make_shared<SoftmaxWorkload>());
+
+}  // namespace
+}  // namespace copift::workloads

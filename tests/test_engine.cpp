@@ -1,6 +1,7 @@
 // Batch engine tests: worker-pool semantics, assemble-once program sharing,
 // grid expansion, and — most importantly — determinism: a sweep must produce
-// bit-identical results at any thread count.
+// bit-identical results at any thread count. The engine addresses workloads
+// by registry name (see tests/test_workload.cpp for the registry itself).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,8 +14,7 @@
 namespace copift::engine {
 namespace {
 
-using kernels::KernelId;
-using kernels::Variant;
+using workload::Variant;
 
 // --- SimEngine --------------------------------------------------------------
 
@@ -108,7 +108,7 @@ TEST(ProgramCache, SharesOneProgramPerDistinctConfig) {
   kernels::KernelConfig cfg;
   cfg.n = 256;
   cfg.block = 32;
-  const auto k = kernels::generate(KernelId::kExp, Variant::kCopift, cfg);
+  const auto k = workload::generate("exp", Variant::kCopift, cfg);
   const auto a = cache.get(k);
   const auto b = cache.get(k);
   EXPECT_EQ(a.get(), b.get());  // same immutable program, not a copy
@@ -116,7 +116,7 @@ TEST(ProgramCache, SharesOneProgramPerDistinctConfig) {
   EXPECT_EQ(cache.hits(), 1u);
 
   cfg.block = 64;
-  const auto c = cache.get(kernels::generate(KernelId::kExp, Variant::kCopift, cfg));
+  const auto c = cache.get(workload::generate("exp", Variant::kCopift, cfg));
   EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(cache.size(), 2u);
 }
@@ -125,7 +125,7 @@ TEST(ProgramCache, SharedProgramRunsManyClustersBitIdentically) {
   kernels::KernelConfig cfg;
   cfg.n = 256;
   cfg.block = 32;
-  const auto k = kernels::generate(KernelId::kPiLcg, Variant::kCopift, cfg);
+  const auto k = workload::generate("pi_lcg", Variant::kCopift, cfg);
   const auto program = kernels::assemble_kernel(k);
   const auto r1 = kernels::run_kernel(k, program);
   const auto r2 = kernels::run_kernel(k, program);
@@ -141,7 +141,7 @@ TEST(ProgramCache, SharedProgramRunsManyClustersBitIdentically) {
 
 TEST(ParamGrid, ExpandsCartesianProductRowMajor) {
   ParamGrid grid;
-  grid.kernels = {KernelId::kExp, KernelId::kLog};
+  grid.workloads = {"exp", "log"};
   grid.variants = {Variant::kBaseline, Variant::kCopift};
   grid.ns = {256, 512};
   grid.blocks = {32};
@@ -153,12 +153,25 @@ TEST(ParamGrid, ExpandsCartesianProductRowMajor) {
   EXPECT_EQ(grid.point(1).config.seed, 2u);
   EXPECT_EQ(grid.point(2).config.seed, 3u);
   EXPECT_EQ(grid.point(3).config.n, 512u);
-  EXPECT_EQ(grid.point(0).kernel, KernelId::kExp);
-  EXPECT_EQ(grid.point(grid.size() - 1).kernel, KernelId::kLog);
+  EXPECT_EQ(grid.point(0).name(), "exp");
+  EXPECT_EQ(grid.point(grid.size() - 1).name(), "log");
   EXPECT_EQ(grid.point(grid.size() - 1).variant, Variant::kCopift);
   EXPECT_EQ(grid.point(grid.size() - 1).config.seed, 3u);
   for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_EQ(grid.point(i).index, i);
   EXPECT_THROW(grid.point(grid.size()), Error);
+}
+
+TEST(ParamGrid, UnknownWorkloadNameThrowsWithRegisteredNames) {
+  ParamGrid grid;
+  grid.workloads = {"no_such_workload"};
+  try {
+    (void)grid.point(0);
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_workload"), std::string::npos);
+    EXPECT_NE(what.find("exp"), std::string::npos);  // lists what is registered
+  }
 }
 
 // --- Experiment determinism (the satellite requirement) ---------------------
@@ -169,7 +182,7 @@ void expect_identical(const ResultTable& a, const ResultTable& b) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     const auto& ra = a.at(i);
     const auto& rb = b.at(i);
-    EXPECT_EQ(ra.point.kernel, rb.point.kernel);
+    EXPECT_EQ(ra.point.name(), rb.point.name());
     EXPECT_EQ(ra.point.variant, rb.point.variant);
     EXPECT_EQ(ra.point.config.n, rb.point.config.n);
     EXPECT_EQ(ra.point.config.block, rb.point.config.block);
@@ -195,7 +208,7 @@ void expect_identical(const ResultTable& a, const ResultTable& b) {
 
 Experiment small_sweep() {
   Experiment e;
-  e.over({KernelId::kExp, KernelId::kPiLcg})
+  e.over({"exp", "pi_lcg"})
       .over({Variant::kBaseline, Variant::kCopift})
       .n(256)
       .sweep({16, 32});
@@ -215,7 +228,7 @@ TEST(Experiment, OneThreadAndEightThreadsAreBitIdentical) {
 
 TEST(Experiment, SteadyModeMatchesSteadyMetricsAndIsDeterministic) {
   Experiment e;
-  e.over(KernelId::kExp).over(Variant::kCopift).block(32).steady(320, 640);
+  e.over("exp").over(Variant::kCopift).block(32).steady(320, 640);
   SimEngine serial(1);
   SimEngine wide(8);
   const auto a = e.run(serial);
@@ -227,7 +240,7 @@ TEST(Experiment, SteadyModeMatchesSteadyMetricsAndIsDeterministic) {
   ASSERT_TRUE(row.steady);
   kernels::KernelConfig cfg;
   cfg.block = 32;
-  const auto direct = kernels::steady_metrics(KernelId::kExp, Variant::kCopift, cfg, 320, 640);
+  const auto direct = kernels::steady_metrics("exp", Variant::kCopift, cfg, 320, 640);
   EXPECT_EQ(row.metrics.delta_cycles, direct.delta_cycles);
   EXPECT_EQ(row.metrics.ipc, direct.ipc);
   EXPECT_EQ(row.metrics.energy_pj_per_item, direct.energy_pj_per_item);
@@ -235,7 +248,7 @@ TEST(Experiment, SteadyModeMatchesSteadyMetricsAndIsDeterministic) {
 
 TEST(Experiment, ParamsAxisSweepsSimulatorConfigs) {
   Experiment e;
-  e.over(KernelId::kPiLcg).over(Variant::kBaseline).n(256).block(32);
+  e.over("pi_lcg").over(Variant::kBaseline).n(256).block(32);
   for (const unsigned lat : {1u, 5u}) {
     sim::SimParams p;
     p.mul_latency = lat;
@@ -244,8 +257,8 @@ TEST(Experiment, ParamsAxisSweepsSimulatorConfigs) {
   SimEngine pool(2);
   const auto table = e.run(pool);
   ASSERT_EQ(table.size(), 2u);
-  const auto* fast = table.find(KernelId::kPiLcg, Variant::kBaseline, 0, 0, "1");
-  const auto* slow = table.find(KernelId::kPiLcg, Variant::kBaseline, 0, 0, "5");
+  const auto* fast = table.find("pi_lcg", Variant::kBaseline, 0, 0, "1");
+  const auto* slow = table.find("pi_lcg", Variant::kBaseline, 0, 0, "5");
   ASSERT_NE(fast, nullptr);
   ASSERT_NE(slow, nullptr);
   EXPECT_LT(fast->run.region.cycles, slow->run.region.cycles);
@@ -254,7 +267,7 @@ TEST(Experiment, ParamsAxisSweepsSimulatorConfigs) {
 
 TEST(Experiment, VerifyPredicateSelectsPerPoint) {
   Experiment e;
-  e.over(KernelId::kExp).over(Variant::kCopift).sweep_n({256, 512}).block(32).verify_if(
+  e.over("exp").over(Variant::kCopift).sweep_n({256, 512}).block(32).verify_if(
       [](const GridPoint& p) { return p.config.n <= 256; });
   SimEngine pool(2);
   const auto table = e.run(pool);
@@ -265,16 +278,16 @@ TEST(Experiment, VerifyPredicateSelectsPerPoint) {
 
 TEST(Experiment, VerificationFailurePropagatesFromWorkers) {
   // pi estimation at a size that violates the MC unroll contract throws in
-  // generate(); a grid with such a point must surface the error.
+  // validate(); a grid with such a point must surface the error.
   Experiment e;
-  e.over(KernelId::kPiLcg).over(Variant::kCopift).sweep_n({12}).block(32);
+  e.over("pi_lcg").over(Variant::kCopift).sweep_n({12}).block(32);
   SimEngine pool(4);
   EXPECT_THROW((void)e.run(pool), Error);
 }
 
 TEST(ResultTable, CsvAndJsonCarryTheGrid) {
   Experiment e;
-  e.over(KernelId::kExp).over(Variant::kCopift).n(256).sweep({16, 32});
+  e.over("exp").over(Variant::kCopift).n(256).sweep({16, 32});
   SimEngine pool(2);
   const auto table = e.run(pool);
   const std::string csv = table.csv();

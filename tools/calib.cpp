@@ -7,26 +7,25 @@
 #include "engine/experiment.hpp"
 
 using namespace copift;
-using namespace copift::kernels;
+using workload::Variant;
 
 int main(int argc, char** argv) {
   engine::SimEngine pool(engine::parse_threads(argc, argv));
   const auto table = engine::Experiment()
-                         .over(kAllKernels)
+                         .over(std::span<const std::string_view>(kernels::kPaperWorkloads))
                          .over({Variant::kBaseline, Variant::kCopift})
                          .n(3840)
                          .block(96)
                          .run(pool);
 
-  const char* names[] = {"exp", "log", "poly_lcg", "pi_lcg", "poly_x", "pi_x"};
-  for (int k = 0; k < 6; ++k) {
+  for (const auto name : kernels::kPaperWorkloads) {
     for (auto v : {Variant::kBaseline, Variant::kCopift}) {
-      const auto* row = table.find(kAllKernels[k], v);
+      const auto* row = table.find(name, v);
       if (row == nullptr) throw Error("missing calib row");
       const auto& c = row->run.region;
       const double cy = static_cast<double>(c.cycles);
-      printf("%-8s %-6s cyc=%7llu tcdm/cy=%.3f l0ref/cy=%.4f ssr/cy=%.3f dma_busy/cy=%.4f fp/cy=%.3f int/cy=%.3f\n",
-             names[k], v == Variant::kBaseline ? "base" : "copift",
+      printf("%-16s %-6s cyc=%7llu tcdm/cy=%.3f l0ref/cy=%.4f ssr/cy=%.3f dma_busy/cy=%.4f fp/cy=%.3f int/cy=%.3f\n",
+             std::string(name).c_str(), workload::variant_name(v),
              (unsigned long long)c.cycles, (c.tcdm_reads + c.tcdm_writes) / cy,
              c.l0_refills / cy, c.ssr_elements / cy, c.dma_busy_cycles / cy,
              (double)c.fp_retired / cy, (double)c.int_retired / cy);

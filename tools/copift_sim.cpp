@@ -1,16 +1,18 @@
 // copift-sim: command-line driver for the Snitch cluster simulator.
 //
 // Usage:
-//   copift_sim <file.s> [--trace] [--max-cycles N] [--dump-counters]
-//   copift_sim --kernel <name> --variant <base|copift|both> [--n N] [--block B]
+//   copift_sim <file.s> [--trace] [--max-cycles N]
+//   copift_sim --list
+//   copift_sim --kernel <name> [--variant base|copift|both] [--n N] [--block B]
 //   copift_sim --kernel <name> --sweep <axis>=<v1,v2,...> [--sweep ...]
 //              [--threads N] [--json] [--no-verify]
 //
-// Runs an assembly file (or a generated paper kernel) and prints the run
-// summary, per-region IPC and the energy report. With `--sweep`, expands the
-// requested axes (block, n, seed) into a grid, fans the independent runs out
-// over `--threads N` engine workers, and prints the result table as CSV (or
-// JSON with `--json`).
+// Runs an assembly file (or any workload registered in the WorkloadRegistry)
+// and prints the run summary, per-region IPC and the energy report. With
+// `--sweep`, expands the requested axes (block, n, seed) into a grid, fans
+// the independent runs out over `--threads N` engine workers, and prints the
+// result table as CSV (or JSON with `--json`). `--list` shows every
+// registered workload with its supported variants and default configuration.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +26,7 @@
 #include "kernels/runner.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -32,11 +35,34 @@ using namespace copift;
 int usage() {
   std::fprintf(stderr,
                "usage: copift_sim <file.s> [--trace] [--max-cycles N]\n"
-               "       copift_sim --kernel <exp|log|poly_lcg|pi_lcg|poly_xoshiro128p|"
-               "pi_xoshiro128p>\n"
-               "                  [--variant base|copift|both] [--n N] [--block B] [--trace]\n"
+               "       copift_sim --list\n"
+               "       copift_sim --kernel <name> [--variant base|copift|both]\n"
+               "                  [--n N] [--block B] [--seed S] [--trace]\n"
                "                  [--sweep block=16,64] [--sweep n=256,512] [--sweep seed=1,2]\n"
-               "                  [--threads N] [--json] [--no-verify]\n");
+               "                  [--threads N] [--json] [--no-verify]\n"
+               "       (see `copift_sim --list` for the registered workload names)\n");
+  return 2;
+}
+
+int list_workloads() {
+  const auto& registry = workload::WorkloadRegistry::instance();
+  std::printf("%-18s %-18s %-26s %s\n", "workload", "variants", "default config",
+              "description");
+  for (const auto& name : registry.names()) {
+    const auto w = registry.find(name);
+    const auto cfg = w->default_config();
+    char cfgbuf[64];
+    std::snprintf(cfgbuf, sizeof(cfgbuf), "n=%u block=%u seed=%u", cfg.n, cfg.block, cfg.seed);
+    std::printf("%-18s %-18s %-26s %s\n", name.c_str(), w->variants_list().c_str(), cfgbuf,
+                w->description().c_str());
+  }
+  return 0;
+}
+
+int unknown_workload(const std::string& name) {
+  std::fprintf(stderr, "error: unknown workload '%s'\nregistered workloads: %s\n",
+               name.c_str(),
+               workload::WorkloadRegistry::instance().names_list().c_str());
   return 2;
 }
 
@@ -108,25 +134,32 @@ bool parse_sweep(const std::string& arg, SweepSpec& out) {
 int main(int argc, char** argv) {
   std::string file;
   std::string kernel;
-  std::string variant = "copift";
+  std::string variant;  // empty = workload default
   bool trace = false;
   bool json = false;
   bool verify = true;
   std::uint64_t max_cycles = 0;
-  std::uint32_t n = 1920;
-  std::uint32_t block = 96;
+  // -1 = flag absent, use the workload's default (0 is a legal user value
+  // that validate() will reject with a config-specific message).
+  std::int64_t n = -1;
+  std::int64_t block = -1;
+  std::int64_t seed = -1;
   unsigned threads = 0;
   std::vector<SweepSpec> sweeps;
   try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
+    else if (arg == "--list") return list_workloads();
     else if (arg == "--json") json = true;
     else if (arg == "--no-verify") verify = false;
     else if (arg == "--kernel" && i + 1 < argc) kernel = argv[++i];
     else if (arg == "--variant" && i + 1 < argc) variant = argv[++i];
     else if (arg == "--n" && i + 1 < argc) n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     else if (arg == "--block" && i + 1 < argc) block = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--seed" && i + 1 < argc) seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    // (numeric flag values are parsed as uint32 and stored widened, so -1
+    // never collides with a user-supplied value)
     else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::stoull(argv[++i]);
     else if (arg == "--threads" && i + 1 < argc) threads = static_cast<unsigned>(std::stoul(argv[++i]));
     else if (arg == "--sweep" && i + 1 < argc) {
@@ -142,7 +175,10 @@ int main(int argc, char** argv) {
   }
   if (file.empty() && kernel.empty()) return usage();
   if (!sweeps.empty() && kernel.empty()) return usage();
-  if (variant != "base" && variant != "copift" && variant != "both") return usage();
+  if (!variant.empty() && variant != "base" && variant != "baseline" && variant != "copift" &&
+      variant != "both") {
+    return usage();
+  }
   if (variant == "both" && sweeps.empty()) {
     std::fprintf(stderr, "error: --variant both requires --sweep\n");
     return usage();
@@ -152,25 +188,39 @@ int main(int argc, char** argv) {
     sim::SimParams params;
     if (max_cycles > 0) params.max_cycles = max_cycles;
 
-    kernels::KernelId id = kernels::KernelId::kExp;
+    std::shared_ptr<const workload::Workload> wl;
+    std::vector<workload::Variant> run_variants;
+    kernels::KernelConfig cfg;
     if (!kernel.empty()) {
-      if (kernel == "exp") id = kernels::KernelId::kExp;
-      else if (kernel == "log") id = kernels::KernelId::kLog;
-      else if (kernel == "poly_lcg") id = kernels::KernelId::kPolyLcg;
-      else if (kernel == "pi_lcg") id = kernels::KernelId::kPiLcg;
-      else if (kernel == "poly_xoshiro128p") id = kernels::KernelId::kPolyXoshiro;
-      else if (kernel == "pi_xoshiro128p") id = kernels::KernelId::kPiXoshiro;
-      else return usage();
+      wl = workload::WorkloadRegistry::instance().find(kernel);
+      if (wl == nullptr) return unknown_workload(kernel);
+      cfg = wl->default_config();
+      if (n >= 0) cfg.n = static_cast<std::uint32_t>(n);
+      if (block >= 0) cfg.block = static_cast<std::uint32_t>(block);
+      if (seed >= 0) cfg.seed = static_cast<std::uint32_t>(seed);
+      if (variant == "both") {
+        run_variants = {workload::Variant::kBaseline, workload::Variant::kCopift};
+      } else if (!variant.empty()) {
+        run_variants = {workload::variant_from(variant)};
+      } else {
+        run_variants = {wl->default_variant()};
+      }
+      for (const auto v : run_variants) {
+        if (!wl->supports(v)) {
+          std::fprintf(stderr, "error: workload '%s' does not support variant '%s'"
+                       " (supported: %s)\n",
+                       kernel.c_str(), workload::variant_name(v),
+                       wl->variants_list().c_str());
+          return 2;
+        }
+      }
     }
 
     if (!sweeps.empty()) {
       // Batch mode: expand the sweep axes into one engine experiment.
       engine::Experiment experiment;
-      experiment.over(id).n(n).block(block).verify(verify);
-      if (variant == "base") experiment.over(kernels::Variant::kBaseline);
-      else if (variant == "both")
-        experiment.over({kernels::Variant::kBaseline, kernels::Variant::kCopift});
-      else experiment.over(kernels::Variant::kCopift);
+      experiment.over(kernel).n(cfg.n).block(cfg.block).seed(cfg.seed).verify(verify);
+      experiment.over(std::span<const workload::Variant>(run_variants));
       if (max_cycles > 0) experiment.with_params("default", params);
       for (const auto& spec : sweeps) {
         const std::span<const std::uint32_t> values(spec.values);
@@ -190,17 +240,12 @@ int main(int argc, char** argv) {
     std::string source;
     kernels::GeneratedKernel generated;
     bool have_kernel = false;
-    if (!kernel.empty()) {
-      kernels::KernelConfig cfg;
-      cfg.n = n;
-      cfg.block = block;
-      generated = kernels::generate(
-          id, variant == "base" ? kernels::Variant::kBaseline : kernels::Variant::kCopift,
-          cfg);
+    if (wl != nullptr) {
+      generated = wl->instantiate(run_variants.front(), cfg);
       source = generated.source;
       have_kernel = true;
-      std::printf("kernel %s (%s), n=%u, block=%u\n", kernel.c_str(), variant.c_str(), n,
-                  block);
+      std::printf("workload %s (%s), n=%u, block=%u, seed=%u\n", kernel.c_str(),
+                  workload::variant_name(generated.variant), cfg.n, cfg.block, cfg.seed);
     } else {
       std::ifstream in(file);
       if (!in) {

@@ -1,22 +1,35 @@
+// Quick per-workload smoke run: every registered workload, every supported
+// variant, one small configuration. `smoke <name>` restricts to one workload.
 #include <cstdio>
+#include <cstring>
+
 #include "kernels/runner.hpp"
+#include "workload/workload.hpp"
+
 using namespace copift;
-using namespace copift::kernels;
+
 int main(int argc, char** argv) {
-  KernelConfig cfg; cfg.n = 256; cfg.block = 32;
-  const char* names[] = {"exp","log","poly_lcg","pi_lcg","poly_x","pi_x"};
-  KernelId ids[] = {KernelId::kExp, KernelId::kLog, KernelId::kPolyLcg, KernelId::kPiLcg, KernelId::kPolyXoshiro, KernelId::kPiXoshiro};
-  int only = argc > 1 ? atoi(argv[1]) : -1;
-  for (int k = 0; k < 6; ++k) {
-    if (only >= 0 && k != only) continue;
-    for (auto v : {Variant::kBaseline, Variant::kCopift}) {
+  const char* only = argc > 1 ? argv[1] : nullptr;
+  const auto& registry = workload::WorkloadRegistry::instance();
+  if (only != nullptr && registry.find(only) == nullptr) {
+    fprintf(stderr, "smoke: unknown workload '%s'\nregistered workloads: %s\n", only,
+            registry.names_list().c_str());
+    return 2;
+  }
+  for (const auto& name : registry.names()) {
+    if (only != nullptr && name != only) continue;
+    const auto w = registry.find(name);
+    workload::WorkloadConfig cfg = w->default_config();
+    cfg.n = 256;
+    cfg.block = 32;
+    for (const auto v : w->variants()) {
       try {
-        auto run = run_kernel(generate(ids[k], v, cfg));
-        printf("%-8s %-8s OK  ipc=%.3f cycles=%llu power=%.1f mW\n", names[k],
-               v==Variant::kBaseline?"base":"copift", run.ipc(),
+        const auto run = kernels::run_kernel(w->instantiate(v, cfg));
+        printf("%-18s %-8s OK  ipc=%.3f cycles=%llu power=%.1f mW\n", name.c_str(),
+               workload::variant_name(v), run.ipc(),
                (unsigned long long)run.region.cycles, run.power_mw());
       } catch (const std::exception& e) {
-        printf("%-8s %-8s FAIL: %s\n", names[k], v==Variant::kBaseline?"base":"copift", e.what());
+        printf("%-18s %-8s FAIL: %s\n", name.c_str(), workload::variant_name(v), e.what());
       }
     }
   }

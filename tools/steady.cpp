@@ -1,6 +1,7 @@
 // Steady-state comparison table (base vs COPIFT) for all six paper kernels,
-// produced by one engine experiment. `--threads N` sets the pool size;
-// `--csv` dumps the raw ResultTable instead of the formatted summary.
+// produced by one engine experiment over their registry names. `--threads N`
+// sets the pool size; `--csv` dumps the raw ResultTable instead of the
+// formatted summary.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -9,7 +10,7 @@
 #include "engine/experiment.hpp"
 
 using namespace copift;
-using namespace copift::kernels;
+using workload::Variant;
 
 int main(int argc, char** argv) {
   bool csv = false;
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
 
   engine::SimEngine pool(engine::parse_threads(argc, argv));
   const auto table = engine::Experiment()
-                         .over(kAllKernels)
+                         .over(std::span<const std::string_view>(kernels::kPaperWorkloads))
                          .over({Variant::kBaseline, Variant::kCopift})
                          .block(96)
                          .steady(1920, 3840)
@@ -29,18 +30,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const char* names[] = {"exp", "log", "poly_lcg", "pi_lcg", "poly_x", "pi_x"};
-  printf("%-10s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel", "b.ipc", "c.ipc", "gain",
+  printf("%-18s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel", "b.ipc", "c.ipc", "gain",
          "b.mW", "c.mW", "ratio", "speedup", "E.impr");
-  for (int k = 0; k < 6; ++k) {
-    const auto* b = table.find(kAllKernels[k], Variant::kBaseline);
-    const auto* c = table.find(kAllKernels[k], Variant::kCopift);
+  for (const auto name : kernels::kPaperWorkloads) {
+    const auto* b = table.find(name, Variant::kBaseline);
+    const auto* c = table.find(name, Variant::kCopift);
     if (b == nullptr || c == nullptr) throw Error("missing steady row");
     const double speedup = b->metrics.cycles_per_item / c->metrics.cycles_per_item;
     const double eimpr = b->metrics.energy_pj_per_item / c->metrics.energy_pj_per_item;
-    printf("%-10s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n", names[k],
-           b->metrics.ipc, c->metrics.ipc, c->metrics.ipc / b->metrics.ipc,
-           b->metrics.power_mw, c->metrics.power_mw,
+    printf("%-18s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n",
+           std::string(name).c_str(), b->metrics.ipc, c->metrics.ipc,
+           c->metrics.ipc / b->metrics.ipc, b->metrics.power_mw, c->metrics.power_mw,
            c->metrics.power_mw / b->metrics.power_mw, speedup, eimpr);
   }
   return 0;
