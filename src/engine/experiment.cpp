@@ -1,5 +1,6 @@
 #include "engine/experiment.hpp"
 
+#include <array>
 #include <ostream>
 #include <sstream>
 
@@ -96,12 +97,39 @@ void write_number(std::ostream& os, double v) {
   os << ss.str();
 }
 
+// Stall-cause columns come from the marginal region for steady rows (the
+// prologue-free window the paper reports) and the main-loop region
+// otherwise, so utilization-vs-block plots line up with the IPC columns.
+const sim::ActivityCounters& stall_region(const ResultRow& row) {
+  return row.steady ? row.steady_region : row.run.region;
+}
+
+constexpr std::array<const char*, 19> kStallColumns = {
+    "int_issue_cycles", "int_stall_cycles", "int_halt_cycles", "stall_raw",
+    "stall_wb_port", "stall_offload_full", "stall_icache", "stall_branch",
+    "stall_div_busy", "stall_tcdm", "stall_mem_order", "stall_barrier",
+    "fpss_issue_cycles", "fpss_stall_cycles", "fpss_idle", "fpss_stall_raw",
+    "fpss_stall_ssr", "fpss_stall_struct", "fpss_stall_tcdm"};
+
+/// The stall-cause values in kStallColumns order.
+std::array<std::uint64_t, 19> stall_values(const sim::ActivityCounters& r) {
+  return {r.int_issue_cycles(), r.int_stall_cycles(), r.int_halt_cycles,
+          r.stall_raw,          r.stall_wb_port,      r.stall_offload_full,
+          r.stall_icache,       r.stall_branch,       r.stall_div_busy,
+          r.stall_tcdm,         r.stall_mem_order,    r.stall_barrier,
+          r.fpss_issue_cycles(), r.fpss_stall_cycles(), r.fpss_idle,
+          r.fpss_stall_raw,     r.fpss_stall_ssr,     r.fpss_stall_struct,
+          r.fpss_stall_tcdm};
+}
+
 }  // namespace
 
 void ResultTable::write_csv(std::ostream& os) const {
   os << "index,kernel,variant,n,block,seed,params,verified,cycles,region_cycles,"
         "int_retired,fp_retired,ipc,power_mw,energy_nj,steady,steady_ipc,"
-        "cycles_per_item,energy_pj_per_item\n";
+        "cycles_per_item,energy_pj_per_item";
+  for (const char* col : kStallColumns) os << ',' << col;
+  os << '\n';
   for (const auto& row : rows_) {
     const auto& p = row.point;
     os << p.index << ',' << p.name() << ',' << workload::variant_name(p.variant)
@@ -120,6 +148,7 @@ void ResultTable::write_csv(std::ostream& os) const {
     write_number(os, row.steady ? row.metrics.cycles_per_item : 0.0);
     os << ',';
     write_number(os, row.steady ? row.metrics.energy_pj_per_item : 0.0);
+    for (const std::uint64_t v : stall_values(stall_region(row))) os << ',' << v;
     os << '\n';
   }
 }
@@ -149,7 +178,12 @@ void ResultTable::write_json(std::ostream& os) const {
       os << ",\"energy_pj_per_item\":";
       write_number(os, row.metrics.energy_pj_per_item);
     }
-    os << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+    os << ",\"stalls\":{";
+    const auto values = stall_values(stall_region(row));
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      os << (s == 0 ? "" : ",") << '"' << kStallColumns[s] << "\":" << values[s];
+    }
+    os << "}}" << (i + 1 < rows_.size() ? "," : "") << '\n';
   }
   os << "]\n";
 }

@@ -2,7 +2,9 @@
 //
 // This is the top-level simulation object: load an assembled program,
 // `run()` it to completion (ecall), then read the activity counters, region
-// snapshots and memory state.
+// snapshots and memory state — and, with the tracer enabled before run(),
+// the per-cycle instruction/stall streams that feed the Perfetto export and
+// stall report (sim/trace_export.hpp).
 #pragma once
 
 #include <cstdint>
@@ -60,8 +62,9 @@ class Cluster {
   [[nodiscard]] FpSubsystem& fpss() noexcept { return fpss_; }
   [[nodiscard]] ssr::SsrUnit& ssr() noexcept { return ssr_; }
   [[nodiscard]] mem::DmaEngine& dma() noexcept { return dma_; }
-  /// Instruction tracer (disabled by default; enable before run()).
+  /// Instruction + stall tracer (disabled by default; enable before run()).
   [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
 
  private:
   std::shared_ptr<const rvasm::Program> program_;

@@ -45,6 +45,24 @@ IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
   wb_ring_mask_ = size - 1;
 }
 
+void IntCore::account(std::uint64_t now, StallCause cause) {
+  switch (cause) {
+    case StallCause::kIntRaw: ++counters_->stall_raw; break;
+    case StallCause::kIntWbPort: ++counters_->stall_wb_port; break;
+    case StallCause::kIntOffloadFull: ++counters_->stall_offload_full; break;
+    case StallCause::kIntFrontend: ++counters_->stall_icache; break;
+    case StallCause::kIntBranch: ++counters_->stall_branch; break;
+    case StallCause::kIntDivBusy: ++counters_->stall_div_busy; break;
+    case StallCause::kIntTcdm: ++counters_->stall_tcdm; break;
+    case StallCause::kIntMemOrder: ++counters_->stall_mem_order; break;
+    case StallCause::kIntBarrier: ++counters_->stall_barrier; break;
+    case StallCause::kIntOffload: ++counters_->int_offloads; break;
+    case StallCause::kIntHalted: ++counters_->int_halt_cycles; break;
+    default: throw SimError("FPSS stall cause attributed to the integer core");
+  }
+  tracer_->record_stall(now, TraceUnit::kIntCore, cause);
+}
+
 void IntCore::write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at) {
   if (rd == 0) return;
   regs_[rd] = value;
@@ -144,7 +162,7 @@ bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
   const bool is_set = instr.mnemonic == Mnemonic::kCsrrs || instr.mnemonic == Mnemonic::kCsrrsi;
   const bool need_rd = instr.rd != 0;
   if (need_rd && !wb_free(now + 1)) {
-    ++counters_->stall_wb_port;
+    account(now, StallCause::kIntWbPort);
     return false;
   }
   std::uint32_t old = 0;
@@ -161,7 +179,7 @@ bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
       next &= 1;
       if (old != 0 && next == 0 && !(ssr_->all_idle() && fpss_->idle())) {
         // Disabling waits for streams and in-flight FP work to drain.
-        ++counters_->stall_barrier;
+        account(now, StallCause::kIntBarrier);
         return false;
       }
       ssr_->set_enabled(next != 0);
@@ -169,7 +187,7 @@ bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
     }
     case isa::kCsrFpss:
       if (need_rd && !fpss_->idle()) {
-        ++counters_->stall_barrier;
+        account(now, StallCause::kIntBarrier);
         return false;
       }
       old = 0;
@@ -236,16 +254,19 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       }
     }
   }
-  if (halted_) return std::nullopt;
+  if (halted_) {
+    account(now, StallCause::kIntHalted);
+    return std::nullopt;
+  }
 
   if (fetch_stall_ > 0) {
     --fetch_stall_;
-    ++counters_->stall_icache;
+    account(now, StallCause::kIntFrontend);
     return std::nullopt;
   }
   if (branch_stall_ > 0) {
     --branch_stall_;
-    ++counters_->stall_branch;
+    account(now, StallCause::kIntBranch);
     return std::nullopt;
   }
   if (!fetch_done_) {
@@ -255,7 +276,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     counters_->l0_refills = icache_->stats().refills();
     if (penalty > 0) {
       fetch_stall_ = penalty - 1;  // this cycle is the first stall cycle
-      ++counters_->stall_icache;
+      account(now, StallCause::kIntFrontend);
       return std::nullopt;
     }
   }
@@ -269,7 +290,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
   };
   if (busy(meta.rs1_class, instr.rs1) || busy(meta.rs2_class, instr.rs2) ||
       busy(meta.rd_class, instr.rd)) {
-    ++counters_->stall_raw;
+    account(now, StallCause::kIntRaw);
     return std::nullopt;
   }
 
@@ -281,13 +302,13 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       if (meta.unit == ExecUnit::kMul) latency = params_.mul_latency;
       if (meta.unit == ExecUnit::kDiv) {
         if (div_busy_until_ > now) {
-          ++counters_->stall_div_busy;
+          account(now, StallCause::kIntDivBusy);
           return std::nullopt;
         }
         latency = params_.div_latency;
       }
       if (instr.rd != 0 && !wb_free(now + latency)) {
-        ++counters_->stall_wb_port;
+        account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
       execute_alu(instr, now);
@@ -302,13 +323,13 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
     case ExecUnit::kLoad: {
       if (instr.rd != 0 && !wb_free(now + params_.load_use_latency)) {
-        ++counters_->stall_wb_port;
+        account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
       mem_addr_ = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
       // Program-order interlock: wait for overlapping queued FP stores.
       if (fpss_->store_conflict(mem_addr_, 4)) {
-        ++counters_->stall_mem_order;
+        account(now, StallCause::kIntMemOrder);
         return std::nullopt;
       }
       mem_action_ = MemAction::kLoad;
@@ -346,7 +367,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
     case ExecUnit::kJump: {
       if (instr.rd != 0 && !wb_free(now + 1)) {
-        ++counters_->stall_wb_port;
+        account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
       std::uint32_t target;
@@ -377,7 +398,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       return std::nullopt;
     case ExecUnit::kFrep: {
       if (fpss_->fifo_full()) {
-        ++counters_->stall_offload_full;
+        account(now, StallCause::kIntOffloadFull);
         return std::nullopt;
       }
       OffloadEntry entry;
@@ -393,7 +414,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
     case ExecUnit::kSsrCfg: {
       if (fpss_->fifo_full()) {
-        ++counters_->stall_offload_full;
+        account(now, StallCause::kIntOffloadFull);
         return std::nullopt;
       }
       OffloadEntry entry;
@@ -413,7 +434,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
     case ExecUnit::kDma: {
       if (instr.rd != 0 && !wb_free(now + 1)) {
-        ++counters_->stall_wb_port;
+        account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
       switch (instr.mnemonic) {
@@ -438,18 +459,20 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
         ++counters_->barriers;
         retire_and_advance(pc_ + 4, now);
       } else {
-        ++counters_->stall_barrier;
+        account(now, StallCause::kIntBarrier);
       }
       return std::nullopt;
     case ExecUnit::kFpu:
     case ExecUnit::kFpLoad:
     case ExecUnit::kFpStore: {
       if (fpss_->fifo_full()) {
-        ++counters_->stall_offload_full;
+        account(now, StallCause::kIntOffloadFull);
         return std::nullopt;
       }
       offload_fp(instr, now);
-      // Offloaded instructions are counted when the FPSS issues them.
+      // Offloaded instructions retire (fp_retired) when the FPSS issues
+      // them; the handoff still occupies this cycle's integer issue slot.
+      account(now, StallCause::kIntOffload);
       pc_ += 4;
       fetch_done_ = false;
       return std::nullopt;
@@ -461,7 +484,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
 void IntCore::commit(std::uint64_t now, bool granted) {
   if (mem_action_ == MemAction::kNone) return;
   if (!granted) {
-    ++counters_->stall_tcdm;
+    account(now, StallCause::kIntTcdm);
     mem_action_ = MemAction::kNone;
     return;
   }

@@ -46,6 +46,10 @@ class IntCore {
   static constexpr std::uint64_t kBusy = ~std::uint64_t{0};  // written by FPSS later
 
   void write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at);
+  // Attribute a non-retiring issue-slot cycle: bumps the matching
+  // ActivityCounters field and, when tracing, records the StallEvent — the
+  // single place that keeps counters and trace in lockstep.
+  void account(std::uint64_t now, StallCause cause);
   // Single RF write-port bookings live in a fixed ring indexed by cycle:
   // a slot blocks exactly the cycle stored in it, so entries for past cycles
   // go stale by construction and are overwritten in place — no per-cycle

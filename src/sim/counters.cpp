@@ -8,6 +8,9 @@ ActivityCounters ActivityCounters::minus(const ActivityCounters& e) const noexce
   d.int_retired = int_retired - e.int_retired;
   d.fp_retired = fp_retired - e.fp_retired;
   d.frep_replays = frep_replays - e.frep_replays;
+  d.int_offloads = int_offloads - e.int_offloads;
+  d.int_halt_cycles = int_halt_cycles - e.int_halt_cycles;
+  d.fpss_cfg_cycles = fpss_cfg_cycles - e.fpss_cfg_cycles;
   d.int_alu = int_alu - e.int_alu;
   d.int_mul = int_mul - e.int_mul;
   d.int_div = int_div - e.int_div;

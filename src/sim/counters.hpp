@@ -3,6 +3,17 @@
 // Every architectural event the energy model charges for is counted here;
 // region markers (csrw region, id) snapshot the whole struct so callers can
 // compute per-region deltas (e.g. steady-state IPC as in paper Fig. 2a).
+//
+// The issue-slot counters obey an exact per-unit accounting identity over
+// any simulated interval (asserted in tests/test_trace.cpp):
+//
+//   int_issue_cycles() + int_stall_cycles() + int_halt_cycles == cycles
+//   fpss_issue_cycles() + fpss_stall_cycles() + fpss_idle     == cycles
+//
+// i.e. every cycle of each unit is attributed to exactly one cause: an
+// issue (retire, offload handoff, or config consumption), a named stall,
+// or idleness. `sim/trace.hpp` records the same attribution per cycle when
+// tracing is enabled; `sim/trace_export.hpp` renders it.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +31,16 @@ struct ActivityCounters {
   std::uint64_t int_retired = 0;
   std::uint64_t fp_retired = 0;
   std::uint64_t frep_replays = 0;
+
+  // Issue-slot cycles that are neither retires nor stalls: `int_offloads`
+  // counts cycles the integer core spent handing an instruction to the FPSS
+  // offload FIFO (the instruction retires later, on the FPSS side);
+  // `int_halt_cycles` counts post-ecall cycles where the core sat halted
+  // while in-flight FP work drained; `fpss_cfg_cycles` counts cycles the
+  // FPSS spent consuming an SSR/FREP configuration entry.
+  std::uint64_t int_offloads = 0;
+  std::uint64_t int_halt_cycles = 0;
+  std::uint64_t fpss_cfg_cycles = 0;
 
   // Integer-side events.
   std::uint64_t int_alu = 0;
@@ -81,6 +102,21 @@ struct ActivityCounters {
   [[nodiscard]] std::uint64_t retired() const noexcept { return int_retired + fp_retired; }
   [[nodiscard]] double ipc() const noexcept {
     return cycles == 0 ? 0.0 : static_cast<double>(retired()) / static_cast<double>(cycles);
+  }
+
+  // Issue-slot aggregates (see the accounting identity in the file comment).
+  [[nodiscard]] std::uint64_t int_issue_cycles() const noexcept {
+    return int_retired + int_offloads;
+  }
+  [[nodiscard]] std::uint64_t int_stall_cycles() const noexcept {
+    return stall_raw + stall_wb_port + stall_offload_full + stall_icache + stall_tcdm +
+           stall_barrier + stall_branch + stall_div_busy + stall_mem_order;
+  }
+  [[nodiscard]] std::uint64_t fpss_issue_cycles() const noexcept {
+    return fp_retired + fpss_cfg_cycles;
+  }
+  [[nodiscard]] std::uint64_t fpss_stall_cycles() const noexcept {
+    return fpss_stall_ssr + fpss_stall_raw + fpss_stall_struct + fpss_stall_tcdm;
   }
 
   /// Element-wise difference (this - earlier) for region-delta analysis.

@@ -22,6 +22,19 @@ FpSubsystem::FpSubsystem(const SimParams& params, mem::AddressSpace& memory, ssr
       tracer_(&tracer),
       sequencer_(params.frep_capacity) {}
 
+void FpSubsystem::account(std::uint64_t now, StallCause cause) {
+  switch (cause) {
+    case StallCause::kFpRaw: ++counters_->fpss_stall_raw; break;
+    case StallCause::kFpSsr: ++counters_->fpss_stall_ssr; break;
+    case StallCause::kFpStruct: ++counters_->fpss_stall_struct; break;
+    case StallCause::kFpTcdm: ++counters_->fpss_stall_tcdm; break;
+    case StallCause::kFpCfg: ++counters_->fpss_cfg_cycles; break;
+    case StallCause::kFpIdle: ++counters_->fpss_idle; break;
+    default: throw SimError("integer-core stall cause attributed to the FPSS");
+  }
+  tracer_->record_stall(now, TraceUnit::kFpss, cause);
+}
+
 void FpSubsystem::offload(OffloadEntry entry) {
   if (fifo_full()) throw SimError("offload to full FPSS FIFO");
   add_outstanding(entry.epoch);
@@ -137,7 +150,7 @@ bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry
                                     bool from_replay) {
   const auto& meta = entry.instr.meta();
   if (fpu_busy_until_ > now) {
-    ++counters_->fpss_stall_struct;
+    account(now, StallCause::kFpStruct);
     return false;
   }
   // Source readiness. Integer sources were captured at offload. An SSR
@@ -163,9 +176,9 @@ bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry
   }
   if (raw_stall || ssr_stall) {
     if (ssr_stall) {
-      ++counters_->fpss_stall_ssr;
+      account(now, StallCause::kFpSsr);
     } else {
-      ++counters_->fpss_stall_raw;
+      account(now, StallCause::kFpRaw);
     }
     return false;
   }
@@ -174,16 +187,16 @@ bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry
   const bool dest_ssr = meta.rd_class == RegClass::kFp && ssr_write_reg(entry.instr.rd);
   if (dest_ssr) {
     if (!ssr_->lane(entry.instr.rd).can_push()) {
-      ++counters_->fpss_stall_ssr;
+      account(now, StallCause::kFpSsr);
       return false;
     }
   } else if (meta.rd_class == RegClass::kFp) {
     if (fp_ready_[entry.instr.rd] > now) {  // WAW: wait for in-flight write
-      ++counters_->fpss_stall_raw;
+      account(now, StallCause::kFpRaw);
       return false;
     }
     if (wb_port_.count(now + latency) != 0) {  // one FP-RF write per cycle
-      ++counters_->fpss_stall_struct;
+      account(now, StallCause::kFpStruct);
       return false;
     }
   }
@@ -250,7 +263,7 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
     return std::nullopt;
   }
   if (fifo_.empty()) {
-    ++counters_->fpss_idle;
+    account(now, StallCause::kFpIdle);
     return std::nullopt;
   }
   const OffloadEntry& head = fifo_.front();
@@ -271,23 +284,26 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
         const unsigned reg = imm % 32;
         const unsigned lane = imm / 32;
         if (reg >= ssr::kRegRptr0 && lane < isa::kNumSsrLanes && !ssr_->lane(lane).idle()) {
-          ++counters_->fpss_stall_struct;
+          account(now, StallCause::kFpStruct);
           return std::nullopt;
         }
       }
       OffloadEntry entry = head;
       fifo_.pop_front();
       process_cfg(now, entry);
+      // Config consumption occupies this cycle's FPSS issue slot but is not
+      // an FP retire (the int core already counted ssr_cfg/frep_cfg).
+      account(now, StallCause::kFpCfg);
       return std::nullopt;
     }
     case OffloadKind::kLoad: {
       // WAW on the destination register.
       if (fp_ready_[head.instr.rd] > now) {
-        ++counters_->fpss_stall_raw;
+        account(now, StallCause::kFpRaw);
         return std::nullopt;
       }
       if (wb_port_.count(now + params_.fp_load_latency) != 0) {
-        ++counters_->fpss_stall_struct;
+        account(now, StallCause::kFpStruct);
         return std::nullopt;
       }
       mem_action_ = MemAction::kLoad;
@@ -298,11 +314,11 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
       const unsigned rs2 = head.instr.rs2;
       if (ssr_read_reg(rs2)) {
         if (!ssr_->lane(rs2).can_pop()) {
-          ++counters_->fpss_stall_ssr;
+          account(now, StallCause::kFpSsr);
           return std::nullopt;
         }
       } else if (fp_ready_[rs2] > now) {
-        ++counters_->fpss_stall_raw;
+        account(now, StallCause::kFpRaw);
         return std::nullopt;
       }
       (void)meta;
@@ -316,7 +332,7 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
 void FpSubsystem::commit(std::uint64_t now, bool granted) {
   if (mem_action_ == MemAction::kNone) return;
   if (!granted) {
-    ++counters_->fpss_stall_tcdm;
+    account(now, StallCause::kFpTcdm);
     mem_action_ = MemAction::kNone;
     return;
   }

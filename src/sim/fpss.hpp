@@ -94,6 +94,10 @@ class FpSubsystem {
     IntWriteback int_wb;
   };
 
+  // Attribute a non-issuing cycle: bumps the matching ActivityCounters field
+  // and, when tracing, records the StallEvent (counters and trace stay in
+  // lockstep). FREP replay slots are attributed to the FPSS track too.
+  void account(std::uint64_t now, StallCause cause);
   void add_outstanding(std::uint64_t epoch, std::uint64_t n = 1);
   void complete_epoch(std::uint64_t epoch);
   void schedule_completion(std::uint64_t cycle, Completion c);

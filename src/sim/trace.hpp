@@ -1,9 +1,20 @@
-// Instruction trace collection (Snitch-style simulation traces).
+// Instruction trace and issue-slot attribution (Snitch-style traces).
 //
-// When attached to a cluster, the tracer records one entry per retired
-// instruction with its issue cycle and originating unit, and can render a
-// human-readable listing — the tool of first resort when a kernel's
-// schedule doesn't behave (stalls, barrier waits, FREP replays).
+// When attached to a cluster, the tracer records two parallel streams:
+//
+//  * one `TraceEntry` per retired instruction (issue cycle, pc, unit), and
+//  * one `StallEvent` per non-retiring cycle of each unit, tagged with the
+//    stall cause (RAW, write-port conflict, offload FIFO full, frontend,
+//    TCDM conflict, barrier wait, ...) or the occupied/idle reason
+//    (offload handoff, SSR/FREP config, post-ecall drain, empty FIFO).
+//
+// Together the streams cover every simulated cycle of every unit exactly
+// once — the same attribution the ActivityCounters accumulate in aggregate.
+// `render()` produces a human-readable listing; `sim/trace_export.hpp` adds
+// the Chrome/Perfetto trace-event JSON exporter and the top-down stall
+// report. This is the tool of first resort when a kernel's schedule doesn't
+// behave (stalls, barrier waits, FREP replays): see
+// docs/performance-debugging.md for the workflow.
 #pragma once
 
 #include <cstdint>
@@ -16,11 +27,64 @@ namespace copift::sim {
 
 enum class TraceUnit : std::uint8_t { kIntCore, kFpss, kFrepReplay };
 
+/// Why a unit's issue slot did not retire an instruction this cycle. The
+/// first group are integer-core causes, the second FPSS causes; each maps
+/// 1:1 onto an ActivityCounters field (see stall_cause_counter_name()).
+enum class StallCause : std::uint8_t {
+  // Integer core.
+  kIntRaw,          // operand not ready (incl. waiting on an FPSS writeback)
+  kIntWbPort,       // single RF write port already booked for the result cycle
+  kIntOffloadFull,  // accelerator bus busy: offload FIFO full (often FREP replay serialization)
+  kIntFrontend,     // L0 I$ miss / fetch penalty
+  kIntBranch,       // taken-branch or jump bubble
+  kIntDivBusy,      // iterative divider occupied by an earlier div/rem
+  kIntTcdm,         // lost TCDM bank arbitration
+  kIntMemOrder,     // load held back by an overlapping queued FP store
+  kIntBarrier,      // copift.barrier / FPSS or SSR drain wait
+  kIntOffload,      // occupied: instruction handed to the FPSS FIFO this cycle
+  kIntHalted,       // idle: post-ecall, waiting for FP work to drain
+  // FPSS.
+  kFpRaw,           // FP operand in flight (RAW/WAW on the FP register file)
+  kFpSsr,           // SSR lane empty (read) or full (write)
+  kFpStruct,        // FPU busy, FP-RF write port booked, or lane re-arm wait
+  kFpTcdm,          // lost TCDM bank arbitration
+  kFpCfg,           // occupied: SSR/FREP config entry consumed this cycle
+  kFpIdle,          // idle: offload FIFO empty, nothing to do
+};
+
+/// Coarse classification of a StallCause for reports and trace coloring.
+enum class SlotKind : std::uint8_t { kIssue, kStall, kIdle };
+
+struct ActivityCounters;
+
+[[nodiscard]] SlotKind slot_kind(StallCause cause) noexcept;
+[[nodiscard]] const char* stall_cause_name(StallCause cause) noexcept;
+/// Name of the ActivityCounters field the cause accumulates into.
+[[nodiscard]] const char* stall_cause_counter_name(StallCause cause) noexcept;
+/// Value of that field — the taxonomy table owns the cause->field mapping,
+/// so consumers (and tests) can iterate all causes without hand-kept lists.
+[[nodiscard]] std::uint64_t stall_cause_counter_value(const ActivityCounters& counters,
+                                                     StallCause cause) noexcept;
+[[nodiscard]] const char* trace_unit_name(TraceUnit unit) noexcept;
+/// One-line-per-cause legend of the whole taxonomy (printed by
+/// `copift_sim --report` so the output is self-describing).
+[[nodiscard]] std::string stall_taxonomy_legend();
+
+constexpr unsigned kNumStallCauses = static_cast<unsigned>(StallCause::kFpIdle) + 1;
+
 struct TraceEntry {
   std::uint64_t cycle = 0;
-  std::uint32_t pc = 0;  // 0 for FREP replays (no fetch)
+  std::uint32_t pc = 0;  // 0 for FPSS-side entries (no fetch)
   isa::Instr instr;
   TraceUnit unit = TraceUnit::kIntCore;
+};
+
+/// One non-retiring cycle of one unit, attributed to its cause. FREP replay
+/// issue slots live on the FPSS track, so `unit` is kIntCore or kFpss only.
+struct StallEvent {
+  std::uint64_t cycle = 0;
+  TraceUnit unit = TraceUnit::kIntCore;
+  StallCause cause = StallCause::kIntRaw;
 };
 
 class Tracer {
@@ -31,10 +95,22 @@ class Tracer {
     entries_.push_back(TraceEntry{cycle, pc, instr, unit});
   }
 
+  /// Attribute a non-retiring cycle of `unit` to `cause`. Called by the
+  /// units in lockstep with the ActivityCounters stall fields, so with
+  /// tracing on, entries + stalls cover every cycle of every unit once.
+  void record_stall(std::uint64_t cycle, TraceUnit unit, StallCause cause) {
+    if (!enabled_) return;
+    stalls_.push_back(StallEvent{cycle, unit, cause});
+  }
+
   void set_enabled(bool on) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] const std::vector<StallEvent>& stalls() const noexcept { return stalls_; }
+  void clear() {
+    entries_.clear();
+    stalls_.clear();
+  }
 
   /// Render the trace (optionally a cycle range) as text, one line per
   /// retired instruction: cycle, unit tag, pc, disassembly.
@@ -48,6 +124,7 @@ class Tracer {
  private:
   bool enabled_ = false;
   std::vector<TraceEntry> entries_;
+  std::vector<StallEvent> stalls_;
 };
 
 }  // namespace copift::sim

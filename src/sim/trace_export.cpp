@@ -1,0 +1,245 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace copift::sim {
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Perfetto assigns colors by slice name, so giving stall slices their cause
+// name ("int/raw", "fp/ssr", ...) colors each cause consistently.
+const char* slot_category(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kIssue: return "issue";
+    case SlotKind::kStall: return "stall";
+    case SlotKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+struct Slice {
+  std::uint64_t start = 0;
+  std::uint64_t dur = 0;
+  StallCause cause = StallCause::kIntRaw;
+};
+
+/// Merge per-cycle stall events of one unit into maximal same-cause runs.
+std::vector<Slice> merge_stalls(const std::vector<StallEvent>& events, TraceUnit unit) {
+  std::vector<Slice> slices;
+  for (const StallEvent& e : events) {
+    if (e.unit != unit) continue;
+    if (!slices.empty() && slices.back().cause == e.cause &&
+        slices.back().start + slices.back().dur == e.cycle) {
+      ++slices.back().dur;
+    } else {
+      slices.push_back(Slice{e.cycle, 1, e.cause});
+    }
+  }
+  return slices;
+}
+
+void write_event_prefix(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    ";
+}
+
+struct UnitTotals {
+  std::uint64_t issue = 0;
+  std::uint64_t stall = 0;
+  std::uint64_t idle = 0;
+  [[nodiscard]] std::uint64_t total() const { return issue + stall + idle; }
+};
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+void append_bar(std::string& line, double percent) {
+  const auto ticks = static_cast<unsigned>(percent / 2.5);  // 40 chars == 100%
+  line.push_back(' ');
+  line.append(ticks, '#');
+}
+
+void append_cause_row(std::string& out, const char* label, std::uint64_t value,
+                      std::uint64_t total) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "    %-18s %10llu  %5.1f%%", label,
+                static_cast<unsigned long long>(value), pct(value, total));
+  std::string line(buf);
+  append_bar(line, pct(value, total));
+  out += line;
+  out += '\n';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  if (!tracer.enabled()) {
+    throw Error("write_chrome_trace: tracer was not enabled for the run");
+  }
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Track metadata: pid 0 = the cluster, tid 0/1 = int core / FPSS.
+  const auto thread_name = [&](unsigned tid, const char* name) {
+    write_event_prefix(os, first);
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name << "\"}}";
+  };
+  write_event_prefix(os, first);
+  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"copift cluster"}})";
+  thread_name(0, "int core");
+  thread_name(1, "fpss");
+
+  // Retired instructions: one 1-cycle slice each, named by disassembly.
+  for (const TraceEntry& e : tracer.entries()) {
+    write_event_prefix(os, first);
+    const unsigned tid = e.unit == TraceUnit::kIntCore ? 0 : 1;
+    const char* cat = e.unit == TraceUnit::kFrepReplay ? "replay" : "retire";
+    os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.cycle
+       << ",\"dur\":1,\"cat\":\"" << cat << "\",\"name\":";
+    write_json_string(os, isa::disassemble(e.instr));
+    os << ",\"args\":{";
+    if (e.pc != 0) {
+      char pcbuf[16];
+      std::snprintf(pcbuf, sizeof(pcbuf), "0x%x", e.pc);
+      os << "\"pc\":\"" << pcbuf << "\"";
+    } else {
+      os << "\"pc\":\"(fpss)\"";
+    }
+    os << "}}";
+  }
+
+  // Stall/idle/occupied spans, merged into maximal same-cause runs.
+  for (const TraceUnit unit : {TraceUnit::kIntCore, TraceUnit::kFpss}) {
+    const unsigned tid = unit == TraceUnit::kIntCore ? 0 : 1;
+    for (const Slice& s : merge_stalls(tracer.stalls(), unit)) {
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << s.start
+         << ",\"dur\":" << s.dur << ",\"cat\":\"" << slot_category(slot_kind(s.cause))
+         << "\",\"name\":";
+      write_json_string(os, stall_cause_name(s.cause));
+      os << ",\"args\":{\"cycles\":" << s.dur << "}}";
+    }
+  }
+
+  os << "\n  ]\n}\n";
+}
+
+std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
+                          unsigned top_pcs) {
+  const ActivityCounters& c = counters;
+  std::string out;
+  char buf[160];
+
+  std::snprintf(buf, sizeof(buf), "=== pipeline report (%llu cycles) ===\n",
+                static_cast<unsigned long long>(c.cycles));
+  out += buf;
+
+  // --- integer core ---------------------------------------------------------
+  const UnitTotals it{c.int_issue_cycles(), c.int_stall_cycles(), c.int_halt_cycles};
+  std::snprintf(buf, sizeof(buf),
+                "\nint core   issue %5.1f%%  stall %5.1f%%  halted %5.1f%%   "
+                "(retired %llu, offloaded %llu)\n",
+                pct(it.issue, c.cycles), pct(it.stall, c.cycles), pct(it.idle, c.cycles),
+                static_cast<unsigned long long>(c.int_retired),
+                static_cast<unsigned long long>(c.int_offloads));
+  out += buf;
+  out += "  stall breakdown (% of all cycles):\n";
+  append_cause_row(out, "raw", c.stall_raw, c.cycles);
+  append_cause_row(out, "wb-port", c.stall_wb_port, c.cycles);
+  append_cause_row(out, "offload-full", c.stall_offload_full, c.cycles);
+  append_cause_row(out, "frontend", c.stall_icache, c.cycles);
+  append_cause_row(out, "branch", c.stall_branch, c.cycles);
+  append_cause_row(out, "div-busy", c.stall_div_busy, c.cycles);
+  append_cause_row(out, "tcdm", c.stall_tcdm, c.cycles);
+  append_cause_row(out, "mem-order", c.stall_mem_order, c.cycles);
+  append_cause_row(out, "barrier", c.stall_barrier, c.cycles);
+
+  // --- FPSS -----------------------------------------------------------------
+  const UnitTotals ft{c.fpss_issue_cycles(), c.fpss_stall_cycles(), c.fpss_idle};
+  std::snprintf(buf, sizeof(buf),
+                "\nfpss       issue %5.1f%%  stall %5.1f%%  idle %5.1f%%     "
+                "(retired %llu, of which %llu FREP replays; cfg %llu)\n",
+                pct(ft.issue, c.cycles), pct(ft.stall, c.cycles), pct(ft.idle, c.cycles),
+                static_cast<unsigned long long>(c.fp_retired),
+                static_cast<unsigned long long>(c.frep_replays),
+                static_cast<unsigned long long>(c.fpss_cfg_cycles));
+  out += buf;
+  out += "  stall breakdown (% of all cycles):\n";
+  append_cause_row(out, "raw", c.fpss_stall_raw, c.cycles);
+  append_cause_row(out, "ssr", c.fpss_stall_ssr, c.cycles);
+  append_cause_row(out, "struct", c.fpss_stall_struct, c.cycles);
+  append_cause_row(out, "tcdm", c.fpss_stall_tcdm, c.cycles);
+
+  // --- trace-derived sections ----------------------------------------------
+  if (!tracer.enabled()) {
+    out += "\n(the dual-issue rate and hottest-PC table need tracing: enable "
+           "the tracer or pass --report to copift_sim)\n";
+    return out;
+  }
+
+  const std::uint64_t dual = tracer.dual_issue_cycles();
+  std::snprintf(buf, sizeof(buf), "\ndual-issue cycles: %llu (%.1f%% of %llu)\n",
+                static_cast<unsigned long long>(dual), pct(dual, c.cycles),
+                static_cast<unsigned long long>(c.cycles));
+  out += buf;
+
+  // Hottest PCs by retired instruction count (int-core entries carry a pc).
+  std::map<std::uint32_t, std::pair<std::uint64_t, const TraceEntry*>> by_pc;
+  for (const TraceEntry& e : tracer.entries()) {
+    if (e.pc == 0) continue;
+    auto& slot = by_pc[e.pc];
+    ++slot.first;
+    slot.second = &e;
+  }
+  std::vector<std::pair<std::uint32_t, std::pair<std::uint64_t, const TraceEntry*>>> hot(
+      by_pc.begin(), by_pc.end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.second.first != b.second.first ? a.second.first > b.second.first
+                                            : a.first < b.first;
+  });
+  if (hot.size() > top_pcs) hot.resize(top_pcs);
+  std::snprintf(buf, sizeof(buf), "\ntop %zu hottest PCs (by retired instructions):\n",
+                hot.size());
+  out += buf;
+  for (const auto& [pc, entry] : hot) {
+    std::snprintf(buf, sizeof(buf), "  0x%-8x %8llu  %s\n", pc,
+                  static_cast<unsigned long long>(entry.first),
+                  isa::disassemble(entry.second->instr).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace copift::sim

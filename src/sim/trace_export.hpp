@@ -1,0 +1,36 @@
+// Trace exporters: Chrome/Perfetto trace-event JSON and the top-down text
+// report over a Tracer's instruction + stall streams.
+//
+// The JSON loads directly in https://ui.perfetto.dev (or chrome://tracing):
+// one track per unit ("int core", "fpss"), retired instructions as 1-cycle
+// slices named by their disassembly, and stall/idle spans merged into
+// duration slices named by their cause. 1 trace ts unit == 1 cycle. The
+// exact schema is documented in docs/trace-format.md.
+//
+// The report is the quick, terminal-friendly view of the same data:
+// issue-slot occupancy per unit, a stall-cause histogram, and the top-N
+// hottest PCs with disassembly (see docs/performance-debugging.md for the
+// intended workflow).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/counters.hpp"
+#include "sim/trace.hpp"
+
+namespace copift::sim {
+
+/// Write the trace as Chrome trace-event JSON. Requires a tracer that was
+/// enabled for the run; throws copift::Error otherwise.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Render the top-down performance report. Occupancy and the stall
+/// histogram come from `counters` (available even with tracing off); the
+/// hottest-PC table and dual-issue rate need an enabled tracer and are
+/// omitted (with a note) when `tracer` was disabled.
+[[nodiscard]] std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
+                                        unsigned top_pcs = 10);
+
+}  // namespace copift::sim

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Walks every *.md file in the repository (skipping build trees) and verifies
+that every relative link target exists, and that every anchor link (both
+same-file `#heading` and cross-file `doc.md#heading`) matches a heading in
+the target file using GitHub's anchor slugification. External links
+(http/https/mailto) are not fetched.
+
+Exits non-zero listing every dead link, so CI fails on doc rot.
+Stdlib only — no third-party dependencies.
+"""
+
+import functools
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", ".claude", "node_modules"}
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def headings_of(path: str) -> frozenset[str]:
+    anchors: set[str] = set()
+    in_code_block = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = slugify(m.group(1))
+                # GitHub de-duplicates repeated headings with -1, -2, ...
+                candidate, i = slug, 0
+                while candidate in anchors:
+                    i += 1
+                    candidate = f"{slug}-{i}"
+                anchors.add(candidate)
+    return frozenset(anchors)
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+    checked = 0
+    for md in md_files(root):
+        in_code_block = False
+        with open(md, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_code_block = not in_code_block
+                    continue
+                if in_code_block:
+                    continue
+                for target in LINK_RE.findall(INLINE_CODE_RE.sub("", line)):
+                    if target.startswith(("http://", "https://", "mailto:")):
+                        continue
+                    checked += 1
+                    path_part, _, anchor = target.partition("#")
+                    resolved = (
+                        os.path.normpath(os.path.join(os.path.dirname(md), path_part))
+                        if path_part
+                        else md
+                    )
+                    rel = os.path.relpath(md, root)
+                    if not os.path.exists(resolved):
+                        errors.append(f"{rel}:{lineno}: dead link: {target}")
+                        continue
+                    if anchor and resolved.endswith(".md"):
+                        if anchor not in headings_of(resolved):
+                            errors.append(f"{rel}:{lineno}: dead anchor: {target}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} intra-repo links: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} dead)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,21 +26,56 @@
 #include "kernels/runner.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
+#include "sim/trace_export.hpp"
 #include "workload/workload.hpp"
 
 namespace {
 
 using namespace copift;
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: copift_sim <file.s> [--trace] [--max-cycles N]\n"
+constexpr const char* kVersion = "0.3.0";
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: copift_sim <file.s> [options]\n"
+               "       copift_sim --kernel <name> [options]\n"
+               "       copift_sim --kernel <name> --sweep <axis>=<v1,v2,...> [options]\n"
                "       copift_sim --list\n"
-               "       copift_sim --kernel <name> [--variant base|copift|both]\n"
-               "                  [--n N] [--block B] [--seed S] [--trace]\n"
-               "                  [--sweep block=16,64] [--sweep n=256,512] [--sweep seed=1,2]\n"
-               "                  [--threads N] [--json] [--no-verify]\n"
-               "       (see `copift_sim --list` for the registered workload names)\n");
+               "\n"
+               "workload selection:\n"
+               "  <file.s>               run an assembly file on the cluster\n"
+               "  --kernel <name>        run a registered workload (see --list)\n"
+               "  --variant base|copift|both\n"
+               "                         workload variant (both requires --sweep)\n"
+               "  --n N, --block B, --seed S\n"
+               "                         override the workload's default config\n"
+               "  --list                 print registered workloads and exit\n"
+               "\n"
+               "introspection (single-run mode):\n"
+               "  --trace                print the first trace entries after the run\n"
+               "  --trace-json FILE      write a Chrome/Perfetto trace-event JSON file\n"
+               "                         (load it at https://ui.perfetto.dev); implies tracing\n"
+               "  --report               print the top-down pipeline report: issue-slot\n"
+               "                         occupancy, stall-cause histogram, dual-issue rate,\n"
+               "                         hottest PCs, and the stall taxonomy legend\n"
+               "\n"
+               "batch mode:\n"
+               "  --sweep axis=v1,v2,... sweep an axis (block, n, seed); repeatable\n"
+               "  --threads N            engine worker threads (0 = all cores)\n"
+               "  --json                 emit the sweep result table as JSON, not CSV\n"
+               "  --no-verify            skip golden-reference output verification\n"
+               "\n"
+               "misc:\n"
+               "  --max-cycles N         abort the simulation after N cycles\n"
+               "  --help, -h             this message\n"
+               "  --version              print the version and exit\n"
+               "\n"
+               "See docs/performance-debugging.md for the stall-analysis workflow and\n"
+               "docs/trace-format.md for the exact trace JSON / report schema.\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -135,7 +170,9 @@ int main(int argc, char** argv) {
   std::string file;
   std::string kernel;
   std::string variant;  // empty = workload default
+  std::string trace_json;
   bool trace = false;
+  bool report = false;
   bool json = false;
   bool verify = true;
   std::uint64_t max_cycles = 0;
@@ -150,6 +187,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
+    else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    }
+    else if (arg == "--version") {
+      std::printf("copift_sim %s\n", kVersion);
+      return 0;
+    }
+    else if (arg == "--report") report = true;
+    else if (arg == "--trace-json" && i + 1 < argc) trace_json = argv[++i];
+    else if (arg.rfind("--trace-json=", 0) == 0) trace_json = arg.substr(13);
     else if (arg == "--list") return list_workloads();
     else if (arg == "--json") json = true;
     else if (arg == "--no-verify") verify = false;
@@ -182,6 +230,12 @@ int main(int argc, char** argv) {
   if (variant == "both" && sweeps.empty()) {
     std::fprintf(stderr, "error: --variant both requires --sweep\n");
     return usage();
+  }
+  if (!sweeps.empty() && (report || !trace_json.empty())) {
+    std::fprintf(stderr,
+                 "error: --report/--trace-json trace a single run; drop --sweep\n"
+                 "(sweep CSV/JSON already carries per-point stall-cause columns)\n");
+    return 2;
   }
 
   try {
@@ -258,7 +312,7 @@ int main(int argc, char** argv) {
     }
 
     sim::Cluster cluster(rvasm::assemble(source), params);
-    cluster.tracer().set_enabled(trace);
+    cluster.tracer().set_enabled(trace || report || !trace_json.empty());
     if (have_kernel) kernels::populate_inputs(cluster, generated);
     const auto result = cluster.run();
     std::printf("halted after %llu cycles (exit code %u)\n",
@@ -269,6 +323,19 @@ int main(int argc, char** argv) {
       std::printf("verification:  PASS (bit-exact vs golden reference)\n");
     } else if (have_kernel) {
       std::printf("verification:  skipped (--no-verify)\n");
+    }
+    if (!trace_json.empty()) {
+      std::ofstream out(trace_json);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", trace_json.c_str());
+        return 1;
+      }
+      sim::write_chrome_trace(out, cluster.tracer());
+      std::printf("trace:         %s (load at https://ui.perfetto.dev)\n", trace_json.c_str());
+    }
+    if (report) {
+      std::printf("\n%s\n%s", sim::render_report(cluster.tracer(), cluster.counters()).c_str(),
+                  sim::stall_taxonomy_legend().c_str());
     }
     if (trace) {
       std::printf("\n--- first 64 trace entries ---\n");
