@@ -21,6 +21,11 @@ inline constexpr std::uint32_t kDramSize = 32 * 1024 * 1024;
 /// Initial stack pointer: top of TCDM, 16-byte aligned.
 inline constexpr std::uint32_t kStackTop = kTcdmBase + kTcdmSize;
 
+/// Per-hart stack carve-out below kStackTop in multi-hart clusters:
+/// hart h starts with sp = kStackTop - h * kHartStackBytes (hart 0 keeps the
+/// historical single-core stack pointer).
+inline constexpr std::uint32_t kHartStackBytes = 4 * 1024;
+
 inline constexpr bool in_tcdm(std::uint32_t addr) {
   return addr >= kTcdmBase && addr < kTcdmBase + kTcdmSize;
 }

@@ -1,13 +1,16 @@
 #include "energy/energy.hpp"
 
+#include <algorithm>
+
 namespace copift::energy {
 
-EnergyReport EnergyModel::evaluate(const sim::ActivityCounters& c) const {
+EnergyReport EnergyModel::evaluate_events(const sim::ActivityCounters& c,
+                                          double constant_pj_per_cycle) const {
   EnergyReport r;
   r.cycles = c.cycles;
   const auto n = [](std::uint64_t v) { return static_cast<double>(v); };
 
-  r.constant_pj = (params_.base_pj_per_cycle + params_.dma_idle_pj_per_cycle) * n(c.cycles);
+  r.constant_pj = constant_pj_per_cycle * n(c.cycles);
 
   const double int_issues = n(c.int_retired);
   r.int_core_pj = params_.int_issue_pj * int_issues +
@@ -36,6 +39,38 @@ EnergyReport EnergyModel::evaluate(const sim::ActivityCounters& c) const {
 
   r.total_pj = r.constant_pj + r.int_core_pj + r.fpss_pj + r.memory_pj + r.icache_pj + r.dma_pj;
   return r;
+}
+
+EnergyReport EnergyModel::evaluate(const sim::ActivityCounters& c) const {
+  return evaluate_events(c, params_.base_pj_per_cycle + params_.dma_idle_pj_per_cycle);
+}
+
+std::vector<EnergyReport> EnergyModel::evaluate_harts(
+    std::span<const sim::ActivityCounters> per_hart) const {
+  std::vector<EnergyReport> reports;
+  reports.reserve(per_hart.size());
+  for (std::size_t h = 0; h < per_hart.size(); ++h) {
+    const double constant = h == 0
+                                ? params_.base_pj_per_cycle + params_.dma_idle_pj_per_cycle
+                                : params_.complex_pj_per_cycle;
+    reports.push_back(evaluate_events(per_hart[h], constant));
+  }
+  return reports;
+}
+
+EnergyReport sum_reports(std::span<const EnergyReport> reports) {
+  EnergyReport total;
+  for (const EnergyReport& r : reports) {
+    total.total_pj += r.total_pj;
+    total.constant_pj += r.constant_pj;
+    total.int_core_pj += r.int_core_pj;
+    total.fpss_pj += r.fpss_pj;
+    total.memory_pj += r.memory_pj;
+    total.icache_pj += r.icache_pj;
+    total.dma_pj += r.dma_pj;
+    total.cycles = std::max(total.cycles, r.cycles);
+  }
+  return total;
 }
 
 }  // namespace copift::energy

@@ -11,6 +11,9 @@
 // show the paper's <= 1.17x power increase; see DESIGN.md and EXPERIMENTS.md.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "sim/counters.hpp"
 
 namespace copift::energy {
@@ -19,7 +22,11 @@ namespace copift::energy {
 struct EnergyParams {
   // Constant components (pJ per cycle == mW): clock network, leakage,
   // always-on control. Split so configurations without a DMA could drop it.
+  // `base` covers the cluster infrastructure plus the first core complex;
+  // each additional complex of a multi-hart topology adds `complex` (its
+  // clock leaves, register files and sequencer are clocked even when idle).
   double base_pj_per_cycle = 30.0;
+  double complex_pj_per_cycle = 6.0;
   double dma_idle_pj_per_cycle = 2.0;
 
   // Integer core events.
@@ -75,13 +82,29 @@ class EnergyModel {
   explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
 
   /// Compute the energy for a span of execution described by a counters
-  /// delta (use ActivityCounters::minus for regions).
+  /// delta (use ActivityCounters::minus for regions). The delta is treated
+  /// as a whole single-complex cluster: the constant terms are charged once.
   [[nodiscard]] EnergyReport evaluate(const sim::ActivityCounters& delta) const;
+
+  /// Per-complex attribution for a multi-hart cluster: element h of the
+  /// input is hart h's counters delta, element h of the output its energy.
+  /// Hart 0 carries the cluster-constant terms (base + DMA idle, plus the
+  /// shared DMA's activity, which the cluster attributes to hart 0); every
+  /// other hart carries its complex-constant term plus its own events.
+  [[nodiscard]] std::vector<EnergyReport> evaluate_harts(
+      std::span<const sim::ActivityCounters> per_hart) const;
 
   [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
 
  private:
+  [[nodiscard]] EnergyReport evaluate_events(const sim::ActivityCounters& delta,
+                                             double constant_pj_per_cycle) const;
+
   EnergyParams params_;
 };
+
+/// Component-wise sum of per-hart reports into one cluster report. `cycles`
+/// takes the max (the harts share the cluster clock).
+[[nodiscard]] EnergyReport sum_reports(std::span<const EnergyReport> reports);
 
 }  // namespace copift::energy

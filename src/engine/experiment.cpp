@@ -12,7 +12,7 @@ namespace copift::engine {
 
 std::shared_ptr<const rvasm::Program> ProgramCache::get(const kernels::GeneratedKernel& kernel) {
   Key key{kernel.name(), static_cast<int>(kernel.variant), kernel.config.n,
-          kernel.config.block, kernel.config.seed};
+          kernel.config.block, kernel.config.seed, kernel.config.cores};
   std::lock_guard lock(mutex_);
   auto it = programs_.find(key);
   if (it != programs_.end()) {
@@ -40,8 +40,8 @@ std::uint64_t ProgramCache::hits() const {
 // --- ParamGrid --------------------------------------------------------------
 
 std::size_t ParamGrid::size() const noexcept {
-  return workloads.size() * variants.size() * ns.size() * blocks.size() * seeds.size() *
-         params.size();
+  return workloads.size() * variants.size() * ns.size() * blocks.size() * cores.size() *
+         seeds.size() * params.size();
 }
 
 GridPoint ParamGrid::point(std::size_t index) const {
@@ -54,6 +54,8 @@ GridPoint ParamGrid::point(std::size_t index) const {
   rest /= params.size();
   const std::size_t si = rest % seeds.size();
   rest /= seeds.size();
+  const std::size_t ci = rest % cores.size();
+  rest /= cores.size();
   const std::size_t bi = rest % blocks.size();
   rest /= blocks.size();
   const std::size_t ni = rest % ns.size();
@@ -66,8 +68,10 @@ GridPoint ParamGrid::point(std::size_t index) const {
   p.config.n = ns[ni];
   p.config.block = blocks[bi];
   p.config.seed = seeds[si];
+  p.config.cores = cores[ci];
   p.params_label = params[pi].label;
   p.params = params[pi].params;
+  p.params.num_cores = cores[ci];
   return p;
 }
 
@@ -104,19 +108,20 @@ const sim::ActivityCounters& stall_region(const ResultRow& row) {
   return row.steady ? row.steady_region : row.run.region;
 }
 
-constexpr std::array<const char*, 19> kStallColumns = {
+constexpr std::array<const char*, 20> kStallColumns = {
     "int_issue_cycles", "int_stall_cycles", "int_halt_cycles", "stall_raw",
     "stall_wb_port", "stall_offload_full", "stall_icache", "stall_branch",
     "stall_div_busy", "stall_tcdm", "stall_mem_order", "stall_barrier",
-    "fpss_issue_cycles", "fpss_stall_cycles", "fpss_idle", "fpss_stall_raw",
-    "fpss_stall_ssr", "fpss_stall_struct", "fpss_stall_tcdm"};
+    "stall_hw_barrier", "fpss_issue_cycles", "fpss_stall_cycles", "fpss_idle",
+    "fpss_stall_raw", "fpss_stall_ssr", "fpss_stall_struct", "fpss_stall_tcdm"};
 
 /// The stall-cause values in kStallColumns order.
-std::array<std::uint64_t, 19> stall_values(const sim::ActivityCounters& r) {
+std::array<std::uint64_t, 20> stall_values(const sim::ActivityCounters& r) {
   return {r.int_issue_cycles(), r.int_stall_cycles(), r.int_halt_cycles,
           r.stall_raw,          r.stall_wb_port,      r.stall_offload_full,
           r.stall_icache,       r.stall_branch,       r.stall_div_busy,
           r.stall_tcdm,         r.stall_mem_order,    r.stall_barrier,
+          r.stall_hw_barrier,
           r.fpss_issue_cycles(), r.fpss_stall_cycles(), r.fpss_idle,
           r.fpss_stall_raw,     r.fpss_stall_ssr,     r.fpss_stall_struct,
           r.fpss_stall_tcdm};
@@ -125,7 +130,7 @@ std::array<std::uint64_t, 19> stall_values(const sim::ActivityCounters& r) {
 }  // namespace
 
 void ResultTable::write_csv(std::ostream& os) const {
-  os << "index,kernel,variant,n,block,seed,params,verified,cycles,region_cycles,"
+  os << "index,kernel,variant,n,block,seed,cores,params,verified,cycles,region_cycles,"
         "int_retired,fp_retired,ipc,power_mw,energy_nj,steady,steady_ipc,"
         "cycles_per_item,energy_pj_per_item";
   for (const char* col : kStallColumns) os << ',' << col;
@@ -134,6 +139,7 @@ void ResultTable::write_csv(std::ostream& os) const {
     const auto& p = row.point;
     os << p.index << ',' << p.name() << ',' << workload::variant_name(p.variant)
        << ',' << p.config.n << ',' << p.config.block << ',' << p.config.seed << ','
+       << p.config.cores << ','
        << p.params_label << ',' << (row.run.verified ? 1 : 0) << ',' << row.run.result.cycles
        << ',' << row.run.region.cycles << ',' << row.run.region.int_retired << ','
        << row.run.region.fp_retired << ',';
@@ -161,7 +167,8 @@ void ResultTable::write_json(std::ostream& os) const {
     os << "  {\"index\":" << p.index << ",\"kernel\":\"" << p.name()
        << "\",\"variant\":\"" << workload::variant_name(p.variant)
        << "\",\"n\":" << p.config.n
-       << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed << ",\"params\":\""
+       << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed
+       << ",\"cores\":" << p.config.cores << ",\"params\":\""
        << p.params_label << "\",\"verified\":" << (row.run.verified ? "true" : "false")
        << ",\"cycles\":" << row.run.result.cycles
        << ",\"region_cycles\":" << row.run.region.cycles << ",\"ipc\":";
@@ -266,6 +273,18 @@ Experiment& Experiment::block(std::uint32_t block) {
 }
 Experiment& Experiment::seed(std::uint32_t seed) {
   grid_.seeds.assign(1, seed);
+  return *this;
+}
+Experiment& Experiment::cores(std::uint32_t cores) {
+  grid_.cores.assign(1, cores);
+  return *this;
+}
+Experiment& Experiment::sweep_cores(std::span<const std::uint32_t> cores) {
+  grid_.cores.assign(cores.begin(), cores.end());
+  return *this;
+}
+Experiment& Experiment::sweep_cores(std::initializer_list<std::uint32_t> cores) {
+  grid_.cores.assign(cores.begin(), cores.end());
   return *this;
 }
 

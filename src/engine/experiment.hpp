@@ -51,7 +51,8 @@ class ProgramCache {
   [[nodiscard]] std::uint64_t hits() const;
 
  private:
-  using Key = std::tuple<std::string, int, std::uint32_t, std::uint32_t, std::uint32_t>;
+  using Key =
+      std::tuple<std::string, int, std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t>;
   mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<const rvasm::Program>> programs_;
   std::uint64_t hits_ = 0;
@@ -89,13 +90,15 @@ class ParamGrid {
   std::vector<Variant> variants{Variant::kCopift};
   std::vector<std::uint32_t> ns{1024};
   std::vector<std::uint32_t> blocks{32};
+  std::vector<std::uint32_t> cores{1};
   std::vector<std::uint32_t> seeds{42};
   std::vector<ParamsVariant> params{ParamsVariant{}};
 
   [[nodiscard]] std::size_t size() const noexcept;
   /// Resolve the i-th point (row-major over workloads, variants, ns, blocks,
-  /// seeds, params — last axis fastest). Throws on out-of-range or an
-  /// unregistered workload name.
+  /// cores, seeds, params — last axis fastest). The point's cores value
+  /// lands in both config.cores and params.num_cores. Throws on
+  /// out-of-range or an unregistered workload name.
   [[nodiscard]] GridPoint point(std::size_t index) const;
 };
 
@@ -161,11 +164,16 @@ class Experiment {
   Experiment& sweep_n(std::initializer_list<std::uint32_t> ns);
   Experiment& sweep_seeds(std::span<const std::uint32_t> seeds);
   Experiment& sweep_seeds(std::initializer_list<std::uint32_t> seeds);
+  /// Sweep the hart count (each point runs on a topology of that many
+  /// core complexes; the workload must be multi-hart capable for values > 1).
+  Experiment& sweep_cores(std::span<const std::uint32_t> cores);
+  Experiment& sweep_cores(std::initializer_list<std::uint32_t> cores);
 
   /// Fix single values without sweeping.
   Experiment& n(std::uint32_t n);
   Experiment& block(std::uint32_t block);
   Experiment& seed(std::uint32_t seed);
+  Experiment& cores(std::uint32_t cores);
 
   // --- simulator / energy configuration -----------------------------------
   /// Add a named SimParams variant to the params axis. The first call

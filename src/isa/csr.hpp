@@ -19,4 +19,13 @@ inline constexpr std::uint16_t kCsrSsr = 0x7C0;
 /// the full-barrier used at kernel boundaries.
 inline constexpr std::uint16_t kCsrFpss = 0x7C1;
 
+/// Hardware inter-hart barrier: any access (read or write) holds the hart
+/// until every hart in the cluster has reached the barrier, then all are
+/// released. Reads return the number of harts. With one hart the access
+/// completes immediately.
+inline constexpr std::uint16_t kCsrBarrier = 0x7C3;
+
+/// Standard machine hart id (read-only): which CoreComplex this is.
+inline constexpr std::uint16_t kCsrMhartid = 0xF14;
+
 }  // namespace copift::isa

@@ -43,16 +43,11 @@ KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params
   return run_kernel(kernel, assemble_kernel(kernel), params, verify, energy_params);
 }
 
-KernelRun run_kernel(const GeneratedKernel& kernel,
-                     std::shared_ptr<const rvasm::Program> program,
-                     const sim::SimParams& params, bool verify,
-                     const energy::EnergyParams& energy_params) {
-  sim::Cluster cluster(std::move(program), params);
-  populate_inputs(cluster, kernel);
-  KernelRun out;
-  out.result = cluster.run();
-  out.total = cluster.counters();
-  const auto& regions = cluster.regions();
+namespace {
+
+/// Delta between region markers 1 and 2 of one hart's region stream.
+sim::ActivityCounters region_delta(const std::vector<sim::RegionEvent>& regions,
+                                   unsigned hart) {
   const sim::RegionEvent* begin = nullptr;
   const sim::RegionEvent* end = nullptr;
   for (const auto& r : regions) {
@@ -60,10 +55,42 @@ KernelRun run_kernel(const GeneratedKernel& kernel,
     if (r.id == 2) end = &r;
   }
   if (begin == nullptr || end == nullptr) {
-    throw Error("kernel did not emit region markers 1 and 2");
+    throw Error("kernel did not emit region markers 1 and 2 on hart " + std::to_string(hart));
   }
-  out.region = end->snapshot.minus(begin->snapshot);
-  out.region_energy = energy::EnergyModel(energy_params).evaluate(out.region);
+  return end->snapshot.minus(begin->snapshot);
+}
+
+}  // namespace
+
+KernelRun run_kernel(const GeneratedKernel& kernel,
+                     std::shared_ptr<const rvasm::Program> program,
+                     const sim::SimParams& params, bool verify,
+                     const energy::EnergyParams& energy_params) {
+  // The workload config owns the hart count: the generated program encodes
+  // its partitioning, so the topology must match it exactly.
+  sim::SimParams run_params = params;
+  run_params.num_cores = kernel.config.cores;
+  sim::Cluster cluster(std::move(program), run_params);
+  populate_inputs(cluster, kernel);
+  KernelRun out;
+  out.result = cluster.run();
+  out.total = cluster.counters();
+  const energy::EnergyModel model(energy_params);
+  if (cluster.num_cores() == 1) {
+    out.region = region_delta(cluster.regions(), 0);
+    out.region_energy = model.evaluate(out.region);
+  } else {
+    // Per-hart attribution: each hart's own marker-1..2 window, summed into
+    // the aggregate (cycles = the slowest hart's window).
+    out.hart_region.reserve(cluster.num_cores());
+    for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+      out.hart_region.push_back(region_delta(cluster.complex(h).regions(), h));
+    }
+    out.region = sim::ActivityCounters{};
+    for (const auto& r : out.hart_region) out.region = out.region.plus(r);
+    out.hart_energy = model.evaluate_harts(out.hart_region);
+    out.region_energy = energy::sum_reports(out.hart_energy);
+  }
   if (verify) {
     verify_outputs(cluster, kernel);
     out.verified = true;

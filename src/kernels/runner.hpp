@@ -20,10 +20,17 @@ namespace copift::kernels {
 
 struct KernelRun {
   sim::RunResult result;
-  sim::ActivityCounters total;    // whole program
+  sim::ActivityCounters total;    // whole program (all harts aggregated)
   sim::ActivityCounters region;   // between region markers 1 and 2 (main loop)
   energy::EnergyReport region_energy;
   bool verified = false;
+
+  // Per-complex attribution, populated for multi-hart runs (config.cores >
+  // 1): element h is hart h's own region delta and its share of the region
+  // energy (hart 0 carries the cluster-constant and DMA terms). Empty for
+  // single-core runs, where `region`/`region_energy` already are hart 0.
+  std::vector<sim::ActivityCounters> hart_region;
+  std::vector<energy::EnergyReport> hart_energy;
 
   [[nodiscard]] double ipc() const noexcept { return region.ipc(); }
   [[nodiscard]] double power_mw() const noexcept { return region_energy.power_mw(); }

@@ -15,10 +15,12 @@ std::uint64_t TcdmArbiter::arbitrate(const std::vector<TcdmRequest>& requests) {
   // matches the current priority head goes first.
   std::vector<unsigned> order(requests.size());
   for (unsigned i = 0; i < requests.size(); ++i) order[i] = i;
+  const auto priority = [&](const TcdmRequest& r) {
+    const unsigned id = r.hart * kNumTcdmPorts + static_cast<unsigned>(r.port);
+    return (id + num_requesters_ - rr_) % num_requesters_;
+  };
   std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    const auto pa = (static_cast<unsigned>(requests[a].port) + kNumTcdmPorts - rr_) % kNumTcdmPorts;
-    const auto pb = (static_cast<unsigned>(requests[b].port) + kNumTcdmPorts - rr_) % kNumTcdmPorts;
-    return pa < pb;
+    return priority(requests[a]) < priority(requests[b]);
   });
   for (unsigned i : order) {
     const unsigned bank = bank_of(requests[i].addr);
@@ -30,7 +32,7 @@ std::uint64_t TcdmArbiter::arbitrate(const std::vector<TcdmRequest>& requests) {
     granted |= (std::uint64_t{1} << i);
     ++grants_;
   }
-  rr_ = (rr_ + 1) % kNumTcdmPorts;
+  rr_ = (rr_ + 1) % num_requesters_;
   return granted;
 }
 

@@ -31,11 +31,16 @@ inline constexpr unsigned kNumTcdmPorts = static_cast<unsigned>(TcdmPort::kCount
 struct TcdmRequest {
   TcdmPort port;
   std::uint32_t addr;
+  /// Which core complex issued the request (multi-hart clusters share one
+  /// arbiter; the rotating priority covers every (hart, port) pair so no
+  /// hart starves another's same-class port).
+  unsigned hart = 0;
 };
 
 class TcdmArbiter {
  public:
-  explicit TcdmArbiter(unsigned num_banks = 32) : num_banks_(num_banks) {}
+  explicit TcdmArbiter(unsigned num_banks = 32, unsigned num_harts = 1)
+      : num_banks_(num_banks), num_requesters_(kNumTcdmPorts * num_harts) {}
 
   [[nodiscard]] unsigned num_banks() const noexcept { return num_banks_; }
 
@@ -55,7 +60,8 @@ class TcdmArbiter {
 
  private:
   unsigned num_banks_;
-  unsigned rr_ = 0;  // rotating priority offset
+  unsigned num_requesters_;  // kNumTcdmPorts x harts, the rr_ modulus
+  unsigned rr_ = 0;          // rotating priority offset
   std::uint64_t conflicts_ = 0;
   std::uint64_t grants_ = 0;
 };

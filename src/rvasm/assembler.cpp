@@ -324,6 +324,8 @@ const std::map<std::string, std::uint16_t, std::less<>>& csr_names() {
       {"ssr", isa::kCsrSsr},
       {"fpss", isa::kCsrFpss},
       {"region", 0x7C2},
+      {"barrier", isa::kCsrBarrier},
+      {"mhartid", isa::kCsrMhartid},
   };
   return names;
 }

@@ -1,5 +1,7 @@
 #include "sim/cluster.hpp"
 
+#include <array>
+
 #include "common/error.hpp"
 
 namespace copift::sim {
@@ -11,110 +13,164 @@ std::shared_ptr<const rvasm::Program> require(std::shared_ptr<const rvasm::Progr
 }
 }  // namespace
 
-Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, SimParams params)
+Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, ClusterTopology topology)
     : program_(require(std::move(program))),
-      params_(params),
-      arbiter_(params.num_tcdm_banks),
-      icache_(params.l0_lines, params.l0_words_per_line, params.l0_branch_penalty),
-      dma_(memory_, params.dma_bytes_per_cycle),
-      ssr_(memory_),
-      fpss_(params, memory_, ssr_, counters_, tracer_),
-      core_(params, *program_, memory_, fpss_, ssr_, icache_, dma_, counters_, regions_, tracer_) {
+      topo_((topology.validate(), std::move(topology))),
+      arbiter_(topo_.shared().num_tcdm_banks, topo_.num_cores()),
+      dma_(memory_, topo_.shared().dma_bytes_per_cycle),
+      barrier_(topo_.num_cores()) {
+  complexes_.reserve(topo_.num_cores());
+  for (unsigned h = 0; h < topo_.num_cores(); ++h) {
+    complexes_.push_back(std::make_unique<CoreComplex>(h, topo_.num_cores(), topo_.complex(h),
+                                                       *program_, memory_, dma_, barrier_));
+  }
   memory_.write_block(program_->data_base, program_->data);
   memory_.write_block(program_->dram_base, program_->dram);
 }
 
+Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, SimParams params)
+    : Cluster(std::move(program), ClusterTopology(params)) {}
+
 Cluster::Cluster(rvasm::Program program, SimParams params)
     : Cluster(std::make_shared<const rvasm::Program>(std::move(program)), params) {}
 
+Cluster::Cluster(rvasm::Program program, ClusterTopology topology)
+    : Cluster(std::make_shared<const rvasm::Program>(std::move(program)),
+              std::move(topology)) {}
+
+bool Cluster::halted() const noexcept {
+  for (const auto& cx : complexes_) {
+    if (!cx->core().halted()) return false;
+  }
+  return true;
+}
+
+bool Cluster::all_fpss_idle() const noexcept {
+  for (const auto& cx : complexes_) {
+    if (!cx->fpss().idle()) return false;
+  }
+  return true;
+}
+
+const ActivityCounters& Cluster::counters() const noexcept {
+  if (complexes_.size() == 1) return complexes_.front()->counters();
+  agg_ = ActivityCounters{};
+  agg_.cycles = cycle_;
+  for (const auto& cx : complexes_) agg_ = agg_.plus(cx->counters());
+  return agg_;
+}
+
+void Cluster::set_tracing(bool enabled) {
+  for (auto& cx : complexes_) cx->tracer().set_enabled(enabled);
+}
+
 void Cluster::tick() {
-  counters_.cycles = cycle_;
-  fpss_.begin_cycle(cycle_);
+  for (auto& cx : complexes_) {
+    cx->counters().cycles = cycle_;
+    cx->fpss().begin_cycle(cycle_);
+  }
   dma_.tick();
 
-  // Phase 1: every agent decides what it wants from the TCDM this cycle.
-  std::vector<mem::TcdmRequest> requests;
-  enum class Src : std::uint8_t { kCore, kFpss, kSsr };
-  struct Tag {
-    Src src;
-    ssr::SsrUnit::RequestTag ssr_tag;
-  };
-  std::vector<Tag> tags;
+  // Phase 1: every agent of every hart decides what it wants from the TCDM
+  // this cycle.
+  requests_.clear();
+  tags_.clear();
+  // Whether hart h's core/fpss presented a request this cycle (commit must
+  // still run for them on denial so the tcdm stall is attributed).
+  std::array<std::uint8_t, kMaxHarts> core_pending{};
+  std::array<std::uint8_t, kMaxHarts> fpss_pending{};
+  std::array<std::uint8_t, kMaxHarts> core_granted{};
+  std::array<std::uint8_t, kMaxHarts> fpss_granted{};
 
-  const auto core_req = core_.prepare(cycle_);
-  if (core_req) {
-    requests.push_back(*core_req);
-    tags.push_back(Tag{Src::kCore, {}});
-  }
-  const auto fpss_req = fpss_.prepare(cycle_);
-  if (fpss_req) {
-    requests.push_back(*fpss_req);
-    tags.push_back(Tag{Src::kFpss, {}});
-  }
-  std::vector<ssr::SsrUnit::RequestTag> ssr_tags;
-  std::vector<mem::TcdmRequest> ssr_requests;
-  ssr_.collect_requests(ssr_requests, ssr_tags);
-  for (std::size_t i = 0; i < ssr_requests.size(); ++i) {
-    requests.push_back(ssr_requests[i]);
-    tags.push_back(Tag{Src::kSsr, ssr_tags[i]});
+  for (unsigned h = 0; h < complexes_.size(); ++h) {
+    CoreComplex& cx = *complexes_[h];
+    if (const auto core_req = cx.core().prepare(cycle_)) {
+      auto req = *core_req;
+      req.hart = h;
+      requests_.push_back(req);
+      tags_.push_back(RequestTag{h, RequestSrc::kCore, {}});
+      core_pending[h] = 1;
+    }
+    if (const auto fpss_req = cx.fpss().prepare(cycle_)) {
+      auto req = *fpss_req;
+      req.hart = h;
+      requests_.push_back(req);
+      tags_.push_back(RequestTag{h, RequestSrc::kFpss, {}});
+      fpss_pending[h] = 1;
+    }
+    ssr_requests_.clear();
+    ssr_tags_.clear();
+    cx.ssr().collect_requests(ssr_requests_, ssr_tags_);
+    for (std::size_t i = 0; i < ssr_requests_.size(); ++i) {
+      auto req = ssr_requests_[i];
+      req.hart = h;
+      requests_.push_back(req);
+      tags_.push_back(RequestTag{h, RequestSrc::kSsr, ssr_tags_[i]});
+    }
   }
 
-  // Phase 2: bank arbitration.
-  const std::uint64_t grants = requests.empty() ? 0 : arbiter_.arbitrate(requests);
-  counters_.tcdm_conflicts = arbiter_.conflicts();
+  // Phase 2: bank arbitration over the shared TCDM.
+  const std::uint64_t grants = requests_.empty() ? 0 : arbiter_.arbitrate(requests_);
 
-  // Phase 3: commit.
-  bool core_granted = false;
-  bool fpss_granted = false;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
+  // Phase 3: commit, attributing every grant/denial to the owning hart.
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
     const bool granted = (grants >> i) & 1;
-    switch (tags[i].src) {
-      case Src::kCore:
-        core_granted = granted;
+    CoreComplex& cx = *complexes_[tags_[i].hart];
+    if (!granted) ++cx.counters().tcdm_conflicts;
+    switch (tags_[i].src) {
+      case RequestSrc::kCore:
+        core_granted[tags_[i].hart] = granted ? 1 : 0;
         break;
-      case Src::kFpss:
-        fpss_granted = granted;
+      case RequestSrc::kFpss:
+        fpss_granted[tags_[i].hart] = granted ? 1 : 0;
         break;
-      case Src::kSsr:
+      case RequestSrc::kSsr:
         if (granted) {
-          ssr_.apply_grant(tags[i].ssr_tag);
-          ++counters_.ssr_elements;
-          if (tags[i].ssr_tag.index) {
-            ++counters_.issr_indices;
-            ++counters_.tcdm_reads;
-          } else if (ssr_.lane(tags[i].ssr_tag.lane).is_write_stream()) {
-            ++counters_.tcdm_writes;
+          ActivityCounters& c = cx.counters();
+          cx.ssr().apply_grant(tags_[i].ssr_tag);
+          ++c.ssr_elements;
+          if (tags_[i].ssr_tag.index) {
+            ++c.issr_indices;
+            ++c.tcdm_reads;
+          } else if (cx.ssr().lane(tags_[i].ssr_tag.lane).is_write_stream()) {
+            ++c.tcdm_writes;
           } else {
-            ++counters_.tcdm_reads;
+            ++c.tcdm_reads;
           }
         }
         break;
     }
   }
-  if (core_req) core_.commit(cycle_, core_granted);
-  if (fpss_req) fpss_.commit(cycle_, fpss_granted);
-  ssr_.commit_cycle();
+  for (unsigned h = 0; h < complexes_.size(); ++h) {
+    CoreComplex& cx = *complexes_[h];
+    if (core_pending[h]) cx.core().commit(cycle_, core_granted[h] != 0);
+    if (fpss_pending[h]) cx.fpss().commit(cycle_, fpss_granted[h] != 0);
+    cx.ssr().commit_cycle();
+  }
 
-  counters_.dma_busy_cycles = dma_.busy_cycles();
-  counters_.dma_bytes = dma_.bytes_moved();
+  // The DMA is cluster-shared; its activity is attributed to hart 0 (and
+  // thereby to the aggregate view).
+  complexes_.front()->counters().dma_busy_cycles = dma_.busy_cycles();
+  complexes_.front()->counters().dma_bytes = dma_.bytes_moved();
   ++cycle_;
-  counters_.cycles = cycle_;
+  for (auto& cx : complexes_) cx->counters().cycles = cycle_;
 }
 
 RunResult Cluster::run() {
-  while (!core_.halted() && cycle_ < params_.max_cycles) {
+  const std::uint64_t max_cycles = topo_.shared().max_cycles;
+  while (!halted() && cycle_ < max_cycles) {
     tick();
   }
   // Drain in-flight FP work so memory state is final at halt.
-  while (core_.halted() && !fpss_.idle() && cycle_ < params_.max_cycles) {
+  while (halted() && !all_fpss_idle() && cycle_ < max_cycles) {
     tick();
   }
   RunResult result;
-  result.halted = core_.halted();
+  result.halted = halted();
   result.cycles = cycle_;
-  result.exit_code = core_.exit_code();
+  result.exit_code = complexes_.front()->core().exit_code();
   if (!result.halted) {
-    throw SimError("simulation exceeded max_cycles (" + std::to_string(params_.max_cycles) + ")");
+    throw SimError("simulation exceeded max_cycles (" + std::to_string(max_cycles) + ")");
   }
   return result;
 }

@@ -1,10 +1,18 @@
-// Snitch cluster: one integer core + FPSS + SSRs + banked TCDM + L0 I$ + DMA.
+// Snitch cluster SoC: N core complexes (IntCore + FPSS + SSRs + L0 I$) built
+// from a ClusterTopology around one shared memory system (banked TCDM + DMA)
+// and a hardware barrier.
 //
 // This is the top-level simulation object: load an assembled program,
-// `run()` it to completion (ecall), then read the activity counters, region
-// snapshots and memory state — and, with the tracer enabled before run(),
-// the per-cycle instruction/stall streams that feed the Perfetto export and
-// stall report (sim/trace_export.hpp).
+// `run()` it to completion (every hart executes ecall), then read the
+// activity counters, region snapshots and memory state — and, with tracing
+// enabled before run(), the per-cycle instruction/stall streams that feed
+// the Perfetto export and stall report (sim/trace_export.hpp).
+//
+// Every hart starts at the program entry point; programs partition work by
+// reading the `mhartid` CSR and synchronize through the `barrier` CSR. The
+// hart-0 view doubles as the aggregated single-core view: with one complex,
+// counters()/regions()/tracer() are exactly the historical Cluster API and
+// the simulation is bit-identical to the pre-topology model.
 #pragma once
 
 #include <cstdint>
@@ -13,73 +21,120 @@
 
 #include "mem/address_space.hpp"
 #include "mem/dma.hpp"
-#include "mem/l0_icache.hpp"
 #include "mem/tcdm.hpp"
 #include "rvasm/program.hpp"
-#include "sim/core.hpp"
+#include "sim/core_complex.hpp"
 #include "sim/counters.hpp"
-#include "sim/fpss.hpp"
 #include "sim/params.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
-#include "ssr/ssr.hpp"
 
 namespace copift::sim {
 
 struct RunResult {
   bool halted = false;
   std::uint64_t cycles = 0;
-  std::uint32_t exit_code = 0;
+  std::uint32_t exit_code = 0;  // hart 0's a0
 };
 
 class Cluster {
  public:
   /// Primary constructor: the program is shared, immutable, and may be run
   /// by many clusters concurrently (e.g. a parameter sweep assembles each
-  /// kernel once and fans the runs out across engine worker threads).
+  /// kernel once and fans the runs out across engine worker threads). The
+  /// topology is validated; bad configurations throw copift::Error.
+  Cluster(std::shared_ptr<const rvasm::Program> program, ClusterTopology topology);
+
+  /// Homogeneous topology of `params.num_cores` complexes built from
+  /// `params` (the historical constructor; `num_cores` defaults to 1).
   explicit Cluster(std::shared_ptr<const rvasm::Program> program, SimParams params = {});
 
   /// Convenience: take ownership of a freshly assembled program (moved into
   /// a shared_ptr, not deep-copied).
   explicit Cluster(rvasm::Program program, SimParams params = {});
+  Cluster(rvasm::Program program, ClusterTopology topology);
 
-  /// Run until the program executes `ecall` or max_cycles elapse.
+  /// Run until every hart executes `ecall` (plus the FPSS drain) or
+  /// max_cycles elapse.
   RunResult run();
 
   /// Advance exactly one cycle (exposed for fine-grained tests).
   void tick();
 
-  [[nodiscard]] bool halted() const noexcept { return core_.halted(); }
+  /// True when every hart has halted.
+  [[nodiscard]] bool halted() const noexcept;
   [[nodiscard]] std::uint64_t cycles() const noexcept { return cycle_; }
 
-  [[nodiscard]] const ActivityCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] const std::vector<RegionEvent>& regions() const noexcept { return regions_; }
+  // --- topology ------------------------------------------------------------
+  [[nodiscard]] unsigned num_cores() const noexcept {
+    return static_cast<unsigned>(complexes_.size());
+  }
+  [[nodiscard]] const ClusterTopology& topology() const noexcept { return topo_; }
+  [[nodiscard]] CoreComplex& complex(unsigned hart) { return *complexes_.at(hart); }
+  [[nodiscard]] const CoreComplex& complex(unsigned hart) const {
+    return *complexes_.at(hart);
+  }
+  [[nodiscard]] HwBarrier& barrier() noexcept { return barrier_; }
+  [[nodiscard]] const HwBarrier& barrier() const noexcept { return barrier_; }
+
+  // --- aggregated / hart-0 view (the historical single-core API) -----------
+  /// Cluster-wide counters: hart 0's counters for a single-core cluster
+  /// (bit-identical to the historical behaviour); the element-wise sum over
+  /// all harts (cycles = cluster cycles) otherwise.
+  [[nodiscard]] const ActivityCounters& counters() const noexcept;
+  /// Hart 0's region stream (see CoreComplex::regions() for other harts).
+  [[nodiscard]] const std::vector<RegionEvent>& regions() const noexcept {
+    return complexes_.front()->regions();
+  }
   [[nodiscard]] mem::AddressSpace& memory() noexcept { return memory_; }
+  [[nodiscard]] const mem::AddressSpace& memory() const noexcept { return memory_; }
   [[nodiscard]] const rvasm::Program& program() const noexcept { return *program_; }
   [[nodiscard]] const std::shared_ptr<const rvasm::Program>& program_ptr() const noexcept {
     return program_;
   }
-  [[nodiscard]] IntCore& core() noexcept { return core_; }
-  [[nodiscard]] FpSubsystem& fpss() noexcept { return fpss_; }
-  [[nodiscard]] ssr::SsrUnit& ssr() noexcept { return ssr_; }
+  [[nodiscard]] IntCore& core() noexcept { return complexes_.front()->core(); }
+  [[nodiscard]] const IntCore& core() const noexcept { return complexes_.front()->core(); }
+  [[nodiscard]] FpSubsystem& fpss() noexcept { return complexes_.front()->fpss(); }
+  [[nodiscard]] const FpSubsystem& fpss() const noexcept { return complexes_.front()->fpss(); }
+  [[nodiscard]] ssr::SsrUnit& ssr() noexcept { return complexes_.front()->ssr(); }
+  [[nodiscard]] const ssr::SsrUnit& ssr() const noexcept { return complexes_.front()->ssr(); }
   [[nodiscard]] mem::DmaEngine& dma() noexcept { return dma_; }
-  /// Instruction + stall tracer (disabled by default; enable before run()).
-  [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
-  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] const mem::DmaEngine& dma() const noexcept { return dma_; }
+  /// Hart 0's instruction + stall tracer (disabled by default). Use
+  /// set_tracing() to switch every hart's tracer at once.
+  [[nodiscard]] Tracer& tracer() noexcept { return complexes_.front()->tracer(); }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return complexes_.front()->tracer(); }
+  /// Enable/disable tracing on every hart (call before run()).
+  void set_tracing(bool enabled);
 
  private:
+  [[nodiscard]] bool all_fpss_idle() const noexcept;
+
+  enum class RequestSrc : std::uint8_t { kCore, kFpss, kSsr };
+  struct RequestTag {
+    unsigned hart;
+    RequestSrc src;
+    ssr::SsrUnit::RequestTag ssr_tag;
+  };
+
   std::shared_ptr<const rvasm::Program> program_;
-  SimParams params_;
-  ActivityCounters counters_;
-  std::vector<RegionEvent> regions_;
-  Tracer tracer_;
+  ClusterTopology topo_;
   mem::AddressSpace memory_;
   mem::TcdmArbiter arbiter_;
-  mem::L0ICache icache_;
   mem::DmaEngine dma_;
-  ssr::SsrUnit ssr_;
-  FpSubsystem fpss_;
-  IntCore core_;
+  HwBarrier barrier_;
+  // unique_ptr: complexes hold pointers into the shared members above and
+  // into themselves, so their addresses must be stable.
+  std::vector<std::unique_ptr<CoreComplex>> complexes_;
   std::uint64_t cycle_ = 0;
+  // Rebuilt on demand by counters() for multi-hart clusters.
+  mutable ActivityCounters agg_;
+  // tick() scratch space, kept as members so the per-cycle hot path does no
+  // heap allocation (the vectors are cleared, not reallocated, every cycle).
+  std::vector<mem::TcdmRequest> requests_;
+  std::vector<RequestTag> tags_;
+  std::vector<mem::TcdmRequest> ssr_requests_;
+  std::vector<ssr::SsrUnit::RequestTag> ssr_tags_;
 };
 
 }  // namespace copift::sim

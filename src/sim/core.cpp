@@ -19,7 +19,8 @@ constexpr std::uint16_t kCsrRegion = 0x7C2;
 IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
                  mem::AddressSpace& memory, FpSubsystem& fpss, ssr::SsrUnit& ssr,
                  mem::L0ICache& icache, mem::DmaEngine& dma, ActivityCounters& counters,
-                 std::vector<RegionEvent>& regions, Tracer& tracer)
+                 std::vector<RegionEvent>& regions, Tracer& tracer, unsigned hart_id,
+                 unsigned num_harts, HwBarrier& barrier)
     : params_(params),
       program_(&program),
       memory_(&memory),
@@ -30,8 +31,11 @@ IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
       counters_(&counters),
       regions_(&regions),
       tracer_(&tracer),
+      barrier_(&barrier),
+      hart_id_(hart_id),
+      num_harts_(num_harts),
       pc_(program.entry) {
-  regs_[2] = kStackTop;  // sp
+  regs_[2] = kStackTop - hart_id * kHartStackBytes;  // sp
   // Size the write-port ring to cover the farthest-future booking any
   // instruction can make (+2 slack for the post-grant commit cycle).
   std::uint64_t horizon = 2;
@@ -56,6 +60,7 @@ void IntCore::account(std::uint64_t now, StallCause cause) {
     case StallCause::kIntTcdm: ++counters_->stall_tcdm; break;
     case StallCause::kIntMemOrder: ++counters_->stall_mem_order; break;
     case StallCause::kIntBarrier: ++counters_->stall_barrier; break;
+    case StallCause::kIntHwBarrier: ++counters_->stall_hw_barrier; break;
     case StallCause::kIntOffload: ++counters_->int_offloads; break;
     case StallCause::kIntHalted: ++counters_->int_halt_cycles; break;
     default: throw SimError("FPSS stall cause attributed to the integer core");
@@ -191,6 +196,19 @@ bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
         return false;
       }
       old = 0;
+      break;
+    case isa::kCsrMhartid:
+      old = hart_id_;  // read-only; writes are ignored
+      break;
+    case isa::kCsrBarrier:
+      // Any access synchronizes: the hart holds its issue slot until every
+      // hart in the cluster has reached the barrier.
+      if (!barrier_->try_pass(hart_id_)) {
+        account(now, StallCause::kIntHwBarrier);
+        return false;
+      }
+      ++counters_->barriers;
+      old = num_harts_;
       break;
     case kCsrRegion:
       if (is_write || src != 0) {

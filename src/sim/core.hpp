@@ -17,16 +17,21 @@
 #include "sim/counters.hpp"
 #include "sim/fpss.hpp"
 #include "sim/params.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
 
 namespace copift::sim {
 
 class IntCore {
  public:
+  /// `hart_id`/`num_harts` feed the `mhartid` CSR and the per-hart stack
+  /// carve-out; `barrier` is the cluster-shared hardware barrier behind the
+  /// `barrier` CSR. Hart 0 of a 1-hart cluster behaves exactly like the
+  /// historical single-core model.
   IntCore(const SimParams& params, const rvasm::Program& program, mem::AddressSpace& memory,
           FpSubsystem& fpss, ssr::SsrUnit& ssr, mem::L0ICache& icache, mem::DmaEngine& dma,
           ActivityCounters& counters, std::vector<RegionEvent>& regions,
-          Tracer& tracer);
+          Tracer& tracer, unsigned hart_id, unsigned num_harts, HwBarrier& barrier);
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] std::uint32_t exit_code() const noexcept { return regs_[10]; }  // a0
@@ -41,6 +46,7 @@ class IntCore {
     if (index != 0) regs_[index] = value;
   }
   [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  [[nodiscard]] unsigned hart_id() const noexcept { return hart_id_; }
 
  private:
   static constexpr std::uint64_t kBusy = ~std::uint64_t{0};  // written by FPSS later
@@ -75,6 +81,9 @@ class IntCore {
   ActivityCounters* counters_;
   std::vector<RegionEvent>* regions_;
   Tracer* tracer_;
+  HwBarrier* barrier_;
+  unsigned hart_id_ = 0;
+  unsigned num_harts_ = 1;
 
   std::array<std::uint32_t, 32> regs_{};
   std::array<std::uint64_t, 32> ready_{};  // cycle each register becomes usable

@@ -1,0 +1,16 @@
+#include "sim/core_complex.hpp"
+
+namespace copift::sim {
+
+CoreComplex::CoreComplex(unsigned hart_id, unsigned num_harts, const SimParams& params,
+                         const rvasm::Program& program, mem::AddressSpace& memory,
+                         mem::DmaEngine& dma, HwBarrier& barrier)
+    : hart_id_(hart_id),
+      params_(params),
+      icache_(params.l0_lines, params.l0_words_per_line, params.l0_branch_penalty),
+      ssr_(memory),
+      fpss_(params, memory, ssr_, counters_, tracer_),
+      core_(params, program, memory, fpss_, ssr_, icache_, dma, counters_, regions_,
+            tracer_, hart_id, num_harts, barrier) {}
+
+}  // namespace copift::sim

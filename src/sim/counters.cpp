@@ -1,64 +1,86 @@
 #include "sim/counters.hpp"
 
+#include <algorithm>
+
 namespace copift::sim {
+
+namespace {
+
+// Every countable field except `cycles` (which is wall time, not an event
+// count: minus subtracts it, plus takes the max). Keeping one table makes it
+// impossible for minus() and plus() to drift apart when a field is added —
+// only this list and the struct need to change.
+constexpr std::uint64_t ActivityCounters::* kEventFields[] = {
+    &ActivityCounters::int_retired,
+    &ActivityCounters::fp_retired,
+    &ActivityCounters::frep_replays,
+    &ActivityCounters::int_offloads,
+    &ActivityCounters::int_halt_cycles,
+    &ActivityCounters::fpss_cfg_cycles,
+    &ActivityCounters::int_alu,
+    &ActivityCounters::int_mul,
+    &ActivityCounters::int_div,
+    &ActivityCounters::int_load,
+    &ActivityCounters::int_store,
+    &ActivityCounters::branches,
+    &ActivityCounters::branches_taken,
+    &ActivityCounters::jumps,
+    &ActivityCounters::csr_ops,
+    &ActivityCounters::dma_cmds,
+    &ActivityCounters::ssr_cfg,
+    &ActivityCounters::frep_cfg,
+    &ActivityCounters::barriers,
+    &ActivityCounters::fp_add,
+    &ActivityCounters::fp_mul,
+    &ActivityCounters::fp_fma,
+    &ActivityCounters::fp_divsqrt,
+    &ActivityCounters::fp_cmp,
+    &ActivityCounters::fp_cvt,
+    &ActivityCounters::fp_move,
+    &ActivityCounters::fp_minmax,
+    &ActivityCounters::fp_class,
+    &ActivityCounters::fp_load,
+    &ActivityCounters::fp_store,
+    &ActivityCounters::tcdm_reads,
+    &ActivityCounters::tcdm_writes,
+    &ActivityCounters::tcdm_conflicts,
+    &ActivityCounters::ssr_elements,
+    &ActivityCounters::issr_indices,
+    &ActivityCounters::l0_hits,
+    &ActivityCounters::l0_refills,
+    &ActivityCounters::dma_busy_cycles,
+    &ActivityCounters::dma_bytes,
+    &ActivityCounters::stall_raw,
+    &ActivityCounters::stall_wb_port,
+    &ActivityCounters::stall_offload_full,
+    &ActivityCounters::stall_icache,
+    &ActivityCounters::stall_tcdm,
+    &ActivityCounters::stall_barrier,
+    &ActivityCounters::stall_hw_barrier,
+    &ActivityCounters::stall_branch,
+    &ActivityCounters::stall_div_busy,
+    &ActivityCounters::stall_mem_order,
+    &ActivityCounters::fpss_stall_ssr,
+    &ActivityCounters::fpss_stall_raw,
+    &ActivityCounters::fpss_stall_struct,
+    &ActivityCounters::fpss_stall_tcdm,
+    &ActivityCounters::fpss_idle,
+};
+
+}  // namespace
 
 ActivityCounters ActivityCounters::minus(const ActivityCounters& e) const noexcept {
   ActivityCounters d;
   d.cycles = cycles - e.cycles;
-  d.int_retired = int_retired - e.int_retired;
-  d.fp_retired = fp_retired - e.fp_retired;
-  d.frep_replays = frep_replays - e.frep_replays;
-  d.int_offloads = int_offloads - e.int_offloads;
-  d.int_halt_cycles = int_halt_cycles - e.int_halt_cycles;
-  d.fpss_cfg_cycles = fpss_cfg_cycles - e.fpss_cfg_cycles;
-  d.int_alu = int_alu - e.int_alu;
-  d.int_mul = int_mul - e.int_mul;
-  d.int_div = int_div - e.int_div;
-  d.int_load = int_load - e.int_load;
-  d.int_store = int_store - e.int_store;
-  d.branches = branches - e.branches;
-  d.branches_taken = branches_taken - e.branches_taken;
-  d.jumps = jumps - e.jumps;
-  d.csr_ops = csr_ops - e.csr_ops;
-  d.dma_cmds = dma_cmds - e.dma_cmds;
-  d.ssr_cfg = ssr_cfg - e.ssr_cfg;
-  d.frep_cfg = frep_cfg - e.frep_cfg;
-  d.barriers = barriers - e.barriers;
-  d.fp_add = fp_add - e.fp_add;
-  d.fp_mul = fp_mul - e.fp_mul;
-  d.fp_fma = fp_fma - e.fp_fma;
-  d.fp_divsqrt = fp_divsqrt - e.fp_divsqrt;
-  d.fp_cmp = fp_cmp - e.fp_cmp;
-  d.fp_cvt = fp_cvt - e.fp_cvt;
-  d.fp_move = fp_move - e.fp_move;
-  d.fp_minmax = fp_minmax - e.fp_minmax;
-  d.fp_class = fp_class - e.fp_class;
-  d.fp_load = fp_load - e.fp_load;
-  d.fp_store = fp_store - e.fp_store;
-  d.tcdm_reads = tcdm_reads - e.tcdm_reads;
-  d.tcdm_writes = tcdm_writes - e.tcdm_writes;
-  d.tcdm_conflicts = tcdm_conflicts - e.tcdm_conflicts;
-  d.ssr_elements = ssr_elements - e.ssr_elements;
-  d.issr_indices = issr_indices - e.issr_indices;
-  d.l0_hits = l0_hits - e.l0_hits;
-  d.l0_refills = l0_refills - e.l0_refills;
-  d.dma_busy_cycles = dma_busy_cycles - e.dma_busy_cycles;
-  d.dma_bytes = dma_bytes - e.dma_bytes;
-  d.stall_raw = stall_raw - e.stall_raw;
-  d.stall_wb_port = stall_wb_port - e.stall_wb_port;
-  d.stall_offload_full = stall_offload_full - e.stall_offload_full;
-  d.stall_icache = stall_icache - e.stall_icache;
-  d.stall_tcdm = stall_tcdm - e.stall_tcdm;
-  d.stall_barrier = stall_barrier - e.stall_barrier;
-  d.stall_branch = stall_branch - e.stall_branch;
-  d.stall_div_busy = stall_div_busy - e.stall_div_busy;
-  d.stall_mem_order = stall_mem_order - e.stall_mem_order;
-  d.fpss_stall_ssr = fpss_stall_ssr - e.fpss_stall_ssr;
-  d.fpss_stall_raw = fpss_stall_raw - e.fpss_stall_raw;
-  d.fpss_stall_struct = fpss_stall_struct - e.fpss_stall_struct;
-  d.fpss_stall_tcdm = fpss_stall_tcdm - e.fpss_stall_tcdm;
-  d.fpss_idle = fpss_idle - e.fpss_idle;
+  for (const auto field : kEventFields) d.*field = this->*field - e.*field;
   return d;
+}
+
+ActivityCounters ActivityCounters::plus(const ActivityCounters& other) const noexcept {
+  ActivityCounters s;
+  s.cycles = std::max(cycles, other.cycles);
+  for (const auto field : kEventFields) s.*field = this->*field + other.*field;
+  return s;
 }
 
 }  // namespace copift::sim

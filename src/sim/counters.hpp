@@ -88,6 +88,7 @@ struct ActivityCounters {
   std::uint64_t stall_icache = 0;
   std::uint64_t stall_tcdm = 0;
   std::uint64_t stall_barrier = 0;
+  std::uint64_t stall_hw_barrier = 0;  // waiting for other harts at the barrier CSR
   std::uint64_t stall_branch = 0;
   std::uint64_t stall_div_busy = 0;
   std::uint64_t stall_mem_order = 0;  // int load held back by a queued FP store
@@ -110,7 +111,7 @@ struct ActivityCounters {
   }
   [[nodiscard]] std::uint64_t int_stall_cycles() const noexcept {
     return stall_raw + stall_wb_port + stall_offload_full + stall_icache + stall_tcdm +
-           stall_barrier + stall_branch + stall_div_busy + stall_mem_order;
+           stall_barrier + stall_hw_barrier + stall_branch + stall_div_busy + stall_mem_order;
   }
   [[nodiscard]] std::uint64_t fpss_issue_cycles() const noexcept {
     return fp_retired + fpss_cfg_cycles;
@@ -121,6 +122,11 @@ struct ActivityCounters {
 
   /// Element-wise difference (this - earlier) for region-delta analysis.
   [[nodiscard]] ActivityCounters minus(const ActivityCounters& earlier) const noexcept;
+
+  /// Element-wise sum for cluster-level aggregation over harts. Every event
+  /// and stall field adds; `cycles` takes the max (all harts share the
+  /// cluster clock, so summing it would double-count wall time).
+  [[nodiscard]] ActivityCounters plus(const ActivityCounters& other) const noexcept;
 };
 
 /// Region marker event, recorded when the program writes the `region` CSR.

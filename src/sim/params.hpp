@@ -11,8 +11,18 @@
 
 namespace copift::sim {
 
+/// Most harts a cluster can instantiate. The Snitch cluster the paper's core
+/// lives in has 8 compute cores; the TCDM arbiter's grant mask also bounds
+/// the per-cycle request count (<= 64), which 8 harts stay well inside.
+inline constexpr unsigned kMaxHarts = 8;
+
 struct SimParams {
   fpu::FpuLatencies fpu{};
+
+  /// Core complexes (IntCore + FPSS + SSRs + L0 I$) sharing the TCDM. Each
+  /// hart reads its id from the `mhartid` CSR and synchronizes through the
+  /// `barrier` CSR. 1 reproduces the paper's single-core measurements.
+  unsigned num_cores = 1;
 
   // Core <-> FPSS decoupling.
   unsigned offload_fifo_depth = 8;
@@ -40,6 +50,13 @@ struct SimParams {
   unsigned dma_bytes_per_cycle = 64;
 
   std::uint64_t max_cycles = 1'000'000'000;
+
+  /// Throw copift::Error (naming the offending field and value) on any
+  /// configuration the simulator cannot honestly model: zero cores, banks,
+  /// FIFO/FREP depths, non-power-of-two L0 geometry, a stalled DMA, or a
+  /// zero cycle budget. Called by the Cluster/topology constructors so bad
+  /// configurations fail loudly instead of hanging or dividing by zero.
+  void validate() const;
 };
 
 }  // namespace copift::sim

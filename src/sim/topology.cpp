@@ -1,0 +1,70 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace copift::sim {
+
+ClusterTopology::ClusterTopology(const SimParams& base) : base_(base) {
+  cores(base.num_cores);
+}
+
+ClusterTopology& ClusterTopology::cores(unsigned n) {
+  requested_cores_ = n;
+  complexes_.assign(std::min(n, kMaxHarts), base_);
+  return *this;
+}
+
+ClusterTopology& ClusterTopology::add_complex(const SimParams& params) {
+  if (complexes_.size() < kMaxHarts) complexes_.push_back(params);
+  ++requested_cores_;
+  return *this;
+}
+
+ClusterTopology& ClusterTopology::shared_params(const SimParams& base) {
+  base_ = base;
+  return *this;
+}
+
+void ClusterTopology::validate() const {
+  // SimParams::validate names the field for both the zero and the
+  // beyond-kMaxHarts cases; check against the *requested* count so a
+  // clamped-at-construction topology still reports what the caller asked.
+  SimParams shared_check = base_;
+  shared_check.num_cores = requested_cores_;
+  shared_check.validate();
+  for (std::size_t h = 0; h < complexes_.size(); ++h) {
+    SimParams per_hart = complexes_[h];
+    per_hart.num_cores = requested_cores_;
+    try {
+      per_hart.validate();
+    } catch (const Error& e) {
+      throw Error("hart " + std::to_string(h) + ": " + e.what());
+    }
+  }
+}
+
+bool HwBarrier::try_pass(unsigned h) {
+  if (released_[h]) {
+    released_[h] = false;  // consume the pending release from the last round
+    return true;
+  }
+  if (!arrived_[h]) {
+    arrived_[h] = true;
+    ++count_;
+  }
+  if (count_ < num_harts_) return false;
+  // Full set: start a new round; this hart passes now, the rest on their
+  // next poll.
+  count_ = 0;
+  ++rounds_;
+  for (unsigned i = 0; i < num_harts_; ++i) {
+    arrived_[i] = false;
+    released_[i] = (i != h);
+  }
+  return true;
+}
+
+}  // namespace copift::sim

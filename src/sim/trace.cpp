@@ -38,6 +38,8 @@ const CauseInfo& cause_info(StallCause cause) noexcept {
        "load held back by an overlapping FP store still queued in the FPSS"},
       {"int/barrier", "stall_barrier", &ActivityCounters::stall_barrier, SlotKind::kStall,
        "copift.barrier or SSR/FPSS drain wait"},
+      {"int/hw-barrier", "stall_hw_barrier", &ActivityCounters::stall_hw_barrier,
+       SlotKind::kStall, "waiting for the other harts at the inter-hart barrier CSR"},
       {"int/offload", "int_offloads", &ActivityCounters::int_offloads, SlotKind::kIssue,
        "issue slot used to hand an instruction to the FPSS FIFO (retires FP-side)"},
       {"int/halted", "int_halt_cycles", &ActivityCounters::int_halt_cycles, SlotKind::kIdle,

@@ -41,6 +41,7 @@ enum class StallCause : std::uint8_t {
   kIntTcdm,         // lost TCDM bank arbitration
   kIntMemOrder,     // load held back by an overlapping queued FP store
   kIntBarrier,      // copift.barrier / FPSS or SSR drain wait
+  kIntHwBarrier,    // waiting for the other harts at the hardware barrier CSR
   kIntOffload,      // occupied: instruction handed to the FPSS FIFO this cycle
   kIntHalted,       // idle: post-ecall, waiting for FP work to drain
   // FPSS.

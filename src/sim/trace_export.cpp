@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "sim/cluster.hpp"
 
 namespace copift::sim {
 
@@ -101,23 +102,19 @@ void append_cause_row(std::string& out, const char* label, std::uint64_t value,
   out += '\n';
 }
 
-}  // namespace
-
-void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
-  if (!tracer.enabled()) {
-    throw Error("write_chrome_trace: tracer was not enabled for the run");
-  }
-  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
-  bool first = true;
-
-  // Track metadata: pid 0 = the cluster, tid 0/1 = int core / FPSS.
+/// Emit one tracer's metadata + events as track group `pid` (Perfetto shows
+/// each pid as a named group with its tid tracks inside).
+void write_tracer_group(std::ostream& os, bool& first, const Tracer& tracer, unsigned pid,
+                        const std::string& process_name) {
   const auto thread_name = [&](unsigned tid, const char* name) {
     write_event_prefix(os, first);
-    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name << "\"}}";
   };
   write_event_prefix(os, first);
-  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"copift cluster"}})";
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"name\":\"process_name\",\"args\":{\"name\":";
+  write_json_string(os, process_name);
+  os << "}}";
   thread_name(0, "int core");
   thread_name(1, "fpss");
 
@@ -126,7 +123,7 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
     write_event_prefix(os, first);
     const unsigned tid = e.unit == TraceUnit::kIntCore ? 0 : 1;
     const char* cat = e.unit == TraceUnit::kFrepReplay ? "replay" : "retire";
-    os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.cycle
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << e.cycle
        << ",\"dur\":1,\"cat\":\"" << cat << "\",\"name\":";
     write_json_string(os, isa::disassemble(e.instr));
     os << ",\"args\":{";
@@ -145,25 +142,80 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
     const unsigned tid = unit == TraceUnit::kIntCore ? 0 : 1;
     for (const Slice& s : merge_stalls(tracer.stalls(), unit)) {
       write_event_prefix(os, first);
-      os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << s.start
+      os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << s.start
          << ",\"dur\":" << s.dur << ",\"cat\":\"" << slot_category(slot_kind(s.cause))
          << "\",\"name\":";
       write_json_string(os, stall_cause_name(s.cause));
       os << ",\"args\":{\"cycles\":" << s.dur << "}}";
     }
   }
+}
 
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  if (!tracer.enabled()) {
+    throw Error("write_chrome_trace: tracer was not enabled for the run");
+  }
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  write_tracer_group(os, first, tracer, 0, "copift cluster");
   os << "\n  ]\n}\n";
 }
 
+void write_chrome_trace(std::ostream& os, const Cluster& cluster) {
+  for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+    if (!cluster.complex(h).tracer().enabled()) {
+      throw Error("write_chrome_trace: tracing was not enabled on hart " +
+                  std::to_string(h) + " (use Cluster::set_tracing before run())");
+    }
+  }
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+    write_tracer_group(os, first, cluster.complex(h).tracer(), h,
+                       "hart " + std::to_string(h));
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string render_hart_summary(const Cluster& cluster) {
+  std::string out = "per-hart issue slots:\n";
+  char buf[192];
+  for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+    const ActivityCounters& c = cluster.complex(h).counters();
+    std::snprintf(buf, sizeof(buf),
+                  "  hart %u  int issue %5.1f%%  fpss issue %5.1f%%  retired %llu"
+                  " (int %llu, fp %llu)  tcdm-stall %llu  barrier-wait %llu\n",
+                  h, pct(c.int_issue_cycles(), c.cycles),
+                  pct(c.fpss_issue_cycles(), c.cycles),
+                  static_cast<unsigned long long>(c.retired()),
+                  static_cast<unsigned long long>(c.int_retired),
+                  static_cast<unsigned long long>(c.fp_retired),
+                  static_cast<unsigned long long>(c.stall_tcdm + c.fpss_stall_tcdm),
+                  static_cast<unsigned long long>(c.stall_hw_barrier));
+    out += buf;
+  }
+  return out;
+}
+
 std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
-                          unsigned top_pcs) {
+                          unsigned top_pcs, unsigned num_harts) {
   const ActivityCounters& c = counters;
+  // Multi-hart aggregates sum slot-cycles over harts while `cycles` stays
+  // the cluster cycle count; normalizing by cycles*harts keeps every
+  // percentage a fraction of the available issue slots (sums to 100%).
+  const std::uint64_t slots = c.cycles * (num_harts == 0 ? 1 : num_harts);
   std::string out;
   char buf[160];
 
-  std::snprintf(buf, sizeof(buf), "=== pipeline report (%llu cycles) ===\n",
-                static_cast<unsigned long long>(c.cycles));
+  if (num_harts > 1) {
+    std::snprintf(buf, sizeof(buf), "=== pipeline report (%llu cycles x %u harts) ===\n",
+                  static_cast<unsigned long long>(c.cycles), num_harts);
+  } else {
+    std::snprintf(buf, sizeof(buf), "=== pipeline report (%llu cycles) ===\n",
+                  static_cast<unsigned long long>(c.cycles));
+  }
   out += buf;
 
   // --- integer core ---------------------------------------------------------
@@ -171,36 +223,40 @@ std::string render_report(const Tracer& tracer, const ActivityCounters& counters
   std::snprintf(buf, sizeof(buf),
                 "\nint core   issue %5.1f%%  stall %5.1f%%  halted %5.1f%%   "
                 "(retired %llu, offloaded %llu)\n",
-                pct(it.issue, c.cycles), pct(it.stall, c.cycles), pct(it.idle, c.cycles),
+                pct(it.issue, slots), pct(it.stall, slots), pct(it.idle, slots),
                 static_cast<unsigned long long>(c.int_retired),
                 static_cast<unsigned long long>(c.int_offloads));
   out += buf;
-  out += "  stall breakdown (% of all cycles):\n";
-  append_cause_row(out, "raw", c.stall_raw, c.cycles);
-  append_cause_row(out, "wb-port", c.stall_wb_port, c.cycles);
-  append_cause_row(out, "offload-full", c.stall_offload_full, c.cycles);
-  append_cause_row(out, "frontend", c.stall_icache, c.cycles);
-  append_cause_row(out, "branch", c.stall_branch, c.cycles);
-  append_cause_row(out, "div-busy", c.stall_div_busy, c.cycles);
-  append_cause_row(out, "tcdm", c.stall_tcdm, c.cycles);
-  append_cause_row(out, "mem-order", c.stall_mem_order, c.cycles);
-  append_cause_row(out, "barrier", c.stall_barrier, c.cycles);
+  const char* breakdown_header = num_harts > 1
+                                     ? "  stall breakdown (% of all issue slots):\n"
+                                     : "  stall breakdown (% of all cycles):\n";
+  out += breakdown_header;
+  append_cause_row(out, "raw", c.stall_raw, slots);
+  append_cause_row(out, "wb-port", c.stall_wb_port, slots);
+  append_cause_row(out, "offload-full", c.stall_offload_full, slots);
+  append_cause_row(out, "frontend", c.stall_icache, slots);
+  append_cause_row(out, "branch", c.stall_branch, slots);
+  append_cause_row(out, "div-busy", c.stall_div_busy, slots);
+  append_cause_row(out, "tcdm", c.stall_tcdm, slots);
+  append_cause_row(out, "mem-order", c.stall_mem_order, slots);
+  append_cause_row(out, "barrier", c.stall_barrier, slots);
+  append_cause_row(out, "hw-barrier", c.stall_hw_barrier, slots);
 
   // --- FPSS -----------------------------------------------------------------
   const UnitTotals ft{c.fpss_issue_cycles(), c.fpss_stall_cycles(), c.fpss_idle};
   std::snprintf(buf, sizeof(buf),
                 "\nfpss       issue %5.1f%%  stall %5.1f%%  idle %5.1f%%     "
                 "(retired %llu, of which %llu FREP replays; cfg %llu)\n",
-                pct(ft.issue, c.cycles), pct(ft.stall, c.cycles), pct(ft.idle, c.cycles),
+                pct(ft.issue, slots), pct(ft.stall, slots), pct(ft.idle, slots),
                 static_cast<unsigned long long>(c.fp_retired),
                 static_cast<unsigned long long>(c.frep_replays),
                 static_cast<unsigned long long>(c.fpss_cfg_cycles));
   out += buf;
-  out += "  stall breakdown (% of all cycles):\n";
-  append_cause_row(out, "raw", c.fpss_stall_raw, c.cycles);
-  append_cause_row(out, "ssr", c.fpss_stall_ssr, c.cycles);
-  append_cause_row(out, "struct", c.fpss_stall_struct, c.cycles);
-  append_cause_row(out, "tcdm", c.fpss_stall_tcdm, c.cycles);
+  out += breakdown_header;
+  append_cause_row(out, "raw", c.fpss_stall_raw, slots);
+  append_cause_row(out, "ssr", c.fpss_stall_ssr, slots);
+  append_cause_row(out, "struct", c.fpss_stall_struct, slots);
+  append_cause_row(out, "tcdm", c.fpss_stall_tcdm, slots);
 
   // --- trace-derived sections ----------------------------------------------
   if (!tracer.enabled()) {
@@ -209,9 +265,10 @@ std::string render_report(const Tracer& tracer, const ActivityCounters& counters
     return out;
   }
 
+  const char* hart_note = num_harts > 1 ? " [hart 0]" : "";
   const std::uint64_t dual = tracer.dual_issue_cycles();
-  std::snprintf(buf, sizeof(buf), "\ndual-issue cycles: %llu (%.1f%% of %llu)\n",
-                static_cast<unsigned long long>(dual), pct(dual, c.cycles),
+  std::snprintf(buf, sizeof(buf), "\ndual-issue cycles%s: %llu (%.1f%% of %llu)\n",
+                hart_note, static_cast<unsigned long long>(dual), pct(dual, c.cycles),
                 static_cast<unsigned long long>(c.cycles));
   out += buf;
 
@@ -230,8 +287,8 @@ std::string render_report(const Tracer& tracer, const ActivityCounters& counters
                                             : a.first < b.first;
   });
   if (hot.size() > top_pcs) hot.resize(top_pcs);
-  std::snprintf(buf, sizeof(buf), "\ntop %zu hottest PCs (by retired instructions):\n",
-                hot.size());
+  std::snprintf(buf, sizeof(buf), "\ntop %zu hottest PCs%s (by retired instructions):\n",
+                hot.size(), hart_note);
   out += buf;
   for (const auto& [pc, entry] : hot) {
     std::snprintf(buf, sizeof(buf), "  0x%-8x %8llu  %s\n", pc,

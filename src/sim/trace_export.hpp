@@ -22,15 +22,32 @@
 
 namespace copift::sim {
 
+class Cluster;
+
 /// Write the trace as Chrome trace-event JSON. Requires a tracer that was
 /// enabled for the run; throws copift::Error otherwise.
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
 
+/// Multi-hart export: one track group ("process") per hart, named "hart N",
+/// with the hart's int-core and FPSS tracks inside it. Requires tracing to
+/// have been enabled on every hart (Cluster::set_tracing(true)).
+void write_chrome_trace(std::ostream& os, const Cluster& cluster);
+
+/// Per-hart one-line summaries: issue-slot occupancy, retire counts,
+/// TCDM-conflict stalls and barrier-wait cycles for every hart. Printed by
+/// `copift_sim --report` alongside the aggregate render_report() so
+/// multi-hart runs show where each hart's time went.
+[[nodiscard]] std::string render_hart_summary(const Cluster& cluster);
+
 /// Render the top-down performance report. Occupancy and the stall
 /// histogram come from `counters` (available even with tracing off); the
 /// hottest-PC table and dual-issue rate need an enabled tracer and are
-/// omitted (with a note) when `tracer` was disabled.
+/// omitted (with a note) when `tracer` was disabled. For a multi-hart
+/// aggregate pass `num_harts` so percentages normalize to the total issue
+/// slots (cycles x harts) and the identity issue+stall+idle == 100% holds;
+/// the trace-derived sections then carry a hart-0 label (pass hart 0's
+/// tracer).
 [[nodiscard]] std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
-                                        unsigned top_pcs = 10);
+                                        unsigned top_pcs = 10, unsigned num_harts = 1);
 
 }  // namespace copift::sim

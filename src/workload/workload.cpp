@@ -48,6 +48,17 @@ void Workload::validate(Variant variant, const WorkloadConfig& config) const {
                       "variant not supported (supported: " + variants_list() + ")");
   }
   if (config.n == 0) throw ConfigError(name(), variant, "n must be positive");
+  if (config.cores == 0) throw ConfigError(name(), variant, "cores must be positive");
+  if (config.cores > 1 && !multi_hart_capable(variant)) {
+    throw ConfigError(name(), variant,
+                      "cores=" + std::to_string(config.cores) +
+                          " requested but this workload has no multi-hart variant");
+  }
+  if (config.cores > sim::kMaxHarts) {
+    throw ConfigError(name(), variant,
+                      "cores=" + std::to_string(config.cores) + " exceeds the cluster maximum of " +
+                          std::to_string(sim::kMaxHarts) + " harts");
+  }
 }
 
 void Workload::populate_inputs(sim::Cluster&, const WorkloadConfig&) const {}

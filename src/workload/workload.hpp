@@ -50,6 +50,11 @@ struct WorkloadConfig {
   std::uint32_t block = 32;
   /// PRNG seed for random inputs / PRN streams.
   std::uint32_t seed = 42;
+  /// Harts the generated program partitions its work across. The harness
+  /// builds the cluster topology with this many core complexes; workloads
+  /// that override Workload::multi_hart_capable emit mhartid-partitioned
+  /// code for cores > 1. 1 (the default) is the single-core paper setup.
+  std::uint32_t cores = 1;
 };
 
 /// Raised by Workload::validate on unusable configurations. The message
@@ -100,6 +105,11 @@ class Workload : public std::enable_shared_from_this<Workload> {
   /// Default configuration (shown by `copift_sim --list`, used by the CLI
   /// when no -n/--block flags are given).
   [[nodiscard]] virtual WorkloadConfig default_config() const { return {}; }
+
+  /// Whether this workload's generator can partition work across multiple
+  /// harts (emit `mhartid`-based slicing + `barrier` synchronization) for
+  /// the given variant. The base validate() rejects cores > 1 when false.
+  [[nodiscard]] virtual bool multi_hart_capable(Variant) const { return false; }
 
   /// Throw ConfigError when the configuration cannot be generated. The base
   /// implementation rejects unsupported variants; overrides should call it

@@ -13,6 +13,11 @@
 //              (AXPY has no integer phase to co-issue, so "copift" here means
 //              the paper's stream/FREP machinery rather than a dual-issue
 //              partition.)
+//
+// Both variants are multi-hart capable: with cores > 1 each hart reads
+// `mhartid`, processes the contiguous n/cores-element slice starting at
+// hart * (n/cores), and synchronizes at the hardware `barrier` CSR before
+// halting. cores == 1 generates exactly the historical single-core code.
 #include <cmath>
 #include <memory>
 #include <string>
@@ -72,7 +77,28 @@ void emit_data(AsmBuilder& b, const WorkloadConfig& cfg) {
   b.raw(".text\n");
 }
 
+/// Point a3/a4 at this hart's slice of x/y and leave the slice length in
+/// elements implied by `chunk` (emitted only for cores > 1 so single-core
+/// programs stay byte-identical to the historical generator).
+void emit_hart_slice(AsmBuilder& b, const WorkloadConfig& cfg, std::uint32_t chunk) {
+  if (cfg.cores <= 1) return;
+  b.c("partition: this hart's contiguous chunk of x and y");
+  b.l("csrr t5, mhartid");
+  b.l(cat("li t1, ", chunk * 8));  // slice stride in bytes
+  b.l("mul t2, t5, t1");
+  b.l("add a3, a3, t2");
+  b.l("add a4, a4, t2");
+}
+
+/// Barrier + halt epilogue: harts leave together so the per-hart
+/// barrier-wait counters expose the load imbalance.
+void emit_epilogue(AsmBuilder& b, const WorkloadConfig& cfg) {
+  if (cfg.cores > 1) b.l("csrr zero, barrier");
+  b.l("ecall");
+}
+
 std::string generate_baseline(const WorkloadConfig& cfg) {
+  const std::uint32_t chunk = cfg.n / cfg.cores;
   AsmBuilder b;
   emit_data(b, cfg);
   b.label("_start");
@@ -80,7 +106,8 @@ std::string generate_baseline(const WorkloadConfig& cfg) {
   b.l("la a4, yarr");
   b.l("la s0, axpy_const");
   b.l("fld fs0, 0(s0)");  // a
-  b.l(cat("li t3, ", cfg.n / kUnroll));
+  emit_hart_slice(b, cfg, chunk);
+  b.l(cat("li t3, ", chunk / kUnroll));
   b.l("csrwi region, 1");
   b.label("body_begin");
   b.c("op-major over 4 independent elements");
@@ -97,11 +124,12 @@ std::string generate_baseline(const WorkloadConfig& cfg) {
   b.label("body_end");
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");  // drain offloaded stores before halting
-  b.l("ecall");
+  emit_epilogue(b, cfg);
   return b.str();
 }
 
 std::string generate_copift(const WorkloadConfig& cfg) {
+  const std::uint32_t chunk = cfg.n / cfg.cores;
   AsmBuilder b;
   emit_data(b, cfg);
   b.label("_start");
@@ -109,11 +137,12 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("la a4, yarr");
   b.l("la s0, axpy_const");
   b.l("fld fs0, 0(s0)");  // a
-  b.l(cat("li t4, ", cfg.n / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
+  emit_hart_slice(b, cfg, chunk);
+  b.l(cat("li t4, ", chunk / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
   b.l("csrsi ssr, 1");
   b.c("lane0 reads x (ft0), lane1 reads y (ft1), lane2 writes y (ft2);");
-  b.c("all three are 1-D streams of n contiguous doubles");
-  b.l(cat("li t6, ", cfg.n - 1));
+  b.c("all three are 1-D streams of this hart's contiguous doubles");
+  b.l(cat("li t6, ", chunk - 1));
   b.l("scfgwi t6, 1");    // lane0 bound0 = n-1
   b.l("scfgwi t6, 33");   // lane1 bound0
   b.l("scfgwi t6, 65");   // lane2 bound0
@@ -133,7 +162,7 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("csrr t0, fpss");  // drain the FPSS and the lane-2 write stream
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");
-  b.l("ecall");
+  emit_epilogue(b, cfg);
   return b.str();
 }
 
@@ -144,11 +173,26 @@ class AxpyWorkload final : public workload::Workload {
     return "y[i] = a*x[i] + y[i] over doubles (out-of-paper demo workload)";
   }
 
+  [[nodiscard]] bool multi_hart_capable(Variant) const override { return true; }
+
   void validate(Variant variant, const WorkloadConfig& config) const override {
     Workload::validate(variant, config);
     if (config.n % kUnroll != 0) {
       throw ConfigError(name(), variant, "n=" + std::to_string(config.n) +
                                              " must be a multiple of the unroll factor 4");
+    }
+    if (config.n % config.cores != 0) {
+      throw ConfigError(name(), variant,
+                        "cores=" + std::to_string(config.cores) + " does not divide n=" +
+                            std::to_string(config.n));
+    }
+    const std::uint32_t chunk = config.n / config.cores;
+    if (chunk % kUnroll != 0) {
+      throw ConfigError(name(), variant,
+                        "per-hart chunk " + std::to_string(chunk) + " (n=" +
+                            std::to_string(config.n) + " / cores=" +
+                            std::to_string(config.cores) +
+                            ") must be a multiple of the unroll factor 4");
     }
   }
 

@@ -49,6 +49,9 @@ void print_usage(std::FILE* out) {
                "                         workload variant (both requires --sweep)\n"
                "  --n N, --block B, --seed S\n"
                "                         override the workload's default config\n"
+               "  --cores N              run on N core complexes (multi-hart workloads\n"
+               "                         partition via mhartid; assembly files must\n"
+               "                         handle mhartid/barrier themselves)\n"
                "  --list                 print registered workloads and exit\n"
                "\n"
                "introspection (single-run mode):\n"
@@ -57,10 +60,11 @@ void print_usage(std::FILE* out) {
                "                         (load it at https://ui.perfetto.dev); implies tracing\n"
                "  --report               print the top-down pipeline report: issue-slot\n"
                "                         occupancy, stall-cause histogram, dual-issue rate,\n"
-               "                         hottest PCs, and the stall taxonomy legend\n"
+               "                         hottest PCs, per-hart issue slots and barrier-wait\n"
+               "                         cycles, and the stall taxonomy legend\n"
                "\n"
                "batch mode:\n"
-               "  --sweep axis=v1,v2,... sweep an axis (block, n, seed); repeatable\n"
+               "  --sweep axis=v1,v2,... sweep an axis (block, n, seed, cores); repeatable\n"
                "  --threads N            engine worker threads (0 = all cores)\n"
                "  --json                 emit the sweep result table as JSON, not CSV\n"
                "  --no-verify            skip golden-reference output verification\n"
@@ -111,12 +115,13 @@ void print_summary(sim::Cluster& cluster) {
               static_cast<unsigned long long>(c.frep_replays));
   std::printf("IPC:           %.3f\n", c.ipc());
   std::printf("stalls:        raw %llu, wb-port %llu, offload %llu, tcdm %llu, "
-              "barrier %llu, icache %llu, branch %llu, mem-order %llu\n",
+              "barrier %llu, hw-barrier %llu, icache %llu, branch %llu, mem-order %llu\n",
               static_cast<unsigned long long>(c.stall_raw),
               static_cast<unsigned long long>(c.stall_wb_port),
               static_cast<unsigned long long>(c.stall_offload_full),
               static_cast<unsigned long long>(c.stall_tcdm),
               static_cast<unsigned long long>(c.stall_barrier),
+              static_cast<unsigned long long>(c.stall_hw_barrier),
               static_cast<unsigned long long>(c.stall_icache),
               static_cast<unsigned long long>(c.stall_branch),
               static_cast<unsigned long long>(c.stall_mem_order));
@@ -126,7 +131,17 @@ void print_summary(sim::Cluster& cluster) {
               static_cast<unsigned long long>(c.tcdm_writes),
               static_cast<unsigned long long>(c.tcdm_conflicts),
               static_cast<unsigned long long>(c.ssr_elements));
-  const auto report = energy::EnergyModel().evaluate(c);
+  // Per-complex energy: hart 0 carries the cluster constants, each further
+  // hart its complex constant — the same model the engine sweeps use, so
+  // single runs and sweep rows agree for any core count (for one core this
+  // is exactly EnergyModel::evaluate).
+  std::vector<sim::ActivityCounters> per_hart;
+  per_hart.reserve(cluster.num_cores());
+  for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+    per_hart.push_back(cluster.complex(h).counters());
+  }
+  const auto reports = energy::EnergyModel().evaluate_harts(per_hart);
+  const auto report = energy::sum_reports(reports);
   std::printf("power/energy:  %.1f mW, %.1f nJ (const %.0f%%, int %.0f%%, fpss %.0f%%, "
               "mem %.0f%%, i$ %.0f%%)\n",
               report.power_mw(), report.energy_nj(),
@@ -135,11 +150,22 @@ void print_summary(sim::Cluster& cluster) {
               100 * report.fpss_pj / report.total_pj,
               100 * report.memory_pj / report.total_pj,
               100 * report.icache_pj / report.total_pj);
-  if (cluster.regions().size() >= 2) {
-    const auto delta = cluster.regions().back().snapshot.minus(
-        cluster.regions().front().snapshot);
-    std::printf("region IPC:    %.3f over %llu cycles\n", delta.ipc(),
-                static_cast<unsigned long long>(delta.cycles));
+  // Region delta aggregated over every hart's own marker window (cycles =
+  // the slowest hart's window), matching the engine's region columns.
+  sim::ActivityCounters region_delta{};
+  bool have_regions = true;
+  for (unsigned h = 0; h < cluster.num_cores(); ++h) {
+    const auto& regions = cluster.complex(h).regions();
+    if (regions.size() < 2) {
+      have_regions = false;
+      break;
+    }
+    region_delta = region_delta.plus(regions.back().snapshot.minus(regions.front().snapshot));
+  }
+  if (have_regions) {
+    std::printf("region IPC:    %.3f over %llu cycles%s\n", region_delta.ipc(),
+                static_cast<unsigned long long>(region_delta.cycles),
+                cluster.num_cores() > 1 ? " (all harts, slowest marker window)" : "");
   }
 }
 
@@ -153,7 +179,9 @@ bool parse_sweep(const std::string& arg, SweepSpec& out) {
   const auto eq = arg.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) return false;
   out.axis = arg.substr(0, eq);
-  if (out.axis != "block" && out.axis != "n" && out.axis != "seed") return false;
+  if (out.axis != "block" && out.axis != "n" && out.axis != "seed" && out.axis != "cores") {
+    return false;
+  }
   out.values.clear();
   std::stringstream ss(arg.substr(eq + 1));
   std::string item;
@@ -181,6 +209,7 @@ int main(int argc, char** argv) {
   std::int64_t n = -1;
   std::int64_t block = -1;
   std::int64_t seed = -1;
+  std::int64_t cores = -1;
   unsigned threads = 0;
   std::vector<SweepSpec> sweeps;
   try {
@@ -206,6 +235,7 @@ int main(int argc, char** argv) {
     else if (arg == "--n" && i + 1 < argc) n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     else if (arg == "--block" && i + 1 < argc) block = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     else if (arg == "--seed" && i + 1 < argc) seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--cores" && i + 1 < argc) cores = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     // (numeric flag values are parsed as uint32 and stored widened, so -1
     // never collides with a user-supplied value)
     else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::stoull(argv[++i]);
@@ -241,6 +271,7 @@ int main(int argc, char** argv) {
   try {
     sim::SimParams params;
     if (max_cycles > 0) params.max_cycles = max_cycles;
+    if (cores >= 0) params.num_cores = static_cast<unsigned>(cores);
 
     std::shared_ptr<const workload::Workload> wl;
     std::vector<workload::Variant> run_variants;
@@ -252,6 +283,7 @@ int main(int argc, char** argv) {
       if (n >= 0) cfg.n = static_cast<std::uint32_t>(n);
       if (block >= 0) cfg.block = static_cast<std::uint32_t>(block);
       if (seed >= 0) cfg.seed = static_cast<std::uint32_t>(seed);
+      if (cores >= 0) cfg.cores = static_cast<std::uint32_t>(cores);
       if (variant == "both") {
         run_variants = {workload::Variant::kBaseline, workload::Variant::kCopift};
       } else if (!variant.empty()) {
@@ -273,13 +305,15 @@ int main(int argc, char** argv) {
     if (!sweeps.empty()) {
       // Batch mode: expand the sweep axes into one engine experiment.
       engine::Experiment experiment;
-      experiment.over(kernel).n(cfg.n).block(cfg.block).seed(cfg.seed).verify(verify);
+      experiment.over(kernel).n(cfg.n).block(cfg.block).seed(cfg.seed).cores(cfg.cores)
+          .verify(verify);
       experiment.over(std::span<const workload::Variant>(run_variants));
       if (max_cycles > 0) experiment.with_params("default", params);
       for (const auto& spec : sweeps) {
         const std::span<const std::uint32_t> values(spec.values);
         if (spec.axis == "block") experiment.sweep(values);
         else if (spec.axis == "n") experiment.sweep_n(values);
+        else if (spec.axis == "cores") experiment.sweep_cores(values);
         else experiment.sweep_seeds(values);
       }
       engine::SimEngine pool(threads);
@@ -298,8 +332,10 @@ int main(int argc, char** argv) {
       generated = wl->instantiate(run_variants.front(), cfg);
       source = generated.source;
       have_kernel = true;
-      std::printf("workload %s (%s), n=%u, block=%u, seed=%u\n", kernel.c_str(),
-                  workload::variant_name(generated.variant), cfg.n, cfg.block, cfg.seed);
+      params.num_cores = cfg.cores;  // topology follows the workload config
+      std::printf("workload %s (%s), n=%u, block=%u, seed=%u, cores=%u\n", kernel.c_str(),
+                  workload::variant_name(generated.variant), cfg.n, cfg.block, cfg.seed,
+                  cfg.cores);
     } else {
       std::ifstream in(file);
       if (!in) {
@@ -312,7 +348,7 @@ int main(int argc, char** argv) {
     }
 
     sim::Cluster cluster(rvasm::assemble(source), params);
-    cluster.tracer().set_enabled(trace || report || !trace_json.empty());
+    cluster.set_tracing(trace || report || !trace_json.empty());
     if (have_kernel) kernels::populate_inputs(cluster, generated);
     const auto result = cluster.run();
     std::printf("halted after %llu cycles (exit code %u)\n",
@@ -330,11 +366,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open %s for writing\n", trace_json.c_str());
         return 1;
       }
-      sim::write_chrome_trace(out, cluster.tracer());
+      sim::write_chrome_trace(out, cluster);  // one track group per hart
       std::printf("trace:         %s (load at https://ui.perfetto.dev)\n", trace_json.c_str());
     }
     if (report) {
-      std::printf("\n%s\n%s", sim::render_report(cluster.tracer(), cluster.counters()).c_str(),
+      std::printf("\n%s\n%s\n%s",
+                  sim::render_report(cluster.tracer(), cluster.counters(), 10,
+                                     cluster.num_cores())
+                      .c_str(),
+                  sim::render_hart_summary(cluster).c_str(),
                   sim::stall_taxonomy_legend().c_str());
     }
     if (trace) {
