@@ -25,8 +25,25 @@ inline constexpr std::string_view kPaperOrder[] = {
 };
 
 /// Parse `--threads N` from the command line; 0 = hardware concurrency.
+/// A missing or malformed value is a usage error (exit 2).
 inline unsigned parse_threads(int argc, char** argv) {
-  return engine::parse_threads(argc, argv);
+  try {
+    return engine::parse_threads(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Parse `--cores v1,v2,...` from the command line (default {1}). A missing
+/// or malformed list is a usage error (exit 2).
+inline std::vector<std::uint32_t> parse_cores(int argc, char** argv) {
+  try {
+    return engine::parse_cores_list(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 /// Steady-state measurement configuration used by the Fig. 2 benches.
@@ -34,25 +51,31 @@ struct SteadyConfig {
   std::uint32_t n1 = 1920;
   std::uint32_t n2 = 3840;
   std::uint32_t block = 96;
+  /// Hart counts to sweep ({1} = the paper's single-core setup).
+  std::vector<std::uint32_t> cores{1};
 };
 
-/// One steady-state table covering the paper's kernels in both variants:
-/// 12 independent grid points, executed in parallel on the pool.
+/// One steady-state table covering the paper's kernels in both variants
+/// (and every requested core count): independent grid points, executed in
+/// parallel on the pool.
 inline engine::ResultTable steady_table(engine::SimEngine& pool, const SteadyConfig& sc = {}) {
   return engine::Experiment()
       .over(std::span<const std::string_view>(kPaperOrder))
       .over({workload::Variant::kBaseline, workload::Variant::kCopift})
       .block(sc.block)
+      .sweep_cores(std::span<const std::uint32_t>(sc.cores))
       .steady(sc.n1, sc.n2)
       .run(pool);
 }
 
 /// Row lookup that throws instead of returning nullptr (bench tables are
-/// complete by construction).
+/// complete by construction). Pass `cores` when the table sweeps the cores
+/// axis — without the filter, find() returns the first core count's row.
 inline const engine::ResultRow& row_of(const engine::ResultTable& table,
                                        std::string_view workload,
-                                       workload::Variant variant) {
-  const auto* row = table.find(workload, variant);
+                                       workload::Variant variant,
+                                       std::uint32_t cores = 0) {
+  const auto* row = table.find(workload, variant, 0, 0, {}, cores);
   if (row == nullptr) throw Error("missing result row");
   return *row;
 }

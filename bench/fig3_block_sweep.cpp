@@ -5,7 +5,9 @@
 //
 // The 56-point grid is a single engine experiment; `--threads N` sets the
 // worker-pool size (`--threads 1` reproduces the serial seed behaviour and
-// must give bit-identical results).
+// must give bit-identical results). `--cores v1,v2,...` adds a hart-count
+// axis and prints one IPC surface per core count — the per-hart block-size
+// trade-off at cluster scale.
 #include <cstdio>
 #include <vector>
 
@@ -15,8 +17,34 @@ int main(int argc, char** argv) {
   using namespace copift;
   using namespace copift::bench;
   const std::vector<std::uint32_t> blocks = {32, 48, 64, 96, 128, 192, 256};
-  const std::vector<std::uint32_t> problems = {768,   1536,  3072,  6144,
-                                               12288, 24576, 49152, 98304};
+  std::vector<std::uint32_t> problems = {768,   1536,  3072,  6144,
+                                         12288, 24576, 49152, 98304};
+  const std::vector<std::uint32_t> cores_list = parse_cores(argc, argv);
+
+  // The cartesian grid must be valid at every (n, block, cores) point: each
+  // hart's chunk needs at least two whole blocks. Drop problems that cannot
+  // partition across every requested core count (no-op for the default
+  // single-core sweep).
+  std::erase_if(problems, [&](std::uint32_t n) {
+    for (const std::uint32_t c : cores_list) {
+      for (const std::uint32_t b : blocks) {
+        const std::uint32_t chunk = n / c;
+        if (n % c != 0 || chunk % b != 0 || chunk / b < 2) {
+          std::printf("note: skipping n=%u (not partitionable into >=2 B=%u blocks "
+                      "per hart at cores=%u)\n",
+                      n, b, c);
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  if (problems.empty()) {
+    std::fprintf(stderr,
+                 "error: no problem size is partitionable into >=2 blocks per hart for "
+                 "every block size at the requested --cores values\n");
+    return 2;
+  }
 
   engine::SimEngine pool(parse_threads(argc, argv));
   const auto table =
@@ -25,11 +53,20 @@ int main(int argc, char** argv) {
           .over(kernels::Variant::kCopift)
           .sweep_n(problems)
           .sweep(blocks)
+          .sweep_cores(cores_list)
           // Verify the smaller runs; skip the golden check on the largest for
           // time (the same code path is verified at smaller sizes).
           .verify_if([](const engine::GridPoint& p) { return p.config.n <= 6144; })
           .run(pool);
 
+  // Grid order: n, block, cores (last axis fastest).
+  const auto row_at = [&](std::size_t pi, std::size_t bi, std::size_t ci)
+      -> const engine::ResultRow& {
+    return table.at((pi * blocks.size() + bi) * cores_list.size() + ci);
+  };
+
+  for (std::size_t ci = 0; ci < cores_list.size(); ++ci) {
+  if (cores_list.size() > 1) std::printf("=== cores=%u ===\n", cores_list[ci]);
   std::printf("Fig. 3: poly_lcg COPIFT IPC over problem size x block size\n\n");
   std::printf("%8s |", "n \\ B");
   for (const auto b : blocks) std::printf(" %6u", b);
@@ -41,7 +78,7 @@ int main(int argc, char** argv) {
     double best = 0.0;
     std::uint32_t best_block = 0;
     for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-      const auto& row = table.at(pi * blocks.size() + bi);
+      const auto& row = row_at(pi, bi, ci);
       grid[pi][bi] = row.run.ipc();
       std::printf(" %6.3f", row.run.ipc());
       if (row.run.ipc() > best) {
@@ -72,7 +109,7 @@ int main(int argc, char** argv) {
   std::printf("%8s | %9s %9s %9s %9s\n", "B", "int-issue", "int-stall", "fp-issue",
               "fp-stall");
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const auto& region = table.at(last * blocks.size() + bi).run.region;
+    const auto& region = row_at(last, bi, ci).run.region;
     const auto pct = [&](std::uint64_t v) {
       return region.cycles == 0 ? 0.0 : 100.0 * static_cast<double>(v) /
                                             static_cast<double>(region.cycles);
@@ -86,5 +123,7 @@ int main(int argc, char** argv) {
       "IPC converges to the steady-state value reported in Fig. 2a; the occupancy\n"
       "table shows FPSS issue saturating with larger blocks while the integer\n"
       "side's per-block SSR/FREP setup overhead shrinks into offload-full waits.\n");
+  if (cores_list.size() > 1) std::printf("\n");
+  }  // cores_list
   return 0;
 }

@@ -70,40 +70,53 @@ int main(int argc, char** argv) {
   constexpr std::uint32_t kN1 = 10 * kBlock;
   constexpr std::uint32_t kN2 = 20 * kBlock;
 
+  try {
   copift::engine::SimEngine pool(copift::bench::parse_threads(argc, argv));
-  const auto table = copift::bench::steady_table(pool, {kN1, kN2, kBlock});
+  copift::bench::SteadyConfig sc{kN1, kN2, kBlock,
+                                 copift::bench::parse_cores(argc, argv)};
+  const auto table = copift::bench::steady_table(pool, sc);
 
-  // The paper reports counts per baseline unroll group.
-  std::printf("Table I: characteristics of the evaluated kernels (paper Table I)\n");
-  std::printf("Counts per unroll group (exp/log: 4 elements, MC: 8 samples)\n\n");
-  std::printf(
-      "%-18s | %5s %5s %5s | %7s %6s | %7s %6s | %6s | %5s %5s | %5s %5s %5s\n",
-      "Kernel", "#Int", "#FP", "TI", "IntL/S", "#Buff", "FPL/S", "#Repl", "MaxBlk",
-      "c#Int", "c#FP", "I'", "S''", "S'");
-  for (const auto name : copift::bench::kPaperOrder) {
-    const auto base = body_counts(copift::bench::row_of(table, name, Variant::kBaseline),
-                                  name, kN1, kN2);
-    const auto cop = body_counts(copift::bench::row_of(table, name, Variant::kCopift), name,
-                                 kN1, kN2);
-    core::SpeedupModel model;
-    model.base = base.mix;
-    model.copift = cop.mix;
-    const BufferInfo buf = buffer_info(name);
-    const std::uint64_t max_block = (96 * 1024ull) / buf.bytes_per_element;
+  for (const std::uint32_t cores : sc.cores) {
+    if (sc.cores.size() > 1) std::printf("=== cores=%u ===\n", cores);
+    // The paper reports counts per baseline unroll group. The marginal
+    // counters aggregate every hart, so the per-group numbers stay put as
+    // the work spreads across the cluster (and drifts flag imbalance).
+    std::printf("Table I: characteristics of the evaluated kernels (paper Table I)\n");
+    std::printf("Counts per unroll group (exp/log: 4 elements, MC: 8 samples)\n\n");
     std::printf(
-        "%-18s | %5llu %5llu %5.2f | %+7d %6u | %+7d %6u | %6llu | %5llu %5llu |"
-        " %5.2f %5.2f %5.2f\n",
-        std::string(name).c_str(), (unsigned long long)base.mix.n_int,
-        (unsigned long long)base.mix.n_fp, base.mix.thread_imbalance(),
-        static_cast<int>(cop.int_ldst) - static_cast<int>(base.int_ldst),
-        buf.logical_buffers,
-        static_cast<int>(cop.fp_ldst) - static_cast<int>(base.fp_ldst),
-        buf.replicas_total, (unsigned long long)max_block,
-        (unsigned long long)cop.mix.n_int, (unsigned long long)cop.mix.n_fp,
-        model.i_prime(), model.s_double_prime(), model.s_prime());
+        "%-18s | %5s %5s %5s | %7s %6s | %7s %6s | %6s | %5s %5s | %5s %5s %5s\n",
+        "Kernel", "#Int", "#FP", "TI", "IntL/S", "#Buff", "FPL/S", "#Repl", "MaxBlk",
+        "c#Int", "c#FP", "I'", "S''", "S'");
+    for (const auto name : copift::bench::kPaperOrder) {
+      const auto base = body_counts(
+          copift::bench::row_of(table, name, Variant::kBaseline, cores), name, kN1, kN2);
+      const auto cop = body_counts(
+          copift::bench::row_of(table, name, Variant::kCopift, cores), name, kN1, kN2);
+      core::SpeedupModel model;
+      model.base = base.mix;
+      model.copift = cop.mix;
+      const BufferInfo buf = buffer_info(name);
+      const std::uint64_t max_block = (96 * 1024ull) / buf.bytes_per_element / cores;
+      std::printf(
+          "%-18s | %5llu %5llu %5.2f | %+7d %6u | %+7d %6u | %6llu | %5llu %5llu |"
+          " %5.2f %5.2f %5.2f\n",
+          std::string(name).c_str(), (unsigned long long)base.mix.n_int,
+          (unsigned long long)base.mix.n_fp, base.mix.thread_imbalance(),
+          static_cast<int>(cop.int_ldst) - static_cast<int>(base.int_ldst),
+          buf.logical_buffers,
+          static_cast<int>(cop.fp_ldst) - static_cast<int>(base.fp_ldst),
+          buf.replicas_total, (unsigned long long)max_block,
+          (unsigned long long)cop.mix.n_int, (unsigned long long)cop.mix.n_fp,
+          model.i_prime(), model.s_double_prime(), model.s_prime());
+    }
+    std::printf(
+        "\nPaper reference rows (expf 43/52 TI 0.83 ... pi_xoshiro128p 172/56 TI 0.33);\n"
+        "see EXPERIMENTS.md for the side-by-side comparison.\n");
+    if (sc.cores.size() > 1) std::printf("\n");
   }
-  std::printf(
-      "\nPaper reference rows (expf 43/52 TI 0.83 ... pi_xoshiro128p 172/56 TI 0.33);\n"
-      "see EXPERIMENTS.md for the side-by-side comparison.\n");
   return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

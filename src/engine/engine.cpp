@@ -8,18 +8,48 @@
 namespace copift::engine {
 
 unsigned parse_threads(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      char* end = nullptr;
-      const long v = std::strtol(argv[i + 1], &end, 10);
-      if (end == argv[i + 1] || *end != '\0' || v < 0 ||
-          v > static_cast<long>(SimEngine::kMaxThreads)) {
-        return 0;  // fall back to hardware concurrency on nonsense
-      }
-      return static_cast<unsigned>(v);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    if (i + 1 >= argc) {
+      throw Error("--threads requires a value (worker count, 0 = all hardware threads)");
     }
+    const char* value = argv[i + 1];
+    char* end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 0 ||
+        v > static_cast<long>(SimEngine::kMaxThreads)) {
+      throw Error("--threads: invalid value '" + std::string(value) + "' (expected 0.." +
+                  std::to_string(SimEngine::kMaxThreads) + ")");
+    }
+    return static_cast<unsigned>(v);
   }
   return 0;
+}
+
+std::vector<std::uint32_t> parse_cores_list(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cores") != 0) continue;
+    if (i + 1 >= argc) throw Error("--cores requires a value (e.g. --cores 1,2,4)");
+    const char* list = argv[i + 1];
+    const auto malformed = [&]() -> Error {
+      return Error(std::string("--cores: invalid list '") + list +
+                   "' (expected comma-separated positive core counts, e.g. 1,2,4)");
+    };
+    if (std::strchr(list, '-') != nullptr) throw malformed();
+    std::vector<std::uint32_t> out;
+    const char* s = list;
+    while (true) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || v == 0 || v > 0xFFFFFFFFul) throw malformed();
+      out.push_back(static_cast<std::uint32_t>(v));
+      if (*end == '\0') break;
+      if (*end != ',' || end[1] == '\0') throw malformed();
+      s = end + 1;
+    }
+    return out;
+  }
+  return {1};
 }
 
 SimEngine::SimEngine(unsigned threads) {

@@ -20,8 +20,17 @@
 namespace copift::engine {
 
 /// Parse a `--threads N` flag from a command line; returns 0 (hardware
-/// concurrency) when the flag is absent, malformed, negative, or absurd.
+/// concurrency) when the flag is absent. Throws copift::Error — a usage
+/// error — when the flag has no value (e.g. `--threads` as the last
+/// argument) or the value is malformed, negative, or absurd; silent
+/// fallbacks used to mask typos like `--threads 4x` with a full-width pool.
 unsigned parse_threads(int argc, char** argv);
+
+/// Parse a `--cores v1,v2,...` flag from a command line; returns {1} (the
+/// single-core paper setup) when the flag is absent. Throws copift::Error
+/// on a missing value or a malformed list (empty entries, zero, negative,
+/// non-numeric, out of 32-bit range).
+std::vector<std::uint32_t> parse_cores_list(int argc, char** argv);
 
 class SimEngine {
  public:

@@ -79,18 +79,62 @@ GridPoint ParamGrid::point(std::size_t index) const {
 
 const ResultRow* ResultTable::find(std::string_view workload, Variant variant,
                                    std::uint32_t n, std::uint32_t block,
-                                   const std::string& params_label) const {
+                                   const std::string& params_label, std::uint32_t cores,
+                                   std::optional<std::uint32_t> seed) const {
   for (const auto& row : rows_) {
     if (row.point.name() != workload || row.point.variant != variant) continue;
     if (n != 0 && row.point.config.n != n) continue;
     if (block != 0 && row.point.config.block != block) continue;
     if (!params_label.empty() && row.point.params_label != params_label) continue;
+    if (cores != 0 && row.point.config.cores != cores) continue;
+    if (seed.has_value() && row.point.config.seed != *seed) continue;
     return &row;
   }
   return nullptr;
 }
 
 namespace {
+
+/// RFC 4180 field quoting: wrap in double quotes when the value contains a
+/// comma, quote, or line break, doubling embedded quotes. Plain values pass
+/// through unchanged, so existing tables keep their exact bytes.
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// JSON string escaping per RFC 8259: quote, backslash and control
+/// characters; everything else passes through byte-for-byte.
+void write_json_string(std::ostream& os, std::string_view value) {
+  os << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
 
 void write_number(std::ostream& os, double v) {
   // Shortest round-trippable representation keeps the emitted tables
@@ -137,10 +181,11 @@ void ResultTable::write_csv(std::ostream& os) const {
   os << '\n';
   for (const auto& row : rows_) {
     const auto& p = row.point;
-    os << p.index << ',' << p.name() << ',' << workload::variant_name(p.variant)
+    os << p.index << ',' << csv_field(p.name()) << ',' << workload::variant_name(p.variant)
        << ',' << p.config.n << ',' << p.config.block << ',' << p.config.seed << ','
        << p.config.cores << ','
-       << p.params_label << ',' << (row.run.verified ? 1 : 0) << ',' << row.run.result.cycles
+       << csv_field(p.params_label) << ',' << (row.run.verified ? 1 : 0) << ','
+       << row.run.result.cycles
        << ',' << row.run.region.cycles << ',' << row.run.region.int_retired << ','
        << row.run.region.fp_retired << ',';
     write_number(os, row.run.ipc());
@@ -164,12 +209,14 @@ void ResultTable::write_json(std::ostream& os) const {
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const auto& row = rows_[i];
     const auto& p = row.point;
-    os << "  {\"index\":" << p.index << ",\"kernel\":\"" << p.name()
-       << "\",\"variant\":\"" << workload::variant_name(p.variant)
+    os << "  {\"index\":" << p.index << ",\"kernel\":";
+    write_json_string(os, p.name());
+    os << ",\"variant\":\"" << workload::variant_name(p.variant)
        << "\",\"n\":" << p.config.n
        << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed
-       << ",\"cores\":" << p.config.cores << ",\"params\":\""
-       << p.params_label << "\",\"verified\":" << (row.run.verified ? "true" : "false")
+       << ",\"cores\":" << p.config.cores << ",\"params\":";
+    write_json_string(os, p.params_label);
+    os << ",\"verified\":" << (row.run.verified ? "true" : "false")
        << ",\"cycles\":" << row.run.result.cycles
        << ",\"region_cycles\":" << row.run.region.cycles << ",\"ipc\":";
     write_number(os, row.run.ipc());

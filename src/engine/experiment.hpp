@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -128,11 +129,17 @@ class ResultTable {
   [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
   [[nodiscard]] const ResultRow& at(std::size_t index) const { return rows_.at(index); }
 
-  /// First row matching the given coordinates; 0 means "any" for the numeric
-  /// fields. Returns nullptr when no row matches.
+  /// First row matching the given coordinates; 0 means "any" for n, block
+  /// and cores (cores is always >= 1 in a materialized grid), and an empty
+  /// optional means "any" seed (0 is a legal seed value). Tables produced by
+  /// cores or seed sweeps hold several rows per (workload, variant) pair —
+  /// pass the cores/seed filters there or the first row of the wrong
+  /// configuration comes back. Returns nullptr when no row matches.
   [[nodiscard]] const ResultRow* find(std::string_view workload, Variant variant,
                                       std::uint32_t n = 0, std::uint32_t block = 0,
-                                      const std::string& params_label = {}) const;
+                                      const std::string& params_label = {},
+                                      std::uint32_t cores = 0,
+                                      std::optional<std::uint32_t> seed = std::nullopt) const;
 
   void write_csv(std::ostream& os) const;
   void write_json(std::ostream& os) const;

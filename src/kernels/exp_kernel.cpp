@@ -15,10 +15,13 @@
 #include "kernels/codegen.hpp"
 #include "kernels/glibc_math.hpp"
 #include "kernels/kernel_internal.hpp"
+#include "workload/hart_slice.hpp"
 
 namespace copift::kernels {
 
 namespace {
+
+using workload::HartSlice;
 
 constexpr unsigned kUnroll = 4;
 
@@ -51,13 +54,15 @@ void emit_exp_data(AsmBuilder& b, const KernelConfig& cfg, bool copift) {
   b.l(dword_of(1.0));
   if (copift) {
     // Slot arena: 3 slots x fields [ki | w | t], each field B doubles.
+    // One arena row per hart — harts triple-buffer independently.
     b.label("arena");
-    b.l(cat(".space ", 3 * 3 * cfg.block * 8));
+    b.l(cat(".space ", 3 * 3 * cfg.block * 8 * cfg.cores));
   } else {
+    // One row of spill buffers per hart.
     b.label("ki_buf");
-    b.l(cat(".space ", kUnroll * 8));
+    b.l(cat(".space ", kUnroll * 8 * cfg.cores));
     b.label("t_buf");
-    b.l(cat(".space ", kUnroll * 8));
+    b.l(cat(".space ", kUnroll * 8 * cfg.cores));
   }
   b.label("xarr");
   b.l(cat(".space ", cfg.n * 8));
@@ -106,6 +111,7 @@ void emit_int_lookup4(AsmBuilder& b, const std::string& rp, const std::string& w
 
 std::string generate_baseline(const KernelConfig& cfg) {
   if (cfg.n % kUnroll != 0) throw Error(cat("exp/baseline: n=", cfg.n, " must be a multiple of 4"));
+  const HartSlice slice(cfg);
   AsmBuilder b;
   emit_exp_data(b, cfg, /*copift=*/false);
   b.label("_start");
@@ -114,9 +120,14 @@ std::string generate_baseline(const KernelConfig& cfg) {
   b.l("la t0, exp_tab");
   b.l("la t1, ki_buf");
   b.l("la t2, t_buf");
-  b.l(cat("li t3, ", cfg.n / kUnroll));
+  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and spill-buffer row");
+  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t6", "a0");
+  slice.offset_by_rows(b, "t5", kUnroll * 8, {"t1", "t2"}, "t6", "a0");
+  b.l(cat("li t3, ", slice.chunk() / kUnroll));
   emit_load_constants(b);
+  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
   emit_dma_stream(b, cfg.n * 8);
+  slice.end_hart0_only(b, "dma_done");
   b.l("csrwi region, 1");
   b.label("body_begin");
   b.c("FP front (Fig. 1b inst. 1-4), op-major over 4 elements");
@@ -145,7 +156,7 @@ std::string generate_baseline(const KernelConfig& cfg) {
   b.label("body_end");
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");
-  b.l("ecall");
+  slice.epilogue(b);
   return b.str();
 }
 
@@ -226,8 +237,9 @@ std::string generate_copift(const KernelConfig& cfg) {
   const std::uint32_t block = cfg.block;
   if (block % kUnroll != 0) throw Error(cat("exp/copift: block=", block, " must be a multiple of 4"));
   if (cfg.n % block != 0) throw Error(cat("exp/copift: block=", block, " does not divide n=", cfg.n));
-  const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error(cat("exp/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
+  const HartSlice slice(cfg);
+  const std::uint32_t nb = slice.chunk() / block;  // blocks per hart
+  if (nb < 2) throw Error(cat("exp/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks per hart"));
 
   AsmBuilder b;
   emit_exp_data(b, cfg, /*copift=*/true);
@@ -239,6 +251,9 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("la s2, arena");             // p_kiw = slot(0)
   b.l(cat("la s3, arena + ", 2 * 3 * block * 8));  // p_int = slot(2)
   b.l(cat("la s4, arena + ", 3 * block * 8));      // p_wt  = slot(1)
+  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and arena row");
+  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
+  slice.offset_by_rows(b, "t5", 3 * 3 * block * 8, {"s2", "s3", "s4"}, "t1", "t2");
   emit_load_constants(b);
   b.l("csrsi ssr, 1");
   b.c("static SSR shapes: lane0 1-D (B) for x reads / y writes; lane1 is a");
@@ -264,8 +279,10 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("scfgwi s11, 65");                // bound0 = B-1
   b.l("li t6, 8");
   b.l("scfgwi t6, 69");                 // stride0 = 8
+  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
   emit_dma_stream(b, cfg.n * 8);
-  b.l(cat("li t3, ", nb - 2));  // steady-state iterations
+  slice.end_hart0_only(b, "dma_done");
+  b.l(cat("li t3, ", nb - 2));  // steady-state iterations (per hart)
   b.l("csrwi region, 1");
 
   b.c("prologue j'=0: phase 0 of block 0");
@@ -298,7 +315,7 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("csrr t0, fpss");  // drain
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");
-  b.l("ecall");
+  slice.epilogue(b);
   return b.str();
 }
 

@@ -12,10 +12,13 @@
 #include "kernels/codegen.hpp"
 #include "kernels/glibc_math.hpp"
 #include "kernels/kernel_internal.hpp"
+#include "workload/hart_slice.hpp"
 
 namespace copift::kernels {
 
 namespace {
+
+using workload::HartSlice;
 
 constexpr unsigned kUnroll = 4;
 
@@ -48,13 +51,14 @@ void emit_log_data(AsmBuilder& b, const KernelConfig& cfg, bool copift) {
   b.l(dword_of(cst.a0));    // fs3
   b.l(dword_of(1.0));       // fs5 (loaded separately)
   if (copift) {
+    // One double-buffered arena row per hart.
     b.label("izk_arena");  // 2 slots x (2B 8-byte cells: iz, k interleaved)
-    b.l(cat(".space ", 2 * 2 * cfg.block * 8));
+    b.l(cat(".space ", 2 * 2 * cfg.block * 8 * cfg.cores));
     b.label("idx_arena");  // 2 slots x (2B 4-byte indices)
-    b.l(cat(".space ", 2 * 2 * cfg.block * 4));
+    b.l(cat(".space ", 2 * 2 * cfg.block * 4 * cfg.cores));
   } else {
-    b.label("iz_buf");
-    b.l(cat(".space ", kUnroll * 4));
+    b.label("iz_buf");  // one row per hart
+    b.l(cat(".space ", kUnroll * 4 * cfg.cores));
   }
   b.label("xarr");
   b.l(cat(".space ", cfg.n * 4));
@@ -89,6 +93,7 @@ void emit_dma_stream(AsmBuilder& b, std::uint32_t bytes) {
 
 std::string generate_baseline(const KernelConfig& cfg) {
   if (cfg.n % kUnroll != 0) throw Error(cat("log/baseline: n=", cfg.n, " must be a multiple of 4"));
+  const HartSlice slice(cfg);
   const LogConstants cst = log_constants();
   AsmBuilder b;
   emit_log_data(b, cfg, /*copift=*/false);
@@ -97,11 +102,17 @@ std::string generate_baseline(const KernelConfig& cfg) {
   b.l("la a4, yarr");
   b.l("la t0, log_tab");
   b.l("la t1, iz_buf");
+  slice.read_hartid(b, "t5", "partition: this hart's x (floats) / y (doubles) chunks");
+  slice.offset_by_elements(b, "t5", 4, {"a3"}, "t6", "a0");
+  slice.offset_by_elements(b, "t5", 8, {"a4"}, "t6", "a0");
+  slice.offset_by_rows(b, "t5", kUnroll * 4, {"t1"}, "t6", "a0");
   b.l(cat("li t2, ", cst.off));
   b.l(cat("li s0, ", 0xff800000u));
-  b.l(cat("li t3, ", cfg.n / kUnroll));
+  b.l(cat("li t3, ", slice.chunk() / kUnroll));
   emit_log_constants(b);
+  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
   emit_dma_stream(b, cfg.n * 8);
+  slice.end_hart0_only(b, "dma_done");
   b.l("csrwi region, 1");
   b.label("body_begin");
   b.c("integer decomposition (op-major over 4 elements)");
@@ -150,7 +161,7 @@ std::string generate_baseline(const KernelConfig& cfg) {
   b.label("body_end");
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");
-  b.l("ecall");
+  slice.epilogue(b);
   return b.str();
 }
 
@@ -236,8 +247,9 @@ std::string generate_copift(const KernelConfig& cfg) {
   const std::uint32_t block = cfg.block;
   if (block % kUnroll != 0) throw Error(cat("log/copift: block=", block, " must be a multiple of 4"));
   if (cfg.n % block != 0) throw Error(cat("log/copift: block=", block, " does not divide n=", cfg.n));
-  const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error(cat("log/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
+  const HartSlice slice(cfg);
+  const std::uint32_t nb = slice.chunk() / block;  // blocks per hart
+  if (nb < 2) throw Error(cat("log/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks per hart"));
   const LogConstants cst = log_constants();
 
   AsmBuilder b;
@@ -252,6 +264,13 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l(cat("la s11, izk_arena + ", 2 * block * 8));
   b.l("la t5, idx_arena");
   b.l(cat("la t6, idx_arena + ", 2 * block * 4));
+  // a1 keeps the hart id (t5/t6 hold the idx slot pointers here); a0/a2 are
+  // setup-time scratch, reused by the integer phase later.
+  slice.read_hartid(b, "a1", "partition: this hart's x/y chunks and arena rows");
+  slice.offset_by_elements(b, "a1", 4, {"a3"}, "a0", "a2");
+  slice.offset_by_elements(b, "a1", 8, {"a4"}, "a0", "a2");
+  slice.offset_by_rows(b, "a1", 2 * 2 * block * 8, {"s10", "s11"}, "a0", "a2");
+  slice.offset_by_rows(b, "a1", 2 * 2 * block * 4, {"t5", "t6"}, "a0", "a2");
   b.l(cat("li t4, ", block / 2 - 1));  // FREP reps (2 elements per iteration)
   b.l(cat("li t3, ", nb - 1));
   emit_log_constants(b);
@@ -275,7 +294,9 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("scfgwi a0, 65");  // lane2 bound0 (64+1)
   b.l("li a0, 8");
   b.l("scfgwi a0, 69");  // lane2 stride0 (64+5)
+  slice.begin_hart0_only(b, "a1", "dma_done");  // the DMA engine is shared
   emit_dma_stream(b, cfg.n * 8);
+  slice.end_hart0_only(b, "dma_done");
   b.l("csrwi region, 1");
 
   b.c("prologue: decompose block 0");
@@ -297,7 +318,7 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("csrr t1, fpss");
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");
-  b.l("ecall");
+  slice.epilogue(b);
   return b.str();
 }
 

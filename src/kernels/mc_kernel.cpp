@@ -10,6 +10,13 @@
 // double-buffered TCDM arena, streamed into the FPSS via an SSR, converted
 // with fcvt.d.wu.cop, tested with flt.d.cop and accumulated with fadd.d —
 // entirely inside the FP register file (paper Section II-B).
+// Multi-hart runs partition the sample index space contiguously: hart h
+// evaluates samples [h*chunk, (h+1)*chunk). Each hart's PRNG streams start
+// from jump-ahead states computed at codegen time (stored in the per-hart
+// `hart_prng` table), so the union of all harts' draws is exactly the
+// single-hart sequence and the summed hit count is bit-identical to the
+// single-core run. Harts store partial counts into `partials`, rendezvous at
+// the hardware barrier, and hart 0 reduces into `result`.
 #include <cmath>
 #include <string>
 
@@ -19,10 +26,13 @@
 #include "kernels/kernel_internal.hpp"
 #include "kernels/montecarlo.hpp"
 #include "kernels/prng.hpp"
+#include "workload/hart_slice.hpp"
 
 namespace copift::kernels {
 
 namespace {
+
+using workload::HartSlice;
 
 const char* lcg_state(unsigned u) {
   static constexpr const char* kRegs[] = {"s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"};
@@ -33,7 +43,37 @@ const char* hit_reg(unsigned u) {
   return kRegs[u];
 }
 
-void emit_mc_data(AsmBuilder& b, const KernelConfig& cfg, bool poly, bool copift) {
+/// Per-hart PRNG start-state rows (8 words each), jump-ahead computed on the
+/// host. LCG rows hold the 8 slot-stream states (each slot consumes 2 draws
+/// per group of kMcUnroll samples); xoshiro rows hold the x-generator and
+/// y-generator states (each consumes one draw per sample).
+void emit_prng_table(AsmBuilder& b, const KernelConfig& cfg, bool xoshiro) {
+  const std::uint32_t chunk = cfg.n / cfg.cores;
+  b.label("hart_prng");
+  for (std::uint32_t h = 0; h < cfg.cores; ++h) {
+    if (!xoshiro) {
+      const std::uint64_t draws = static_cast<std::uint64_t>(h) * chunk / 4;
+      for (unsigned u = 0; u < kMcUnroll; ++u) {
+        Lcg gen(cfg.seed + u);
+        for (std::uint64_t d = 0; d < draws; ++d) gen.next();
+        b.l(cat(".word ", gen.state()));
+      }
+    } else {
+      const std::uint64_t draws = static_cast<std::uint64_t>(h) * chunk;
+      auto gx = Xoshiro128Plus::seeded(cfg.seed);
+      auto gy = Xoshiro128Plus::seeded(cfg.seed + 1);
+      for (std::uint64_t d = 0; d < draws; ++d) {
+        gx.next();
+        gy.next();
+      }
+      for (const std::uint32_t w : gx.state()) b.l(cat(".word ", w));
+      for (const std::uint32_t w : gy.state()) b.l(cat(".word ", w));
+    }
+  }
+}
+
+void emit_mc_data(AsmBuilder& b, const KernelConfig& cfg, bool poly, bool copift,
+                  bool xoshiro) {
   b.raw(".data\n");
   b.l(".align 3");
   b.label("mc_const");
@@ -62,12 +102,73 @@ void emit_mc_data(AsmBuilder& b, const KernelConfig& cfg, bool poly, bool copift
   }
   b.label("result");
   b.l(".space 8");
+  if (cfg.cores > 1) {
+    b.label("partials");  // one 8-byte hit-count cell per hart
+    b.l(cat(".space ", cfg.cores * 8));
+    emit_prng_table(b, cfg, xoshiro);
+  }
   if (copift) {
-    // PRN arena: 2 slots x 2B raw values in 8-byte cells.
+    // PRN arena: 2 slots x 2B raw values in 8-byte cells; one row per hart.
     b.label("arena");
-    b.l(cat(".space ", 2 * 2 * cfg.block * 8));
+    b.l(cat(".space ", 2 * 2 * cfg.block * 8 * cfg.cores));
   }
   b.raw(".text\n");
+}
+
+/// Load this hart's PRNG start states into s2..s9 (covers both the 8 LCG
+/// slot streams and the xoshiro x/y generator states). Only for cores > 1;
+/// single-core programs keep their historical `li` seed sequences.
+void emit_prng_seed_load(AsmBuilder& b, const HartSlice& slice) {
+  slice.read_hartid(b, "t5", "per-hart PRNG start states (jump-ahead computed at codegen)");
+  slice.table_row(b, "t5", "a1", "hart_prng", 32, "t6");
+  for (unsigned i = 0; i < 8; ++i) b.l(cat("lw s", 2 + i, ", ", i * 4, "(a1)"));
+}
+
+/// Store this hart's integer hit count (in a0), reduce on hart 0 into
+/// `result`, and halt. Replaces the single-core `result` store.
+void emit_int_reduction(AsmBuilder& b, const HartSlice& slice) {
+  b.l("csrr t5, mhartid");
+  slice.table_row(b, "t5", "t0", "partials", 8, "t6");
+  b.l("sw a0, 0(t0)");
+  b.l("csrwi region, 2");
+  b.l("csrr zero, barrier");
+  b.l("bnez t5, mc_done");
+  b.c("hart 0: sum the per-hart partial counts");
+  b.l("la t0, partials");
+  b.l("lw a0, 0(t0)");
+  for (std::uint32_t h = 1; h < slice.cores(); ++h) {
+    b.l(cat("lw t1, ", h * 8, "(t0)"));
+    b.l("add a0, a0, t1");
+  }
+  b.l("la t0, result");
+  b.l("sw a0, 0(t0)");
+  b.label("mc_done");
+  b.l("ecall");
+}
+
+/// COPIFT counterpart: the partial lives in fa5 as an exact integer-valued
+/// double; hart 0 sums in hart order (exact, so the total is bit-identical
+/// to the single-core accumulation).
+void emit_fp_reduction(AsmBuilder& b, const HartSlice& slice) {
+  b.l("csrr t5, mhartid");
+  slice.table_row(b, "t5", "t0", "partials", 8, "t6");
+  b.l("fsd fa5, 0(t0)");
+  b.l("csrr t2, fpss");  // drain the partial store before the barrier
+  b.l("csrwi region, 2");
+  b.l("csrr zero, barrier");
+  b.l("bnez t5, mc_done");
+  b.c("hart 0: sum the per-hart partial counts");
+  b.l("la t0, partials");
+  b.l("fld fa5, 0(t0)");
+  for (std::uint32_t h = 1; h < slice.cores(); ++h) {
+    b.l(cat("fld ft5, ", h * 8, "(t0)"));
+    b.l("fadd.d fa5, fa5, ft5");
+  }
+  b.l("la t0, result");
+  b.l("fsd fa5, 0(t0)");
+  b.l("csrr t2, fpss");  // drain the result store
+  b.label("mc_done");
+  b.l("ecall");
 }
 
 void emit_mc_constants(AsmBuilder& b, bool poly) {
@@ -91,16 +192,21 @@ const char* poly_p_reg(unsigned u) {
 
 std::string lcg_baseline(const KernelConfig& cfg, bool poly) {
   if (cfg.n % kMcUnroll != 0) throw Error(cat("mc/baseline: n=", cfg.n, " must be a multiple of 8"));
+  const HartSlice slice(cfg);
   AsmBuilder b;
-  emit_mc_data(b, cfg, poly, /*copift=*/false);
+  emit_mc_data(b, cfg, poly, /*copift=*/false, /*xoshiro=*/false);
   b.label("_start");
-  for (unsigned u = 0; u < kMcUnroll; ++u) {
-    b.l(cat("li ", lcg_state(u), ", ", cfg.seed + u));
+  if (slice.multi()) {
+    emit_prng_seed_load(b, slice);
+  } else {
+    for (unsigned u = 0; u < kMcUnroll; ++u) {
+      b.l(cat("li ", lcg_state(u), ", ", cfg.seed + u));
+    }
   }
   b.l(cat("li t0, ", Lcg::kMul));
   b.l(cat("li t1, ", Lcg::kInc));
   b.l("li a0, 0");  // hit accumulator
-  b.l(cat("li t3, ", cfg.n / kMcUnroll));
+  b.l(cat("li t3, ", slice.chunk() / kMcUnroll));
   emit_mc_constants(b, poly);
   b.l("csrwi region, 1");
   b.label("body_begin");
@@ -140,10 +246,14 @@ std::string lcg_baseline(const KernelConfig& cfg, bool poly) {
   b.l("addi t3, t3, -1");
   b.l("bnez t3, body_begin");
   b.label("body_end");
-  b.l("la t0, result");
-  b.l("sw a0, 0(t0)");
-  b.l("csrwi region, 2");
-  b.l("ecall");
+  if (slice.multi()) {
+    emit_int_reduction(b, slice);
+  } else {
+    b.l("la t0, result");
+    b.l("sw a0, 0(t0)");
+    b.l("csrwi region, 2");
+    b.l("ecall");
+  }
   return b.str();
 }
 
@@ -175,14 +285,19 @@ void emit_xoshiro_seed(AsmBuilder& b, std::uint32_t seed, bool y_gen) {
 
 std::string xoshiro_baseline(const KernelConfig& cfg, bool poly) {
   if (cfg.n % kMcUnroll != 0) throw Error(cat("mc/baseline: n=", cfg.n, " must be a multiple of 8"));
+  const HartSlice slice(cfg);
   AsmBuilder b;
-  emit_mc_data(b, cfg, poly, /*copift=*/false);
+  emit_mc_data(b, cfg, poly, /*copift=*/false, /*xoshiro=*/true);
   b.label("_start");
-  emit_xoshiro_seed(b, cfg.seed, /*y_gen=*/false);      // s2..s5
-  emit_xoshiro_seed(b, cfg.seed + 1, /*y_gen=*/true);   // s6..s9
+  if (slice.multi()) {
+    emit_prng_seed_load(b, slice);  // x-gen s2..s5, y-gen s6..s9
+  } else {
+    emit_xoshiro_seed(b, cfg.seed, /*y_gen=*/false);      // s2..s5
+    emit_xoshiro_seed(b, cfg.seed + 1, /*y_gen=*/true);   // s6..s9
+  }
   b.l("li a0, 0");   // accumulator
   b.l("li a5, 0");   // deferred hit of the previous sample
-  b.l(cat("li t3, ", cfg.n / kMcUnroll));
+  b.l(cat("li t3, ", slice.chunk() / kMcUnroll));
   emit_mc_constants(b, poly);
   b.l("csrwi region, 1");
   b.label("body_begin");
@@ -216,10 +331,14 @@ std::string xoshiro_baseline(const KernelConfig& cfg, bool poly) {
   b.l("bnez t3, body_begin");
   b.label("body_end");
   b.l("add a0, a0, a5");  // last pending hit (kMcUnroll is even)
-  b.l("la t0, result");
-  b.l("sw a0, 0(t0)");
-  b.l("csrwi region, 2");
-  b.l("ecall");
+  if (slice.multi()) {
+    emit_int_reduction(b, slice);
+  } else {
+    b.l("la t0, result");
+    b.l("sw a0, 0(t0)");
+    b.l("csrwi region, 2");
+    b.l("ecall");
+  }
   return b.str();
 }
 
@@ -325,13 +444,20 @@ std::string mc_copift(const KernelConfig& cfg, bool poly, bool xoshiro) {
   const std::uint32_t block = cfg.block;
   if (block % kMcUnroll != 0) throw Error(cat("mc/copift: block=", block, " must be a multiple of 8"));
   if (cfg.n % block != 0) throw Error(cat("mc/copift: block=", block, " does not divide n=", cfg.n));
-  const std::uint32_t nb = cfg.n / block;
-  if (nb < 2) throw Error(cat("mc/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks"));
+  const HartSlice slice(cfg);
+  const std::uint32_t nb = slice.chunk() / block;  // blocks per hart
+  if (nb < 2) throw Error(cat("mc/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks per hart"));
 
   AsmBuilder b;
-  emit_mc_data(b, cfg, poly, /*copift=*/true);
+  emit_mc_data(b, cfg, poly, /*copift=*/true, xoshiro);
   b.label("_start");
-  if (!xoshiro) {
+  if (slice.multi()) {
+    emit_prng_seed_load(b, slice);
+    if (!xoshiro) {
+      b.l(cat("li t0, ", Lcg::kMul));
+      b.l(cat("li t1, ", Lcg::kInc));
+    }
+  } else if (!xoshiro) {
     for (unsigned u = 0; u < kMcUnroll; ++u)
       b.l(cat("li ", lcg_state(u), ", ", cfg.seed + u));
     b.l(cat("li t0, ", Lcg::kMul));
@@ -353,6 +479,10 @@ std::string mc_copift(const KernelConfig& cfg, bool poly, bool xoshiro) {
   }
   b.l("la s10, arena");
   b.l(cat("la s11, arena + ", 2 * block * 8));
+  if (slice.multi()) {
+    b.c("this hart's double-buffered arena row (t5 still holds mhartid)");
+    slice.offset_by_rows(b, "t5", 2 * 2 * block * 8, {"s10", "s11"}, "t2", "t6");
+  }
   b.l(cat("li t4, ", block / 2 - 1));  // FREP reps (2 samples per iteration)
   b.l(cat("li t3, ", nb - 1));
   b.l("csrsi ssr, 1");
@@ -402,11 +532,15 @@ std::string mc_copift(const KernelConfig& cfg, bool poly, bool xoshiro) {
     b.l("fadd.d ft5, ft5, fa4");
   }
   b.l("fadd.d fa5, fa5, ft5");  // merge the two accumulators
-  b.l("la t0, result");
-  b.l("fsd fa5, 0(t0)");
-  b.l("csrr t2, fpss");  // drain the result store
-  b.l("csrwi region, 2");
-  b.l("ecall");
+  if (slice.multi()) {
+    emit_fp_reduction(b, slice);
+  } else {
+    b.l("la t0, result");
+    b.l("fsd fa5, 0(t0)");
+    b.l("csrr t2, fpss");  // drain the result store
+    b.l("csrwi region, 2");
+    b.l("ecall");
+  }
   return b.str();
 }
 

@@ -13,6 +13,7 @@
 #include "kernels/montecarlo.hpp"
 #include "kernels/runner.hpp"
 #include "sim/cluster.hpp"
+#include "workload/hart_slice.hpp"
 #include "workload/workload.hpp"
 
 namespace copift::kernels {
@@ -48,9 +49,33 @@ void validate_blocked(const std::string& name, Variant variant, const WorkloadCo
   }
 }
 
+/// Multi-hart partitioning checks: each hart's contiguous chunk must obey
+/// the same blocked-loop structure the single-core variant needs.
+void validate_harts(const std::string& name, Variant variant, const WorkloadConfig& cfg,
+                    std::uint32_t unroll) {
+  if (cfg.cores <= 1) return;
+  workload::HartSlice::validate(name, variant, cfg, unroll, "the unroll factor");
+  if (variant != Variant::kCopift) return;
+  const std::uint32_t chunk = cfg.n / cfg.cores;
+  const auto fail = [&](const std::string& what) { throw ConfigError(name, variant, what); };
+  if (chunk % cfg.block != 0) {
+    fail("block=" + std::to_string(cfg.block) + " does not divide the per-hart chunk " +
+         std::to_string(chunk) + " (n=" + std::to_string(cfg.n) + " / cores=" +
+         std::to_string(cfg.cores) + ")");
+  }
+  if (chunk / cfg.block < 2) {
+    fail("per-hart chunk " + std::to_string(chunk) + " with block=" +
+         std::to_string(cfg.block) +
+         " yields fewer than 2 blocks per hart (the software pipeline needs a prologue "
+         "block)");
+  }
+}
+
 /// Common shape of the paper kernels: both variants supported, n=1920/B=96
 /// defaults (the paper's steady-state operating point), blocked-loop
-/// validation parameterized by the kernel's unroll factor.
+/// validation parameterized by the kernel's unroll factor, and multi-hart
+/// execution via contiguous mhartid slicing (cores=1 keeps the historical
+/// single-core codegen byte-for-byte).
 class PaperWorkload : public workload::Workload {
  public:
   [[nodiscard]] WorkloadConfig default_config() const override {
@@ -60,9 +85,12 @@ class PaperWorkload : public workload::Workload {
     return cfg;
   }
 
+  [[nodiscard]] bool multi_hart_capable(Variant) const override { return true; }
+
   void validate(Variant variant, const WorkloadConfig& config) const override {
     Workload::validate(variant, config);
     validate_blocked(name(), variant, config, unroll());
+    validate_harts(name(), variant, config, unroll());
   }
 
  protected:

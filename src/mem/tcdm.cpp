@@ -1,7 +1,5 @@
 #include "mem/tcdm.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace copift::mem {
@@ -9,29 +7,45 @@ namespace copift::mem {
 std::uint64_t TcdmArbiter::arbitrate(const std::vector<TcdmRequest>& requests) {
   if (requests.size() > 64) throw SimError("too many TCDM requests in one cycle");
   std::uint64_t granted = 0;
-  // Track which banks are taken this cycle. num_banks_ is small (<= 64).
-  std::vector<bool> bank_taken(num_banks_, false);
-  // Visit requesters in rotating priority order: the request whose port
-  // matches the current priority head goes first.
-  std::vector<unsigned> order(requests.size());
-  for (unsigned i = 0; i < requests.size(); ++i) order[i] = i;
-  const auto priority = [&](const TcdmRequest& r) {
-    const unsigned id = r.hart * kNumTcdmPorts + static_cast<unsigned>(r.port);
-    return (id + num_requesters_ - rr_) % num_requesters_;
+  // Lazily size the persistent scratch; after warm-up no cycle allocates
+  // (this loop runs every simulated cycle of every run in a sweep).
+  if (bank_taken_.size() < num_banks_) bank_taken_.assign(num_banks_, 0);
+  if (head_.size() < num_requesters_) head_.assign(num_requesters_, -1);
+  if (next_.size() < requests.size()) next_.resize(requests.size());
+
+  // Bucket the requests by requester id, preserving original order within a
+  // bucket (build the chains back-to-front).
+  const auto id_of = [&](const TcdmRequest& r) {
+    return (r.hart * kNumTcdmPorts + static_cast<unsigned>(r.port)) % num_requesters_;
   };
-  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    return priority(requests[a]) < priority(requests[b]);
-  });
-  for (unsigned i : order) {
-    const unsigned bank = bank_of(requests[i].addr);
-    if (bank_taken[bank]) {
-      ++conflicts_;
-      continue;
-    }
-    bank_taken[bank] = true;
-    granted |= (std::uint64_t{1} << i);
-    ++grants_;
+  for (int i = static_cast<int>(requests.size()) - 1; i >= 0; --i) {
+    const unsigned id = id_of(requests[static_cast<unsigned>(i)]);
+    next_[static_cast<unsigned>(i)] = head_[id];
+    head_[id] = i;
   }
+
+  // Visit requesters in rotating priority order: the requester whose id
+  // matches the current priority head rr_ goes first. Equivalent to sorting
+  // the requests by (id - rr_) mod R with a stable tie-break, without the
+  // per-cycle sort.
+  for (unsigned k = 0; k < num_requesters_; ++k) {
+    unsigned id = rr_ + k;
+    if (id >= num_requesters_) id -= num_requesters_;
+    for (int i = head_[id]; i >= 0; i = next_[static_cast<unsigned>(i)]) {
+      const unsigned bank = bank_of(requests[static_cast<unsigned>(i)].addr);
+      if (bank_taken_[bank]) {
+        ++conflicts_;
+        continue;
+      }
+      bank_taken_[bank] = 1;
+      granted |= (std::uint64_t{1} << static_cast<unsigned>(i));
+      ++grants_;
+    }
+    head_[id] = -1;  // reset for the next cycle as we go
+  }
+  // Clear only the banks this cycle touched.
+  for (const TcdmRequest& r : requests) bank_taken_[bank_of(r.addr)] = 0;
+
   rr_ = (rr_ + 1) % num_requesters_;
   return granted;
 }

@@ -64,6 +64,12 @@ class TcdmArbiter {
   unsigned rr_ = 0;          // rotating priority offset
   std::uint64_t conflicts_ = 0;
   std::uint64_t grants_ = 0;
+
+  // Per-cycle scratch, kept across calls so the hot arbitration loop never
+  // allocates (sized lazily on first use, cleared incrementally per cycle).
+  std::vector<std::uint8_t> bank_taken_;  // indexed by bank
+  std::vector<int> head_;                 // requester id -> first request index, -1 = none
+  std::vector<int> next_;                 // request index -> next with the same id
 };
 
 }  // namespace copift::mem

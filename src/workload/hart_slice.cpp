@@ -1,0 +1,84 @@
+#include "workload/hart_slice.hpp"
+
+#include <string>
+
+namespace copift::workload {
+
+using kernels::AsmBuilder;
+using kernels::cat;
+
+void HartSlice::validate(std::string_view workload, Variant variant,
+                         const WorkloadConfig& config, std::uint32_t granule,
+                         std::string_view granule_what) {
+  if (config.cores <= 1) return;
+  if (config.n % config.cores != 0) {
+    throw ConfigError(workload, variant,
+                      "cores=" + std::to_string(config.cores) + " does not divide n=" +
+                          std::to_string(config.n));
+  }
+  const std::uint32_t chunk = config.n / config.cores;
+  if (granule > 1 && chunk % granule != 0) {
+    throw ConfigError(workload, variant,
+                      "per-hart chunk " + std::to_string(chunk) + " (n=" +
+                          std::to_string(config.n) + " / cores=" +
+                          std::to_string(config.cores) + ") must be a multiple of " +
+                          std::string(granule_what) + " " + std::to_string(granule));
+  }
+}
+
+void HartSlice::read_hartid(AsmBuilder& b, std::string_view hart_reg,
+                            std::string_view comment) const {
+  if (!multi()) return;
+  if (!comment.empty()) b.c(std::string(comment));
+  b.l(cat("csrr ", hart_reg, ", mhartid"));
+}
+
+void HartSlice::offset_by_rows(AsmBuilder& b, std::string_view hart_reg,
+                               std::uint32_t row_bytes,
+                               std::initializer_list<std::string_view> ptrs,
+                               std::string_view tmp0, std::string_view tmp1) const {
+  if (!multi()) return;
+  b.l(cat("li ", tmp0, ", ", row_bytes));
+  b.l(cat("mul ", tmp1, ", ", hart_reg, ", ", tmp0));
+  for (const std::string_view ptr : ptrs) b.l(cat("add ", ptr, ", ", ptr, ", ", tmp1));
+}
+
+void HartSlice::offset_by_elements(AsmBuilder& b, std::string_view hart_reg,
+                                   std::uint32_t elem_bytes,
+                                   std::initializer_list<std::string_view> ptrs,
+                                   std::string_view tmp0, std::string_view tmp1) const {
+  offset_by_rows(b, hart_reg, chunk_ * elem_bytes, ptrs, tmp0, tmp1);
+}
+
+void HartSlice::table_row(AsmBuilder& b, std::string_view hart_reg, std::string_view dst,
+                          std::string_view label, std::uint32_t row_bytes,
+                          std::string_view tmp) const {
+  if (!multi()) return;
+  b.l(cat("la ", dst, ", ", label));
+  b.l(cat("li ", tmp, ", ", row_bytes));
+  b.l(cat("mul ", tmp, ", ", hart_reg, ", ", tmp));
+  b.l(cat("add ", dst, ", ", dst, ", ", tmp));
+}
+
+void HartSlice::begin_hart0_only(AsmBuilder& b, std::string_view hart_reg,
+                                 std::string_view skip_label) const {
+  if (!multi()) return;
+  b.l(cat("bnez ", hart_reg, ", ", skip_label));
+}
+
+void HartSlice::end_hart0_only(AsmBuilder& b, std::string_view skip_label) const {
+  if (!multi()) return;
+  b.label(std::string(skip_label));
+}
+
+void HartSlice::barrier(AsmBuilder& b) const {
+  if (!multi()) return;
+  b.l("csrr zero, barrier");
+}
+
+void HartSlice::epilogue(AsmBuilder& b) const {
+  barrier(b);
+  b.l("ecall");
+}
+
+}  // namespace copift::workload

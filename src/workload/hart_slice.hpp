@@ -1,0 +1,101 @@
+// Hart-partitioning codegen helper: the one place that knows how a workload
+// slices its index space across the cluster's harts.
+//
+// A HartSlice is built from the run's WorkloadConfig and hands generators the
+// standard multi-hart skeleton — the `mhartid` CSR read, contiguous
+// chunk-offset computation for input/output pointers, per-hart rows of
+// scratch arenas or codegen-time lookup tables, hart-0-only guards (for
+// shared resources like the DMA engine) and the hardware-barrier epilogue.
+// Every emitter is a no-op when the config runs single-core, so `cores == 1`
+// programs stay byte-identical to the historical single-core generators (the
+// pinned paper cycle counts depend on this).
+//
+// Typical use inside a generator (see src/workloads/axpy.cpp and the six
+// paper kernels in src/kernels/):
+//
+//   const workload::HartSlice slice(cfg);
+//   ...
+//   slice.read_hartid(b, "t5", "partition: this hart's chunk of x and y");
+//   slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
+//   b.l(cat("li t3, ", slice.chunk() / kUnroll));   // per-hart trip count
+//   ...
+//   slice.epilogue(b);                               // barrier (+ ecall)
+//
+// Validation goes through HartSlice::validate so every workload reports
+// unsplittable configurations with the same value-carrying messages.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+#include "kernels/codegen.hpp"
+#include "workload/workload.hpp"
+
+namespace copift::workload {
+
+class HartSlice {
+ public:
+  explicit HartSlice(const WorkloadConfig& config) noexcept
+      : cores_(config.cores == 0 ? 1 : config.cores), chunk_(config.n / cores_) {}
+
+  /// Shared validation for contiguous slicing: throws ConfigError unless
+  /// `cores` divides `n` and the per-hart chunk is a multiple of `granule`
+  /// (the workload's unroll factor or stream group size; pass 1 to skip the
+  /// granule check). `granule_what` names the granule in the error message,
+  /// e.g. "the unroll factor".
+  static void validate(std::string_view workload, Variant variant,
+                       const WorkloadConfig& config, std::uint32_t granule,
+                       std::string_view granule_what);
+
+  [[nodiscard]] bool multi() const noexcept { return cores_ > 1; }
+  [[nodiscard]] std::uint32_t cores() const noexcept { return cores_; }
+  /// Elements (or samples) each hart processes: n / cores.
+  [[nodiscard]] std::uint32_t chunk() const noexcept { return chunk_; }
+
+  /// `csrr <hart_reg>, mhartid`, preceded by `comment` when non-empty.
+  void read_hartid(kernels::AsmBuilder& b, std::string_view hart_reg,
+                   std::string_view comment = {}) const;
+
+  /// Advance each pointer to this hart's contiguous slice:
+  /// `ptr += hartid * chunk() * elem_bytes`. All pointers share one stride,
+  /// so group them per element size (log's float inputs vs double outputs
+  /// take two calls).
+  void offset_by_elements(kernels::AsmBuilder& b, std::string_view hart_reg,
+                          std::uint32_t elem_bytes,
+                          std::initializer_list<std::string_view> ptrs,
+                          std::string_view tmp0, std::string_view tmp1) const;
+
+  /// Advance each pointer by this hart's row of a per-hart resource:
+  /// `ptr += hartid * row_bytes`. Use for scratch arenas replicated per hart
+  /// (emit `.space row_bytes * cores` and offset every base pointer).
+  void offset_by_rows(kernels::AsmBuilder& b, std::string_view hart_reg,
+                      std::uint32_t row_bytes,
+                      std::initializer_list<std::string_view> ptrs,
+                      std::string_view tmp0, std::string_view tmp1) const;
+
+  /// `dst = &label[hartid * row_bytes]` — this hart's row of a codegen-time
+  /// table (e.g. per-hart PRNG start states). Clobbers `tmp`.
+  void table_row(kernels::AsmBuilder& b, std::string_view hart_reg,
+                 std::string_view dst, std::string_view label,
+                 std::uint32_t row_bytes, std::string_view tmp) const;
+
+  /// Guard a hart-0-only section (shared-resource setup such as programming
+  /// the cluster DMA): begin emits `bnez <hart_reg>, <skip_label>`, end emits
+  /// the label. Both are no-ops single-core, so pair them unconditionally.
+  void begin_hart0_only(kernels::AsmBuilder& b, std::string_view hart_reg,
+                        std::string_view skip_label) const;
+  void end_hart0_only(kernels::AsmBuilder& b, std::string_view skip_label) const;
+
+  /// `csrr zero, barrier` — all harts rendezvous at the hardware barrier.
+  void barrier(kernels::AsmBuilder& b) const;
+
+  /// Standard ending: barrier so the harts leave together, then `ecall`.
+  void epilogue(kernels::AsmBuilder& b) const;
+
+ private:
+  std::uint32_t cores_;
+  std::uint32_t chunk_;
+};
+
+}  // namespace copift::workload

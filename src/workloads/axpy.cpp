@@ -28,6 +28,7 @@
 #include "kernels/codegen.hpp"
 #include "kernels/prng.hpp"
 #include "sim/cluster.hpp"
+#include "workload/hart_slice.hpp"
 #include "workload/workload.hpp"
 
 namespace copift::workloads {
@@ -77,28 +78,16 @@ void emit_data(AsmBuilder& b, const WorkloadConfig& cfg) {
   b.raw(".text\n");
 }
 
-/// Point a3/a4 at this hart's slice of x/y and leave the slice length in
-/// elements implied by `chunk` (emitted only for cores > 1 so single-core
+/// Point a3/a4 at this hart's slice of x/y (no-op single-core, so cores == 1
 /// programs stay byte-identical to the historical generator).
-void emit_hart_slice(AsmBuilder& b, const WorkloadConfig& cfg, std::uint32_t chunk) {
-  if (cfg.cores <= 1) return;
-  b.c("partition: this hart's contiguous chunk of x and y");
-  b.l("csrr t5, mhartid");
-  b.l(cat("li t1, ", chunk * 8));  // slice stride in bytes
-  b.l("mul t2, t5, t1");
-  b.l("add a3, a3, t2");
-  b.l("add a4, a4, t2");
-}
-
-/// Barrier + halt epilogue: harts leave together so the per-hart
-/// barrier-wait counters expose the load imbalance.
-void emit_epilogue(AsmBuilder& b, const WorkloadConfig& cfg) {
-  if (cfg.cores > 1) b.l("csrr zero, barrier");
-  b.l("ecall");
+void emit_hart_slice(AsmBuilder& b, const workload::HartSlice& slice) {
+  slice.read_hartid(b, "t5", "partition: this hart's contiguous chunk of x and y");
+  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
 }
 
 std::string generate_baseline(const WorkloadConfig& cfg) {
-  const std::uint32_t chunk = cfg.n / cfg.cores;
+  const workload::HartSlice slice(cfg);
+  const std::uint32_t chunk = slice.chunk();
   AsmBuilder b;
   emit_data(b, cfg);
   b.label("_start");
@@ -106,7 +95,7 @@ std::string generate_baseline(const WorkloadConfig& cfg) {
   b.l("la a4, yarr");
   b.l("la s0, axpy_const");
   b.l("fld fs0, 0(s0)");  // a
-  emit_hart_slice(b, cfg, chunk);
+  emit_hart_slice(b, slice);
   b.l(cat("li t3, ", chunk / kUnroll));
   b.l("csrwi region, 1");
   b.label("body_begin");
@@ -124,12 +113,13 @@ std::string generate_baseline(const WorkloadConfig& cfg) {
   b.label("body_end");
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");  // drain offloaded stores before halting
-  emit_epilogue(b, cfg);
+  slice.epilogue(b);  // harts leave together; barrier-wait counters expose imbalance
   return b.str();
 }
 
 std::string generate_copift(const WorkloadConfig& cfg) {
-  const std::uint32_t chunk = cfg.n / cfg.cores;
+  const workload::HartSlice slice(cfg);
+  const std::uint32_t chunk = slice.chunk();
   AsmBuilder b;
   emit_data(b, cfg);
   b.label("_start");
@@ -137,7 +127,7 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("la a4, yarr");
   b.l("la s0, axpy_const");
   b.l("fld fs0, 0(s0)");  // a
-  emit_hart_slice(b, cfg, chunk);
+  emit_hart_slice(b, slice);
   b.l(cat("li t4, ", chunk / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
   b.l("csrsi ssr, 1");
   b.c("lane0 reads x (ft0), lane1 reads y (ft1), lane2 writes y (ft2);");
@@ -162,7 +152,7 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("csrr t0, fpss");  // drain the FPSS and the lane-2 write stream
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");
-  emit_epilogue(b, cfg);
+  slice.epilogue(b);
   return b.str();
 }
 
@@ -181,19 +171,7 @@ class AxpyWorkload final : public workload::Workload {
       throw ConfigError(name(), variant, "n=" + std::to_string(config.n) +
                                              " must be a multiple of the unroll factor 4");
     }
-    if (config.n % config.cores != 0) {
-      throw ConfigError(name(), variant,
-                        "cores=" + std::to_string(config.cores) + " does not divide n=" +
-                            std::to_string(config.n));
-    }
-    const std::uint32_t chunk = config.n / config.cores;
-    if (chunk % kUnroll != 0) {
-      throw ConfigError(name(), variant,
-                        "per-hart chunk " + std::to_string(chunk) + " (n=" +
-                            std::to_string(config.n) + " / cores=" +
-                            std::to_string(config.cores) +
-                            ") must be a multiple of the unroll factor 4");
-    }
+    workload::HartSlice::validate(name(), variant, config, kUnroll, "the unroll factor");
   }
 
   [[nodiscard]] std::string generate(Variant variant,

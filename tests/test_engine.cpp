@@ -56,20 +56,38 @@ TEST(SimEngine, BackToBackBatchesNeverLeakJobsAcrossBatches) {
   }
 }
 
-TEST(SimEngine, ParseThreadsHandlesNonsense) {
+TEST(SimEngine, ParseThreadsRejectsNonsenseAsUsageErrors) {
   char prog[] = "prog", flag[] = "--threads";
-  char neg[] = "-1", huge[] = "4000000000", junk[] = "abc", four[] = "4";
+  char neg[] = "-1", huge[] = "4000000000", junk[] = "abc", trail[] = "4x", four[] = "4";
+  // Malformed values used to fall back silently to hardware concurrency,
+  // masking typos with a full-width pool; they are usage errors now.
   {
     char* argv[] = {prog, flag, neg};
-    EXPECT_EQ(parse_threads(3, argv), 0u);
+    EXPECT_THROW(parse_threads(3, argv), Error);
   }
   {
     char* argv[] = {prog, flag, huge};
-    EXPECT_EQ(parse_threads(3, argv), 0u);
+    EXPECT_THROW(parse_threads(3, argv), Error);
   }
   {
     char* argv[] = {prog, flag, junk};
-    EXPECT_EQ(parse_threads(3, argv), 0u);
+    EXPECT_THROW(parse_threads(3, argv), Error);
+  }
+  {
+    char* argv[] = {prog, flag, trail};
+    EXPECT_THROW(parse_threads(3, argv), Error);
+  }
+  // Regression: `--threads` as the very last argument was silently ignored
+  // (the scan loop stopped one short); it must be a usage error.
+  {
+    char* argv[] = {prog, flag};
+    try {
+      parse_threads(2, argv);
+      FAIL() << "expected an exception";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("requires a value"), std::string::npos)
+          << e.what();
+    }
   }
   {
     char* argv[] = {prog, flag, four};
@@ -297,6 +315,136 @@ TEST(ResultTable, CsvAndJsonCarryTheGrid) {
   const std::string json = table.json();
   EXPECT_NE(json.find("\"kernel\":\"exp\""), std::string::npos);
   EXPECT_NE(json.find("\"block\":32"), std::string::npos);
+}
+
+// Regression: find() ignored the cores and seed axes, so in a cores/seed
+// sweep it silently returned the first row of the wrong configuration.
+TEST(ResultTable, FindDisambiguatesByCoresAndSeed) {
+  Experiment e;
+  e.over("axpy").over(Variant::kCopift).n(256).sweep_cores({1, 2}).sweep_seeds({7, 9});
+  SimEngine pool(4);
+  const auto table = e.run(pool);
+  ASSERT_EQ(table.size(), 4u);
+
+  for (const std::uint32_t cores : {1u, 2u}) {
+    for (const std::uint32_t seed : {7u, 9u}) {
+      const auto* row = table.find("axpy", Variant::kCopift, 0, 0, {}, cores, seed);
+      ASSERT_NE(row, nullptr) << "cores=" << cores << " seed=" << seed;
+      EXPECT_EQ(row->point.config.cores, cores);
+      EXPECT_EQ(row->point.config.seed, seed);
+    }
+  }
+  // Unfiltered lookups keep the historical "first match" behaviour.
+  const auto* first = table.find("axpy", Variant::kCopift);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->point.index, 0u);
+  // seed=0 must mean "exactly seed 0" (no row here), not "any".
+  EXPECT_EQ(table.find("axpy", Variant::kCopift, 0, 0, {}, 0, 0u), nullptr);
+  EXPECT_EQ(table.find("axpy", Variant::kCopift, 0, 0, {}, 4), nullptr);
+}
+
+namespace {
+
+/// Minimal RFC 4180 parser: split one CSV record into fields, honouring
+/// quoted fields with doubled quotes. Used to prove the emitted CSV
+/// round-trips through a conforming reader.
+std::vector<std::string> parse_csv_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+/// Minimal JSON string decoder for the escapes write_json produces.
+std::string decode_json_string(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// Regression: params labels (and workload names) were written unescaped, so
+// a label containing a comma corrupted the CSV columns and a quote produced
+// invalid JSON.
+TEST(ResultTable, HostileLabelsRoundTripThroughCsvAndJson) {
+  const std::string hostile = "fifo=1,\"deep\" mode\nline2";
+  Experiment e;
+  e.over("exp").over(Variant::kCopift).n(256).block(32);
+  e.with_params(hostile, sim::SimParams{});
+  SimEngine pool(2);
+  const auto table = e.run(pool);
+  ASSERT_EQ(table.size(), 1u);
+
+  // CSV: the header names the column layout; the data record must parse back
+  // to the same number of fields with the label intact.
+  const std::string csv = table.csv();
+  const std::size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const auto header = parse_csv_record(csv.substr(0, header_end));
+  // The record may legitimately contain an escaped newline; take the rest.
+  const auto record = parse_csv_record(
+      csv.substr(header_end + 1, csv.size() - header_end - 2));
+  ASSERT_EQ(record.size(), header.size());
+  std::size_t params_col = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "params") params_col = i;
+  }
+  EXPECT_EQ(record[params_col], hostile);
+  EXPECT_EQ(record[1], "exp");  // neighbouring columns uncorrupted
+  EXPECT_EQ(record[2], "copift");
+
+  // JSON: extract the "params" string value and decode it.
+  const std::string json = table.json();
+  const std::string key = "\"params\":\"";
+  const std::size_t start = json.find(key);
+  ASSERT_NE(start, std::string::npos);
+  std::size_t end = start + key.size();
+  while (end < json.size() && !(json[end] == '"' && json[end - 1] != '\\')) ++end;
+  EXPECT_EQ(decode_json_string(json.substr(start + key.size(), end - start - key.size())),
+            hostile);
+  // No raw control characters may survive inside the JSON document.
+  for (const char c : json) EXPECT_NE(c, '\t');
+  EXPECT_EQ(json.find(hostile), std::string::npos);  // i.e. it was escaped
 }
 
 }  // namespace

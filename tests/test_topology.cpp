@@ -304,7 +304,8 @@ TEST(MultiHart, ValidationRejectsUnsupportedOrUnsplittableConfigs) {
   WorkloadConfig cfg;
   cfg.cores = 2;
   try {
-    (void)workload::generate("exp", Variant::kCopift, cfg);
+    // softmax needs cluster-wide max/sum reductions and stays single-core.
+    (void)workload::generate("softmax", Variant::kBaseline, cfg);
     FAIL() << "expected an exception";
   } catch (const workload::ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("no multi-hart variant"), std::string::npos)

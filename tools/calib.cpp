@@ -10,6 +10,7 @@ using namespace copift;
 using workload::Variant;
 
 int main(int argc, char** argv) {
+  try {
   engine::SimEngine pool(engine::parse_threads(argc, argv));
   const auto table = engine::Experiment()
                          .over(std::span<const std::string_view>(kernels::kPaperWorkloads))
@@ -32,4 +33,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

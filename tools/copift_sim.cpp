@@ -13,7 +13,9 @@
 // the independent runs out over `--threads N` engine workers, and prints the
 // result table as CSV (or JSON with `--json`). `--list` shows every
 // registered workload with its supported variants and default configuration.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "energy/energy.hpp"
 #include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
@@ -74,6 +77,13 @@ void print_usage(std::FILE* out) {
                "  --help, -h             this message\n"
                "  --version              print the version and exit\n"
                "\n"
+               "examples:\n"
+               "  copift_sim --kernel exp --sweep block=32,64,96,128   # paper Fig. 3 axis\n"
+               "  copift_sim --kernel exp --sweep cores=1,2,4 --json   # dual-issue IPC and\n"
+               "                         # energy scaling over the cluster size; every\n"
+               "                         # multi-hart workload partitions via mhartid and\n"
+               "                         # verifies bit-exact against the single-hart run\n"
+               "\n"
                "See docs/performance-debugging.md for the stall-analysis workflow and\n"
                "docs/trace-format.md for the exact trace JSON / report schema.\n");
 }
@@ -85,17 +95,43 @@ int usage() {
 
 int list_workloads() {
   const auto& registry = workload::WorkloadRegistry::instance();
-  std::printf("%-18s %-18s %-26s %s\n", "workload", "variants", "default config",
-              "description");
+  std::printf("%-18s %-18s %-10s %-26s %s\n", "workload", "variants", "cores",
+              "default config", "description");
   for (const auto& name : registry.names()) {
     const auto w = registry.find(name);
     const auto cfg = w->default_config();
+    bool multi_hart = false;
+    for (const auto v : w->variants()) multi_hart = multi_hart || w->multi_hart_capable(v);
     char cfgbuf[64];
     std::snprintf(cfgbuf, sizeof(cfgbuf), "n=%u block=%u seed=%u", cfg.n, cfg.block, cfg.seed);
-    std::printf("%-18s %-18s %-26s %s\n", name.c_str(), w->variants_list().c_str(), cfgbuf,
-                w->description().c_str());
+    std::printf("%-18s %-18s %-10s %-26s %s\n", name.c_str(), w->variants_list().c_str(),
+                multi_hart ? "multi-hart" : "1", cfgbuf, w->description().c_str());
   }
   return 0;
+}
+
+/// Strict uint32 flag-value parse: the whole string must be a decimal number
+/// in range (stoul-style prefix parses silently accepted `--threads 4x`).
+std::uint32_t parse_u32_flag(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v > 0xFFFFFFFFul ||
+      std::strchr(value, '-') != nullptr) {
+    throw copift::Error(std::string(flag) + ": invalid value '" + value + "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t parse_u64_flag(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      std::strchr(value, '-') != nullptr) {
+    throw copift::Error(std::string(flag) + ": invalid value '" + value + "'");
+  }
+  return v;
 }
 
 int unknown_workload(const std::string& name) {
@@ -213,7 +249,14 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   std::vector<SweepSpec> sweeps;
   try {
-  for (int i = 1; i < argc; ++i) {
+  int i = 1;
+  // A value-taking flag with nothing after it (e.g. `--threads` as the last
+  // argument) is a usage error, never a silent no-op.
+  const auto value_of = [&](const std::string& flag) -> const char* {
+    if (i + 1 >= argc) throw copift::Error(flag + " requires a value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") trace = true;
     else if (arg == "--help" || arg == "-h") {
@@ -225,31 +268,32 @@ int main(int argc, char** argv) {
       return 0;
     }
     else if (arg == "--report") report = true;
-    else if (arg == "--trace-json" && i + 1 < argc) trace_json = argv[++i];
+    else if (arg == "--trace-json") trace_json = value_of(arg);
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json = arg.substr(13);
     else if (arg == "--list") return list_workloads();
     else if (arg == "--json") json = true;
     else if (arg == "--no-verify") verify = false;
-    else if (arg == "--kernel" && i + 1 < argc) kernel = argv[++i];
-    else if (arg == "--variant" && i + 1 < argc) variant = argv[++i];
-    else if (arg == "--n" && i + 1 < argc) n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    else if (arg == "--block" && i + 1 < argc) block = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    else if (arg == "--seed" && i + 1 < argc) seed = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    else if (arg == "--cores" && i + 1 < argc) cores = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--kernel") kernel = value_of(arg);
+    else if (arg == "--variant") variant = value_of(arg);
+    else if (arg == "--n") n = parse_u32_flag("--n", value_of(arg));
+    else if (arg == "--block") block = parse_u32_flag("--block", value_of(arg));
+    else if (arg == "--seed") seed = parse_u32_flag("--seed", value_of(arg));
+    else if (arg == "--cores") cores = parse_u32_flag("--cores", value_of(arg));
     // (numeric flag values are parsed as uint32 and stored widened, so -1
     // never collides with a user-supplied value)
-    else if (arg == "--max-cycles" && i + 1 < argc) max_cycles = std::stoull(argv[++i]);
-    else if (arg == "--threads" && i + 1 < argc) threads = static_cast<unsigned>(std::stoul(argv[++i]));
-    else if (arg == "--sweep" && i + 1 < argc) {
+    else if (arg == "--max-cycles") max_cycles = parse_u64_flag("--max-cycles", value_of(arg));
+    else if (arg == "--threads") threads = parse_u32_flag("--threads", value_of(arg));
+    else if (arg == "--sweep") {
       SweepSpec spec;
-      if (!parse_sweep(argv[++i], spec)) return usage();
+      if (!parse_sweep(value_of(arg), spec)) return usage();
       sweeps.push_back(std::move(spec));
     }
     else if (arg.rfind("--", 0) == 0) return usage();
     else file = arg;
   }
-  } catch (const std::exception&) {
-    return usage();  // malformed numeric flag value (stoul/stoull threw)
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();  // missing or malformed flag value
   }
   if (file.empty() && kernel.empty()) return usage();
   if (!sweeps.empty() && kernel.empty()) return usage();

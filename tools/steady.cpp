@@ -1,10 +1,12 @@
 // Steady-state comparison table (base vs COPIFT) for all six paper kernels,
 // produced by one engine experiment over their registry names. `--threads N`
 // sets the pool size; `--csv` dumps the raw ResultTable instead of the
-// formatted summary.
+// formatted summary; `--cores v1,v2,...` adds a hart-count axis and appends
+// a per-kernel scaling summary (speedup and energy per item vs cores).
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "engine/experiment.hpp"
@@ -13,35 +15,70 @@ using namespace copift;
 using workload::Variant;
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-  }
+  try {
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    }
+    const auto cores_list = engine::parse_cores_list(argc, argv);
 
-  engine::SimEngine pool(engine::parse_threads(argc, argv));
-  const auto table = engine::Experiment()
-                         .over(std::span<const std::string_view>(kernels::kPaperWorkloads))
-                         .over({Variant::kBaseline, Variant::kCopift})
-                         .block(96)
-                         .steady(1920, 3840)
-                         .run(pool);
-  if (csv) {
-    table.write_csv(std::cout);
+    engine::SimEngine pool(engine::parse_threads(argc, argv));
+    const auto table =
+        engine::Experiment()
+            .over(std::span<const std::string_view>(kernels::kPaperWorkloads))
+            .over({Variant::kBaseline, Variant::kCopift})
+            .block(96)
+            .sweep_cores(std::span<const std::uint32_t>(cores_list))
+            .steady(1920, 3840)
+            .run(pool);
+    if (csv) {
+      table.write_csv(std::cout);
+      return 0;
+    }
+
+    for (const std::uint32_t cores : cores_list) {
+      if (cores_list.size() > 1) printf("=== cores=%u ===\n", cores);
+      printf("%-18s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel", "b.ipc", "c.ipc",
+             "gain", "b.mW", "c.mW", "ratio", "speedup", "E.impr");
+      for (const auto name : kernels::kPaperWorkloads) {
+        const auto* b = table.find(name, Variant::kBaseline, 0, 0, {}, cores);
+        const auto* c = table.find(name, Variant::kCopift, 0, 0, {}, cores);
+        if (b == nullptr || c == nullptr) throw Error("missing steady row");
+        const double speedup = b->metrics.cycles_per_item / c->metrics.cycles_per_item;
+        const double eimpr = b->metrics.energy_pj_per_item / c->metrics.energy_pj_per_item;
+        printf("%-18s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n",
+               std::string(name).c_str(), b->metrics.ipc, c->metrics.ipc,
+               c->metrics.ipc / b->metrics.ipc, b->metrics.power_mw, c->metrics.power_mw,
+               c->metrics.power_mw / b->metrics.power_mw, speedup, eimpr);
+      }
+      if (cores_list.size() > 1) printf("\n");
+    }
+
+    if (cores_list.size() > 1) {
+      // Scaling summary: COPIFT cycles/item speedup and energy/item relative
+      // to the smallest swept core count.
+      printf("COPIFT scaling vs cores=%u (cycles/item speedup : energy pJ/item)\n",
+             cores_list.front());
+      printf("%-18s", "kernel");
+      for (const std::uint32_t cores : cores_list) printf("  %13u", cores);
+      printf("\n");
+      for (const auto name : kernels::kPaperWorkloads) {
+        const auto* ref = table.find(name, Variant::kCopift, 0, 0, {}, cores_list.front());
+        if (ref == nullptr) throw Error("missing steady row");
+        printf("%-18s", std::string(name).c_str());
+        for (const std::uint32_t cores : cores_list) {
+          const auto* c = table.find(name, Variant::kCopift, 0, 0, {}, cores);
+          if (c == nullptr) throw Error("missing steady row");
+          printf("  %5.2fx %6.0f",
+                 ref->metrics.cycles_per_item / c->metrics.cycles_per_item,
+                 c->metrics.energy_pj_per_item);
+        }
+        printf("\n");
+      }
+    }
     return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
-
-  printf("%-18s %8s %8s %8s | %8s %8s %8s | %6s %6s\n", "kernel", "b.ipc", "c.ipc", "gain",
-         "b.mW", "c.mW", "ratio", "speedup", "E.impr");
-  for (const auto name : kernels::kPaperWorkloads) {
-    const auto* b = table.find(name, Variant::kBaseline);
-    const auto* c = table.find(name, Variant::kCopift);
-    if (b == nullptr || c == nullptr) throw Error("missing steady row");
-    const double speedup = b->metrics.cycles_per_item / c->metrics.cycles_per_item;
-    const double eimpr = b->metrics.energy_pj_per_item / c->metrics.energy_pj_per_item;
-    printf("%-18s %8.3f %8.3f %8.2f | %8.1f %8.1f %8.3f | %6.2f %6.2f\n",
-           std::string(name).c_str(), b->metrics.ipc, c->metrics.ipc,
-           c->metrics.ipc / b->metrics.ipc, b->metrics.power_mw, c->metrics.power_mw,
-           c->metrics.power_mw / b->metrics.power_mw, speedup, eimpr);
-  }
-  return 0;
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Validate a copift_sim sweep's CSV/JSON pair with conforming parsers.
+
+Usage: validate_sweep.py SWEEP.csv SWEEP.json
+
+Checks that the CSV parses per RFC 4180 into a non-ragged table, that the
+JSON document parses, that both carry the same rows, and that every row
+verified against its golden reference. CI runs this over a cores sweep of
+every registry workload, so an unescaped label or an unverified multi-hart
+run fails the build.
+"""
+import csv
+import json
+import sys
+
+
+def main() -> int:
+    csv_path, json_path = sys.argv[1], sys.argv[2]
+    with open(csv_path, newline="") as f:
+        rows = list(csv.reader(f))
+    assert len(rows) >= 2, f"{csv_path}: no data rows"
+    width = len(rows[0])
+    assert all(len(r) == width for r in rows), f"{csv_path}: ragged CSV"
+    verified = rows[0].index("verified")
+    cores = rows[0].index("cores")
+    bad = [r for r in rows[1:] if r[verified] != "1"]
+    assert not bad, f"{csv_path}: unverified rows {bad}"
+
+    with open(json_path) as f:
+        data = json.load(f)
+    assert len(data) == len(rows) - 1, (
+        f"{csv_path}/{json_path}: row mismatch ({len(rows) - 1} vs {len(data)})"
+    )
+    assert all(p["verified"] for p in data), f"{json_path}: unverified rows"
+    swept = sorted({r[cores] for r in rows[1:]})
+    print(f"{csv_path}: {len(rows) - 1} rows OK (cores swept: {', '.join(swept)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
