@@ -1,92 +1,231 @@
-// google-benchmark microbenchmarks of the simulator itself: host throughput
-// in simulated cycles and instructions per second, per kernel variant, plus
+// Simulator-throughput microbenchmarks: host throughput in simulated cycles
+// and instructions per second, per kernel variant, plus assembly speed and
 // the batch engine's sweep throughput.
-#include <benchmark/benchmark.h>
+//
+// Self-contained timing harness (no google-benchmark dependency): each
+// benchmark is repeated until a minimum wall-clock budget is spent, then
+// reported as per-run wall time and simulated-cycles/sec. `--json FILE`
+// additionally emits the results in the BENCH_simulator.json schema consumed
+// by tools/check_bench_regression.py and the CI benchmark step.
+//
+// Usage:
+//   bench_simulator [--json FILE] [--min-time SECONDS] [--filter SUBSTR]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
+#include "sim/topology.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
 using namespace copift;
+using Clock = std::chrono::steady_clock;
 
-void run_variant(benchmark::State& state, kernels::KernelId id, kernels::Variant variant) {
-  kernels::KernelConfig cfg;
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t runs = 0;
+  double wall_s = 0.0;            // total measured wall time
+  std::uint64_t sim_cycles = 0;   // total simulated cycles across runs
+  std::uint64_t sim_instrs = 0;   // total retired instructions across runs
+  std::uint64_t items = 0;        // benchmark-specific unit (programs, grid points)
+
+  [[nodiscard]] double wall_ms_per_run() const {
+    return runs == 0 ? 0.0 : wall_s * 1e3 / static_cast<double>(runs);
+  }
+  [[nodiscard]] double cycles_per_sec() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(sim_cycles) / wall_s;
+  }
+  [[nodiscard]] double instrs_per_sec() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(sim_instrs) / wall_s;
+  }
+  [[nodiscard]] double items_per_sec() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(items) / wall_s;
+  }
+};
+
+/// One benchmark body: performs a single run and adds its totals to `r`
+/// (sim_cycles/sim_instrs/items as applicable).
+using BenchFn = std::function<void(BenchResult&)>;
+
+/// Repeat `fn` (after one untimed warmup) until `min_time` seconds have been
+/// measured and at least three runs completed.
+BenchResult measure(const std::string& name, double min_time, const BenchFn& fn) {
+  BenchResult r;
+  r.name = name;
+  {
+    BenchResult warmup;
+    fn(warmup);
+  }
+  const auto start = Clock::now();
+  do {
+    fn(r);
+    ++r.runs;
+    r.wall_s = seconds_since(start);
+  } while (r.wall_s < min_time || r.runs < 3);
+  return r;
+}
+
+/// Single-run simulation throughput of one workload variant.
+BenchFn sim_bench(std::string_view workload, workload::Variant variant, std::uint32_t cores) {
+  workload::WorkloadConfig cfg;
   cfg.n = 1024;
   cfg.block = 64;
-  const auto generated = kernels::generate(id, variant, cfg);
+  cfg.cores = cores;
+  const auto generated = workload::generate(workload, variant, cfg);
   // Assemble once; every iteration shares the immutable program.
   const auto program = kernels::assemble_kernel(generated);
-  std::uint64_t cycles = 0;
-  std::uint64_t instrs = 0;
-  for (auto _ : state) {
-    sim::Cluster cluster(program);
+  return [generated, program, cores](BenchResult& r) {
+    sim::Cluster cluster(program, sim::ClusterTopology().cores(cores));
     kernels::populate_inputs(cluster, generated);
     const auto result = cluster.run();
-    cycles += result.cycles;
-    instrs += cluster.counters().retired();
-    benchmark::DoNotOptimize(result.cycles);
-  }
-  state.counters["sim_cycles/s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
-  state.counters["sim_instrs/s"] =
-      benchmark::Counter(static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    r.sim_cycles += result.cycles;
+    r.sim_instrs += cluster.counters().retired();
+  };
 }
 
-void BM_ExpBaseline(benchmark::State& s) {
-  run_variant(s, kernels::KernelId::kExp, kernels::Variant::kBaseline);
-}
-void BM_ExpCopift(benchmark::State& s) {
-  run_variant(s, kernels::KernelId::kExp, kernels::Variant::kCopift);
-}
-void BM_PiLcgCopift(benchmark::State& s) {
-  run_variant(s, kernels::KernelId::kPiLcg, kernels::Variant::kCopift);
-}
-void BM_LogCopift(benchmark::State& s) {
-  run_variant(s, kernels::KernelId::kLog, kernels::Variant::kCopift);
-}
-
-void BM_Assemble(benchmark::State& s) {
-  kernels::KernelConfig cfg;
+/// Assembly throughput (programs/sec) for the exp/copift kernel.
+BenchFn assemble_bench() {
+  workload::WorkloadConfig cfg;
   cfg.n = 1024;
   cfg.block = 64;
-  const auto generated =
-      kernels::generate(kernels::KernelId::kExp, kernels::Variant::kCopift, cfg);
-  for (auto _ : s) {
-    auto program = rvasm::assemble(generated.source);
-    benchmark::DoNotOptimize(program.text.size());
-  }
+  const auto generated = workload::generate("exp", workload::Variant::kCopift, cfg);
+  return [generated](BenchResult& r) {
+    const auto program = rvasm::assemble(generated.source);
+    if (program.text.empty()) throw Error("assemble benchmark produced empty program");
+    r.items += 1;
+  };
 }
 
-/// Engine sweep throughput: a 8-point block sweep per iteration, at the
-/// pool size given by --benchmark arg (thread counts via BENCHMARK Range).
-void BM_EngineBlockSweep(benchmark::State& s) {
-  engine::SimEngine pool(static_cast<unsigned>(s.range(0)));
-  std::uint64_t points = 0;
-  for (auto _ : s) {
+/// Engine sweep throughput: an 8-point block sweep per run on `threads`
+/// workers (grid points/sec).
+BenchFn sweep_bench(unsigned threads) {
+  auto pool = std::make_shared<engine::SimEngine>(threads);
+  return [pool](BenchResult& r) {
     const auto table = engine::Experiment()
                            .over("poly_lcg")
-                           .over(kernels::Variant::kCopift)
+                           .over(workload::Variant::kCopift)
                            .n(768)
                            .sweep({16, 24, 32, 48, 64, 96, 128, 192})
                            .verify(false)
-                           .run(pool);
-    points += table.size();
-    benchmark::DoNotOptimize(table.rows().data());
-  }
-  s.counters["grid_points/s"] =
-      benchmark::Counter(static_cast<double>(points), benchmark::Counter::kIsRate);
+                           .run(*pool);
+    r.items += table.size();
+    for (const auto& row : table.rows()) r.sim_cycles += row.run.result.cycles;
+  };
 }
 
-BENCHMARK(BM_ExpBaseline)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ExpCopift)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PiLcgCopift)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_LogCopift)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EngineBlockSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+void print_result(const BenchResult& r) {
+  std::printf("%-24s %8llu runs  %10.3f ms/run", r.name.c_str(),
+              static_cast<unsigned long long>(r.runs), r.wall_ms_per_run());
+  if (r.sim_cycles > 0) {
+    std::printf("  %12.3e sim_cycles/s", r.cycles_per_sec());
+  }
+  if (r.sim_instrs > 0) {
+    std::printf("  %12.3e sim_instrs/s", r.instrs_per_sec());
+  }
+  if (r.items > 0) {
+    std::printf("  %10.2f items/s", r.items_per_sec());
+  }
+  std::printf("\n");
+}
+
+void write_json(const std::string& path, const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"schema\": \"copift-bench-simulator/1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"runs\": %llu, \"wall_ms_per_run\": %.4f, "
+                  "\"sim_cycles_per_run\": %.1f, \"sim_cycles_per_sec\": %.1f, "
+                  "\"sim_instrs_per_sec\": %.1f, \"items_per_sec\": %.4f}%s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.runs), r.wall_ms_per_run(),
+                  r.runs == 0 ? 0.0 : static_cast<double>(r.sim_cycles) / static_cast<double>(r.runs),
+                  r.cycles_per_sec(), r.instrs_per_sec(), r.items_per_sec(),
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string filter;
+  double min_time = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      char* end = nullptr;
+      min_time = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || min_time <= 0.0) {
+        std::fprintf(stderr, "error: invalid --min-time value\n");
+        return 2;
+      }
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_simulator [--json FILE] [--min-time SECONDS] [--filter SUBSTR]\n");
+      return 2;
+    }
+  }
+
+  struct Spec {
+    const char* name;
+    BenchFn fn;
+  };
+  std::vector<Spec> specs;
+  try {
+    specs.push_back({"exp_baseline", sim_bench("exp", workload::Variant::kBaseline, 1)});
+    specs.push_back({"exp_copift", sim_bench("exp", workload::Variant::kCopift, 1)});
+    specs.push_back({"log_copift", sim_bench("log", workload::Variant::kCopift, 1)});
+    specs.push_back({"pi_lcg_copift", sim_bench("pi_lcg", workload::Variant::kCopift, 1)});
+    specs.push_back({"exp_copift_cores4", sim_bench("exp", workload::Variant::kCopift, 4)});
+    specs.push_back({"assemble", assemble_bench()});
+    specs.push_back({"engine_sweep_t4", sweep_bench(4)});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: benchmark setup failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::vector<BenchResult> results;
+  for (const auto& spec : specs) {
+    if (!filter.empty() && std::string_view(spec.name).find(filter) == std::string_view::npos) {
+      continue;
+    }
+    try {
+      const auto r = measure(spec.name, min_time, spec.fn);
+      print_result(r);
+      results.push_back(r);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: benchmark %s failed: %s\n", spec.name, e.what());
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, results);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Power-of-two ring FIFO for per-cycle simulator queues.
+//
+// std::deque allocates and frees its backing blocks as the queue crosses
+// block boundaries, so a FIFO that cycles millions of entries through a
+// small steady-state depth still produces steady-state heap churn. This ring
+// grows (by doubling) only until it reaches the workload's high-water depth
+// and never shrinks, so push_back/pop_front are allocation-free in steady
+// state. Indices are monotonically increasing 64-bit counters; the mask
+// wraps them into the buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace copift {
+
+template <typename T>
+class RingFifo {
+ public:
+  RingFifo() : buf_(kMinCapacity) {}
+  explicit RingFifo(std::size_t capacity_hint) {
+    std::size_t cap = kMinCapacity;
+    while (cap < capacity_hint) cap *= 2;
+    buf_.resize(cap);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_ - head_);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void push_back(T value) {
+    if (size() == buf_.size()) grow();
+    buf_[static_cast<std::size_t>(tail_) & (buf_.size() - 1)] = std::move(value);
+    ++tail_;
+  }
+  void pop_front() { ++head_; }
+  void clear() noexcept { head_ = tail_ = 0; }
+
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size() - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size() - 1]; }
+
+  /// i-th element counted from the front (0 == front()).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return buf_[static_cast<std::size_t>(head_ + i) & (buf_.size() - 1)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return buf_[static_cast<std::size_t>(head_ + i) & (buf_.size() - 1)];
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  void grow() {
+    std::vector<T> bigger(buf_.size() * 2);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) bigger[i] = std::move((*this)[i]);
+    buf_ = std::move(bigger);
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<T> buf_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace copift

@@ -1,5 +1,6 @@
 #include "mem/address_space.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -7,7 +8,13 @@
 
 namespace copift::mem {
 
-AddressSpace::AddressSpace() : tcdm_(kTcdmSize, 0), dram_(kDramSize, 0) {}
+namespace {
+// DRAM growth granularity; keeps the resize count logarithmic without
+// committing pages nothing touches.
+constexpr std::uint32_t kDramChunk = 64 * 1024;
+}  // namespace
+
+AddressSpace::AddressSpace() : tcdm_(kTcdmSize, 0) {}
 
 const std::uint8_t* AddressSpace::at(std::uint32_t addr, std::uint32_t size) const {
   return const_cast<AddressSpace*>(this)->at(addr, size);
@@ -18,11 +25,21 @@ std::uint8_t* AddressSpace::at(std::uint32_t addr, std::uint32_t size) {
     return tcdm_.data() + (addr - kTcdmBase);
   }
   if (addr >= kDramBase && addr + size <= kDramBase + kDramSize) {
-    return dram_.data() + (addr - kDramBase);
+    const std::uint32_t off = addr - kDramBase;
+    if (off + size > dram_used_) grow_dram(off + size);
+    return dram_.data() + off;
   }
   std::ostringstream os;
   os << "unmapped memory access at 0x" << std::hex << addr << " size " << std::dec << size;
   throw SimError(os.str());
+}
+
+void AddressSpace::grow_dram(std::uint32_t required) {
+  std::uint64_t target = std::max<std::uint64_t>(required, std::uint64_t{dram_used_} * 2);
+  target = (target + kDramChunk - 1) / kDramChunk * kDramChunk;
+  target = std::min<std::uint64_t>(target, kDramSize);
+  dram_used_ = static_cast<std::uint32_t>(target);
+  dram_.resize(dram_used_);  // value-initialization zero-fills the new bytes
 }
 
 std::uint8_t AddressSpace::load8(std::uint32_t addr) const { return *at(addr, 1); }
@@ -66,7 +83,12 @@ void AddressSpace::write_block(std::uint32_t addr, const std::vector<std::uint8_
 
 void AddressSpace::copy(std::uint32_t dst, std::uint32_t src, std::uint32_t bytes) {
   if (bytes == 0) return;
-  std::memmove(at(dst, bytes), at(src, bytes), bytes);
+  // Resolve the source after the destination: either at() may grow the DRAM
+  // backing store, which would invalidate a previously obtained pointer.
+  std::uint8_t* d = at(dst, bytes);
+  const std::uint8_t* s = at(src, bytes);
+  d = at(dst, bytes);  // re-resolve in case the source lookup grew DRAM
+  std::memmove(d, s, bytes);
 }
 
 }  // namespace copift::mem

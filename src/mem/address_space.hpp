@@ -37,8 +37,16 @@ class AddressSpace {
   [[nodiscard]] const std::uint8_t* at(std::uint32_t addr, std::uint32_t size) const;
   [[nodiscard]] std::uint8_t* at(std::uint32_t addr, std::uint32_t size);
 
+  // Extend the lazily-grown DRAM backing store to cover `required` bytes.
+  void grow_dram(std::uint32_t required);
+
   std::vector<std::uint8_t> tcdm_;
+  // DRAM backing grows on demand to the touched high-water mark instead of
+  // committing (and zeroing) all of kDramSize up front: constructing a
+  // cluster used to cost a 32 MiB memset, which dominated single-run
+  // latency. Untouched bytes read as zero either way.
   std::vector<std::uint8_t> dram_;
+  std::uint32_t dram_used_ = 0;  // logical bytes backed by dram_
 };
 
 }  // namespace copift::mem

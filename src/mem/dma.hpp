@@ -34,6 +34,12 @@ class DmaEngine {
   /// Advance one cycle.
   void tick();
 
+  /// Advance `n` cycles at once (skip-ahead). Chunk boundaries and stats are
+  /// identical to `n` tick() calls; idle cycles are free either way.
+  void advance(std::uint64_t n) {
+    while (n-- > 0 && !queue_.empty()) tick();
+  }
+
   [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
   [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
   void reset_stats() noexcept { busy_cycles_ = 0; bytes_moved_ = 0; }

@@ -1,5 +1,6 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "common/error.hpp"
@@ -15,6 +16,7 @@ std::shared_ptr<const rvasm::Program> require(std::shared_ptr<const rvasm::Progr
 
 Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, ClusterTopology topology)
     : program_(require(std::move(program))),
+      decoded_(DecodedProgram::get(program_)),
       topo_((topology.validate(), std::move(topology))),
       arbiter_(topo_.shared().num_tcdm_banks, topo_.num_cores()),
       dma_(memory_, topo_.shared().dma_bytes_per_cycle),
@@ -22,7 +24,7 @@ Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, ClusterTopology 
   complexes_.reserve(topo_.num_cores());
   for (unsigned h = 0; h < topo_.num_cores(); ++h) {
     complexes_.push_back(std::make_unique<CoreComplex>(h, topo_.num_cores(), topo_.complex(h),
-                                                       *program_, memory_, dma_, barrier_));
+                                                       *decoded_, memory_, dma_, barrier_));
   }
   memory_.write_block(program_->data_base, program_->data);
   memory_.write_block(program_->dram_base, program_->dram);
@@ -65,10 +67,9 @@ void Cluster::set_tracing(bool enabled) {
 }
 
 void Cluster::tick() {
-  for (auto& cx : complexes_) {
-    cx->counters().cycles = cycle_;
-    cx->fpss().begin_cycle(cycle_);
-  }
+  // counters().cycles needs no refresh here: the end of the previous tick
+  // left it at cycle_, and mcycle/region reads stamp `now` themselves.
+  for (auto& cx : complexes_) cx->fpss().begin_cycle(cycle_);
   dma_.tick();
 
   // Phase 1: every agent of every hart decides what it wants from the TCDM
@@ -156,14 +157,75 @@ void Cluster::tick() {
   for (auto& cx : complexes_) cx->counters().cycles = cycle_;
 }
 
+bool Cluster::try_skip() {
+  // A clock jump is legal only when no agent can change architectural state
+  // this cycle and at least one knows its wake-up time. SSR stream traffic
+  // (a lane wanting a data/index access) always counts as progress, so any
+  // active stream pins the cluster to per-cycle execution.
+  std::array<WakeInfo, kMaxHarts> core_wake;
+  std::array<WakeInfo, kMaxHarts> fpss_wake;
+  std::uint64_t window = ~std::uint64_t{0};
+  bool has_sleeper = false;
+  for (unsigned h = 0; h < complexes_.size(); ++h) {
+    const CoreComplex& cx = *complexes_[h];
+    if (cx.ssr().wants_any_access()) return false;
+    fpss_wake[h] = cx.fpss().probe(cycle_);
+    if (fpss_wake[h].kind == WakeInfo::Kind::kProgress) return false;
+    core_wake[h] = cx.core().probe(cycle_);
+    if (core_wake[h].kind == WakeInfo::Kind::kProgress) return false;
+    for (const WakeInfo& w : {core_wake[h], fpss_wake[h]}) {
+      if (w.kind == WakeInfo::Kind::kSleep) {
+        has_sleeper = true;
+        window = std::min(window, w.wake);
+      }
+    }
+  }
+  // Every hart blocked on another agent with no provable wake (e.g. a
+  // program deadlock): fall back to ticking so max_cycles still fires.
+  if (!has_sleeper) return false;
+  // Never jump past the cycle budget, so the timeout path counts the same
+  // number of cycles as per-cycle execution.
+  window = std::min(window, topo_.shared().max_cycles);
+  // Jump: cycles [cycle_, window) are pure stalls; attribute them in bulk.
+  const std::uint64_t n = window - cycle_;
+  for (unsigned h = 0; h < complexes_.size(); ++h) {
+    CoreComplex& cx = *complexes_[h];
+    cx.core().skip_stall(cycle_, n, core_wake[h].cause);
+    cx.fpss().skip_stall(cycle_, n, fpss_wake[h].cause);
+  }
+  dma_.advance(n);
+  complexes_.front()->counters().dma_busy_cycles = dma_.busy_cycles();
+  complexes_.front()->counters().dma_bytes = dma_.bytes_moved();
+  cycle_ = window;
+  for (auto& cx : complexes_) cx->counters().cycles = cycle_;
+  ++skip_jumps_;
+  skipped_cycles_ += n;
+  return true;
+}
+
+void Cluster::step_fast() {
+  if (cycle_ >= next_probe_) {
+    if (try_skip()) {
+      probe_backoff_ = 0;
+      return;
+    }
+    // Failed probe: suppress probing for exponentially more ticks so the
+    // overhead vanishes while the cluster is busy issuing.
+    probe_backoff_ = std::min<std::uint64_t>(probe_backoff_ == 0 ? 1 : probe_backoff_ * 2, 16);
+    next_probe_ = cycle_ + probe_backoff_;
+  }
+  tick();
+}
+
 RunResult Cluster::run() {
   const std::uint64_t max_cycles = topo_.shared().max_cycles;
+  const bool fast = topo_.shared().skip_ahead;
   while (!halted() && cycle_ < max_cycles) {
-    tick();
+    fast ? step_fast() : tick();
   }
   // Drain in-flight FP work so memory state is final at halt.
   while (halted() && !all_fpss_idle() && cycle_ < max_cycles) {
-    tick();
+    fast ? step_fast() : tick();
   }
   RunResult result;
   result.halted = halted();

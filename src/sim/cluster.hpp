@@ -25,6 +25,7 @@
 #include "rvasm/program.hpp"
 #include "sim/core_complex.hpp"
 #include "sim/counters.hpp"
+#include "sim/decode.hpp"
 #include "sim/params.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
@@ -60,6 +61,18 @@ class Cluster {
 
   /// Advance exactly one cycle (exposed for fine-grained tests).
   void tick();
+
+  /// Advance one cycle OR jump the clock over a provable all-harts wait
+  /// (used by run() when SimParams::skip_ahead is set; exposed for tests).
+  /// Bit-exact with repeated tick(): skipped cycles are attributed in bulk
+  /// to each agent's probed stall cause, including trace events.
+  void step_fast();
+
+  // --- skip-ahead diagnostics ----------------------------------------------
+  /// Number of clock jumps step_fast() performed.
+  [[nodiscard]] std::uint64_t skip_jumps() const noexcept { return skip_jumps_; }
+  /// Total cycles covered by those jumps (cycles not individually ticked).
+  [[nodiscard]] std::uint64_t skipped_cycles() const noexcept { return skipped_cycles_; }
 
   /// True when every hart has halted.
   [[nodiscard]] bool halted() const noexcept;
@@ -109,6 +122,9 @@ class Cluster {
 
  private:
   [[nodiscard]] bool all_fpss_idle() const noexcept;
+  /// Probe every agent; on a provable all-harts wait, jump the clock and
+  /// return true. Returns false (without ticking) when no skip is possible.
+  bool try_skip();
 
   enum class RequestSrc : std::uint8_t { kCore, kFpss, kSsr };
   struct RequestTag {
@@ -118,6 +134,9 @@ class Cluster {
   };
 
   std::shared_ptr<const rvasm::Program> program_;
+  // Decode-once micro-op table, shared across clusters running the same
+  // program (see sim/decode.hpp).
+  std::shared_ptr<const DecodedProgram> decoded_;
   ClusterTopology topo_;
   mem::AddressSpace memory_;
   mem::TcdmArbiter arbiter_;
@@ -127,6 +146,14 @@ class Cluster {
   // into themselves, so their addresses must be stable.
   std::vector<std::unique_ptr<CoreComplex>> complexes_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t skip_jumps_ = 0;
+  std::uint64_t skipped_cycles_ = 0;
+  // Probe back-off: a failed probe (no skip possible) suppresses probing for
+  // exponentially more ticks, so probe overhead stays negligible while the
+  // cluster is busy issuing; any successful jump resets it. Skips are purely
+  // an optimization, so missing one never affects exactness.
+  std::uint64_t probe_backoff_ = 0;
+  std::uint64_t next_probe_ = 0;
   // Rebuilt on demand by counters() for multi-hart clusters.
   mutable ActivityCounters agg_;
   // tick() scratch space, kept as members so the per-cycle hot path does no

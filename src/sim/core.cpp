@@ -10,19 +10,18 @@ namespace copift::sim {
 
 using isa::ExecUnit;
 using isa::Mnemonic;
-using isa::RegClass;
 
 namespace {
 constexpr std::uint16_t kCsrRegion = 0x7C2;
 }
 
-IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
+IntCore::IntCore(const SimParams& params, const DecodedProgram& decoded,
                  mem::AddressSpace& memory, FpSubsystem& fpss, ssr::SsrUnit& ssr,
                  mem::L0ICache& icache, mem::DmaEngine& dma, ActivityCounters& counters,
                  std::vector<RegionEvent>& regions, Tracer& tracer, unsigned hart_id,
                  unsigned num_harts, HwBarrier& barrier)
     : params_(params),
-      program_(&program),
+      decoded_(&decoded),
       memory_(&memory),
       fpss_(&fpss),
       ssr_(&ssr),
@@ -34,7 +33,7 @@ IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
       barrier_(&barrier),
       hart_id_(hart_id),
       num_harts_(num_harts),
-      pc_(program.entry) {
+      pc_(decoded.program().entry) {
   regs_[2] = kStackTop - hart_id * kHartStackBytes;  // sp
   // Size the write-port ring to cover the farthest-future booking any
   // instruction can make (+2 slack for the post-grant commit cycle).
@@ -49,23 +48,39 @@ IntCore::IntCore(const SimParams& params, const rvasm::Program& program,
   wb_ring_mask_ = size - 1;
 }
 
-void IntCore::account(std::uint64_t now, StallCause cause) {
+void IntCore::add_stall(StallCause cause, std::uint64_t n) {
   switch (cause) {
-    case StallCause::kIntRaw: ++counters_->stall_raw; break;
-    case StallCause::kIntWbPort: ++counters_->stall_wb_port; break;
-    case StallCause::kIntOffloadFull: ++counters_->stall_offload_full; break;
-    case StallCause::kIntFrontend: ++counters_->stall_icache; break;
-    case StallCause::kIntBranch: ++counters_->stall_branch; break;
-    case StallCause::kIntDivBusy: ++counters_->stall_div_busy; break;
-    case StallCause::kIntTcdm: ++counters_->stall_tcdm; break;
-    case StallCause::kIntMemOrder: ++counters_->stall_mem_order; break;
-    case StallCause::kIntBarrier: ++counters_->stall_barrier; break;
-    case StallCause::kIntHwBarrier: ++counters_->stall_hw_barrier; break;
-    case StallCause::kIntOffload: ++counters_->int_offloads; break;
-    case StallCause::kIntHalted: ++counters_->int_halt_cycles; break;
+    case StallCause::kIntRaw: counters_->stall_raw += n; break;
+    case StallCause::kIntWbPort: counters_->stall_wb_port += n; break;
+    case StallCause::kIntOffloadFull: counters_->stall_offload_full += n; break;
+    case StallCause::kIntFrontend: counters_->stall_icache += n; break;
+    case StallCause::kIntBranch: counters_->stall_branch += n; break;
+    case StallCause::kIntDivBusy: counters_->stall_div_busy += n; break;
+    case StallCause::kIntTcdm: counters_->stall_tcdm += n; break;
+    case StallCause::kIntMemOrder: counters_->stall_mem_order += n; break;
+    case StallCause::kIntBarrier: counters_->stall_barrier += n; break;
+    case StallCause::kIntHwBarrier: counters_->stall_hw_barrier += n; break;
+    case StallCause::kIntOffload: counters_->int_offloads += n; break;
+    case StallCause::kIntHalted: counters_->int_halt_cycles += n; break;
     default: throw SimError("FPSS stall cause attributed to the integer core");
   }
+}
+
+void IntCore::account(std::uint64_t now, StallCause cause) {
+  add_stall(cause, 1);
   tracer_->record_stall(now, TraceUnit::kIntCore, cause);
+}
+
+void IntCore::skip_stall(std::uint64_t now, std::uint64_t n, StallCause cause) {
+  add_stall(cause, n);
+  // Per-cycle execution would have decremented these counters each stall.
+  if (cause == StallCause::kIntFrontend) fetch_stall_ -= static_cast<unsigned>(n);
+  if (cause == StallCause::kIntBranch) branch_stall_ -= static_cast<unsigned>(n);
+  if (tracer_->enabled()) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tracer_->record_stall(now + i, TraceUnit::kIntCore, cause);
+    }
+  }
 }
 
 void IntCore::write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at) {
@@ -76,20 +91,20 @@ void IntCore::write_rd(unsigned rd, std::uint32_t value, std::uint64_t ready_at)
 
 void IntCore::retire_and_advance(std::uint32_t next_pc, std::uint64_t now) {
   ++counters_->int_retired;
-  tracer_->record(now, pc_, program_->text[program_->text_index(pc_)], TraceUnit::kIntCore);
+  tracer_->record(now, pc_, *op_->instr, TraceUnit::kIntCore);
   pc_ = next_pc;
   fetch_done_ = false;
 }
 
-void IntCore::execute_alu(const isa::Instr& instr, std::uint64_t now) {
-  const std::uint32_t a = regs_[instr.rs1];
-  const std::uint32_t b = regs_[instr.rs2];
-  const auto imm = static_cast<std::uint32_t>(instr.imm);
+void IntCore::execute_alu(const MicroOp& op, std::uint64_t now) {
+  const std::uint32_t a = regs_[op.rs1];
+  const std::uint32_t b = regs_[op.rs2];
+  const auto imm = static_cast<std::uint32_t>(op.imm);
   const auto sa = static_cast<std::int32_t>(a);
   const auto sb = static_cast<std::int32_t>(b);
   std::uint32_t v = 0;
   unsigned latency = 1;
-  switch (instr.mnemonic) {
+  switch (op.mnemonic) {
     case Mnemonic::kLui: v = imm << 12; break;
     case Mnemonic::kAuipc: v = pc_ + (imm << 12); break;
     case Mnemonic::kAddi: v = a + imm; break;
@@ -153,19 +168,19 @@ void IntCore::execute_alu(const isa::Instr& instr, std::uint64_t now) {
     default:
       throw SimError("non-ALU instruction in execute_alu");
   }
-  write_rd(instr.rd, v, now + latency);
-  if (instr.rd != 0) book_wb(now + latency);
+  write_rd(op.rd, v, now + latency);
+  if (op.rd != 0) book_wb(now + latency);
 }
 
-bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
-  const auto csr = static_cast<std::uint16_t>(instr.imm);
-  const bool imm_form = instr.mnemonic == Mnemonic::kCsrrwi ||
-                        instr.mnemonic == Mnemonic::kCsrrsi ||
-                        instr.mnemonic == Mnemonic::kCsrrci;
-  const std::uint32_t src = imm_form ? instr.rs1 : regs_[instr.rs1];
-  const bool is_write = instr.mnemonic == Mnemonic::kCsrrw || instr.mnemonic == Mnemonic::kCsrrwi;
-  const bool is_set = instr.mnemonic == Mnemonic::kCsrrs || instr.mnemonic == Mnemonic::kCsrrsi;
-  const bool need_rd = instr.rd != 0;
+bool IntCore::execute_csr(const MicroOp& op, std::uint64_t now) {
+  const auto csr = static_cast<std::uint16_t>(op.imm);
+  const bool imm_form = op.mnemonic == Mnemonic::kCsrrwi ||
+                        op.mnemonic == Mnemonic::kCsrrsi ||
+                        op.mnemonic == Mnemonic::kCsrrci;
+  const std::uint32_t src = imm_form ? op.rs1 : regs_[op.rs1];
+  const bool is_write = op.mnemonic == Mnemonic::kCsrrw || op.mnemonic == Mnemonic::kCsrrwi;
+  const bool is_set = op.mnemonic == Mnemonic::kCsrrs || op.mnemonic == Mnemonic::kCsrrsi;
+  const bool need_rd = op.rd != 0;
   if (need_rd && !wb_free(now + 1)) {
     account(now, StallCause::kIntWbPort);
     return false;
@@ -225,35 +240,34 @@ bool IntCore::execute_csr(const isa::Instr& instr, std::uint64_t now) {
     }
   }
   if (need_rd) {
-    write_rd(instr.rd, old, now + 1);
+    write_rd(op.rd, old, now + 1);
     book_wb(now + 1);
   }
   ++counters_->csr_ops;
   return true;
 }
 
-void IntCore::offload_fp(const isa::Instr& instr, std::uint64_t now) {
+void IntCore::offload_fp(const MicroOp& op, std::uint64_t now) {
   (void)now;
-  const auto& meta = instr.meta();
   OffloadEntry entry;
-  entry.instr = instr;
+  entry.instr = *op.instr;
   entry.epoch = epoch_counter_;
-  switch (meta.unit) {
+  switch (op.unit) {
     case ExecUnit::kFpLoad:
       entry.kind = OffloadKind::kLoad;
-      entry.operand = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      entry.operand = regs_[op.rs1] + static_cast<std::uint32_t>(op.imm);
       break;
     case ExecUnit::kFpStore:
       entry.kind = OffloadKind::kStore;
-      entry.operand = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      entry.operand = regs_[op.rs1] + static_cast<std::uint32_t>(op.imm);
       break;
     default:
       entry.kind = OffloadKind::kCompute;
-      entry.operand = meta.rs1_class == RegClass::kInt ? regs_[instr.rs1] : 0;
+      entry.operand = op.rs1_is_int() ? regs_[op.rs1] : 0;
       break;
   }
-  if (meta.writes_int_rf() && instr.rd != 0) {
-    ready_[instr.rd] = kBusy;  // cleared when the FPSS writeback drains
+  if (op.writes_int_rf() && op.rd != 0) {
+    ready_[op.rd] = kBusy;  // cleared when the FPSS writeback drains
   }
   fpss_->offload(std::move(entry));
 }
@@ -288,6 +302,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     return std::nullopt;
   }
   if (!fetch_done_) {
+    op_ = &decoded_->op(decoded_->index_of(pc_));
     const unsigned penalty = icache_->fetch(pc_);
     fetch_done_ = true;
     counters_->l0_hits = icache_->stats().hits;
@@ -299,40 +314,37 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
   }
 
-  const isa::Instr& instr = program_->text[program_->text_index(pc_)];
-  const auto& meta = instr.meta();
+  const MicroOp& op = *op_;
 
   // Integer operand readiness (sources and, for WAW ordering, destination).
-  const auto busy = [&](RegClass cls, unsigned r) {
-    return cls == RegClass::kInt && ready_[r] > now;
-  };
-  if (busy(meta.rs1_class, instr.rs1) || busy(meta.rs2_class, instr.rs2) ||
-      busy(meta.rd_class, instr.rd)) {
+  // Scoreboard indices are pre-resolved to 0 for non-integer operands, and
+  // ready_[0] is never in the future (x0 is never marked busy).
+  if (ready_[op.sb_rs1] > now || ready_[op.sb_rs2] > now || ready_[op.sb_rd] > now) {
     account(now, StallCause::kIntRaw);
     return std::nullopt;
   }
 
-  switch (meta.unit) {
+  switch (op.unit) {
     case ExecUnit::kIntAlu:
     case ExecUnit::kMul:
     case ExecUnit::kDiv: {
       unsigned latency = 1;
-      if (meta.unit == ExecUnit::kMul) latency = params_.mul_latency;
-      if (meta.unit == ExecUnit::kDiv) {
+      if (op.unit == ExecUnit::kMul) latency = params_.mul_latency;
+      if (op.unit == ExecUnit::kDiv) {
         if (div_busy_until_ > now) {
           account(now, StallCause::kIntDivBusy);
           return std::nullopt;
         }
         latency = params_.div_latency;
       }
-      if (instr.rd != 0 && !wb_free(now + latency)) {
+      if (op.rd != 0 && !wb_free(now + latency)) {
         account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
-      execute_alu(instr, now);
-      if (meta.unit == ExecUnit::kIntAlu) ++counters_->int_alu;
-      if (meta.unit == ExecUnit::kMul) ++counters_->int_mul;
-      if (meta.unit == ExecUnit::kDiv) {
+      execute_alu(op, now);
+      if (op.unit == ExecUnit::kIntAlu) ++counters_->int_alu;
+      if (op.unit == ExecUnit::kMul) ++counters_->int_mul;
+      if (op.unit == ExecUnit::kDiv) {
         ++counters_->int_div;
         div_busy_until_ = now + latency;
       }
@@ -340,11 +352,11 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       return std::nullopt;
     }
     case ExecUnit::kLoad: {
-      if (instr.rd != 0 && !wb_free(now + params_.load_use_latency)) {
+      if (op.rd != 0 && !wb_free(now + params_.load_use_latency)) {
         account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
-      mem_addr_ = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      mem_addr_ = regs_[op.rs1] + static_cast<std::uint32_t>(op.imm);
       // Program-order interlock: wait for overlapping queued FP stores.
       if (fpss_->store_conflict(mem_addr_, 4)) {
         account(now, StallCause::kIntMemOrder);
@@ -355,16 +367,16 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
     }
     case ExecUnit::kStore: {
       mem_action_ = MemAction::kStore;
-      mem_addr_ = regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm);
+      mem_addr_ = regs_[op.rs1] + static_cast<std::uint32_t>(op.imm);
       return mem::TcdmRequest{mem::TcdmPort::kIntLsu, mem_addr_};
     }
     case ExecUnit::kBranch: {
-      const std::uint32_t a = regs_[instr.rs1];
-      const std::uint32_t b = regs_[instr.rs2];
+      const std::uint32_t a = regs_[op.rs1];
+      const std::uint32_t b = regs_[op.rs2];
       const auto sa = static_cast<std::int32_t>(a);
       const auto sb = static_cast<std::int32_t>(b);
       bool taken = false;
-      switch (instr.mnemonic) {
+      switch (op.mnemonic) {
         case Mnemonic::kBeq: taken = a == b; break;
         case Mnemonic::kBne: taken = a != b; break;
         case Mnemonic::kBlt: taken = sa < sb; break;
@@ -377,38 +389,38 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       if (taken) {
         ++counters_->branches_taken;
         branch_stall_ = params_.branch_taken_penalty;
-        retire_and_advance(pc_ + static_cast<std::uint32_t>(instr.imm), now);
+        retire_and_advance(pc_ + static_cast<std::uint32_t>(op.imm), now);
       } else {
         retire_and_advance(pc_ + 4, now);
       }
       return std::nullopt;
     }
     case ExecUnit::kJump: {
-      if (instr.rd != 0 && !wb_free(now + 1)) {
+      if (op.rd != 0 && !wb_free(now + 1)) {
         account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
       std::uint32_t target;
-      if (instr.mnemonic == Mnemonic::kJal) {
-        target = pc_ + static_cast<std::uint32_t>(instr.imm);
+      if (op.mnemonic == Mnemonic::kJal) {
+        target = pc_ + static_cast<std::uint32_t>(op.imm);
       } else {
-        target = (regs_[instr.rs1] + static_cast<std::uint32_t>(instr.imm)) & ~1U;
+        target = (regs_[op.rs1] + static_cast<std::uint32_t>(op.imm)) & ~1U;
       }
-      write_rd(instr.rd, pc_ + 4, now + 1);
-      if (instr.rd != 0) book_wb(now + 1);
+      write_rd(op.rd, pc_ + 4, now + 1);
+      if (op.rd != 0) book_wb(now + 1);
       ++counters_->jumps;
       branch_stall_ = params_.branch_taken_penalty;
       retire_and_advance(target, now);
       return std::nullopt;
     }
     case ExecUnit::kCsr:
-      if (execute_csr(instr, now)) retire_and_advance(pc_ + 4, now);
+      if (execute_csr(op, now)) retire_and_advance(pc_ + 4, now);
       return std::nullopt;
     case ExecUnit::kSys:
-      if (instr.mnemonic == Mnemonic::kEcall) {
+      if (op.mnemonic == Mnemonic::kEcall) {
         halted_ = true;
         retire_and_advance(pc_ + 4, now);
-      } else if (instr.mnemonic == Mnemonic::kEbreak) {
+      } else if (op.mnemonic == Mnemonic::kEbreak) {
         throw SimError("ebreak executed at pc " + std::to_string(pc_));
       } else {  // fence
         retire_and_advance(pc_ + 4, now);
@@ -420,9 +432,9 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
         return std::nullopt;
       }
       OffloadEntry entry;
-      entry.instr = instr;
+      entry.instr = *op.instr;
       entry.kind = OffloadKind::kFrepCfg;
-      entry.operand = regs_[instr.rs1];  // extra repetitions
+      entry.operand = regs_[op.rs1];  // extra repetitions
       entry.epoch = epoch_counter_;
       fpss_->offload(std::move(entry));
       ++epoch_counter_;
@@ -436,14 +448,14 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
         return std::nullopt;
       }
       OffloadEntry entry;
-      entry.instr = instr;
+      entry.instr = *op.instr;
       entry.epoch = epoch_counter_;
-      if (instr.mnemonic == Mnemonic::kScfgwi) {
+      if (op.mnemonic == Mnemonic::kScfgwi) {
         entry.kind = OffloadKind::kSsrCfgWrite;
-        entry.operand = regs_[instr.rs1];
+        entry.operand = regs_[op.rs1];
       } else {
         entry.kind = OffloadKind::kSsrCfgRead;
-        if (instr.rd != 0) ready_[instr.rd] = kBusy;
+        if (op.rd != 0) ready_[op.rd] = kBusy;
       }
       fpss_->offload(std::move(entry));
       ++counters_->ssr_cfg;
@@ -451,20 +463,20 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       return std::nullopt;
     }
     case ExecUnit::kDma: {
-      if (instr.rd != 0 && !wb_free(now + 1)) {
+      if (op.rd != 0 && !wb_free(now + 1)) {
         account(now, StallCause::kIntWbPort);
         return std::nullopt;
       }
-      switch (instr.mnemonic) {
-        case Mnemonic::kDmsrc: dma_->set_src(regs_[instr.rs1]); break;
-        case Mnemonic::kDmdst: dma_->set_dst(regs_[instr.rs1]); break;
+      switch (op.mnemonic) {
+        case Mnemonic::kDmsrc: dma_->set_src(regs_[op.rs1]); break;
+        case Mnemonic::kDmdst: dma_->set_dst(regs_[op.rs1]); break;
         case Mnemonic::kDmcpy:
-          write_rd(instr.rd, dma_->start(regs_[instr.rs1]), now + 1);
-          if (instr.rd != 0) book_wb(now + 1);
+          write_rd(op.rd, dma_->start(regs_[op.rs1]), now + 1);
+          if (op.rd != 0) book_wb(now + 1);
           break;
         case Mnemonic::kDmstat:
-          write_rd(instr.rd, dma_->pending(), now + 1);
-          if (instr.rd != 0) book_wb(now + 1);
+          write_rd(op.rd, dma_->pending(), now + 1);
+          if (op.rd != 0) book_wb(now + 1);
           break;
         default: throw SimError("bad DMA instruction");
       }
@@ -487,7 +499,7 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
         account(now, StallCause::kIntOffloadFull);
         return std::nullopt;
       }
-      offload_fp(instr, now);
+      offload_fp(op, now);
       // Offloaded instructions retire (fp_retired) when the FPSS issues
       // them; the handoff still occupies this cycle's integer issue slot.
       account(now, StallCause::kIntOffload);
@@ -506,10 +518,10 @@ void IntCore::commit(std::uint64_t now, bool granted) {
     mem_action_ = MemAction::kNone;
     return;
   }
-  const isa::Instr& instr = program_->text[program_->text_index(pc_)];
+  const MicroOp& op = *op_;
   if (mem_action_ == MemAction::kLoad) {
     std::uint32_t v = 0;
-    switch (instr.mnemonic) {
+    switch (op.mnemonic) {
       case Mnemonic::kLw: v = memory_->load32(mem_addr_); break;
       case Mnemonic::kLh:
         v = static_cast<std::uint32_t>(
@@ -523,13 +535,13 @@ void IntCore::commit(std::uint64_t now, bool granted) {
       case Mnemonic::kLbu: v = memory_->load8(mem_addr_); break;
       default: throw SimError("bad load");
     }
-    write_rd(instr.rd, v, now + params_.load_use_latency);
-    if (instr.rd != 0) book_wb(now + params_.load_use_latency);
+    write_rd(op.rd, v, now + params_.load_use_latency);
+    if (op.rd != 0) book_wb(now + params_.load_use_latency);
     ++counters_->int_load;
     ++counters_->tcdm_reads;
   } else {
-    const std::uint32_t v = regs_[instr.rs2];
-    switch (instr.mnemonic) {
+    const std::uint32_t v = regs_[op.rs2];
+    switch (op.mnemonic) {
       case Mnemonic::kSw: memory_->store32(mem_addr_, v); break;
       case Mnemonic::kSh: memory_->store16(mem_addr_, static_cast<std::uint16_t>(v)); break;
       case Mnemonic::kSb: memory_->store8(mem_addr_, static_cast<std::uint8_t>(v)); break;
@@ -540,6 +552,115 @@ void IntCore::commit(std::uint64_t now, bool granted) {
   }
   retire_and_advance(pc_ + 4, now);
   mem_action_ = MemAction::kNone;
+}
+
+WakeInfo IntCore::probe_csr(const MicroOp& op, std::uint64_t now) const {
+  const auto csr = static_cast<std::uint16_t>(op.imm);
+  const bool imm_form = op.mnemonic == Mnemonic::kCsrrwi || op.mnemonic == Mnemonic::kCsrrsi ||
+                        op.mnemonic == Mnemonic::kCsrrci;
+  const std::uint32_t src = imm_form ? op.rs1 : regs_[op.rs1];
+  const bool is_write = op.mnemonic == Mnemonic::kCsrrw || op.mnemonic == Mnemonic::kCsrrwi;
+  const bool is_set = op.mnemonic == Mnemonic::kCsrrs || op.mnemonic == Mnemonic::kCsrrsi;
+  if (op.rd != 0 && !wb_free(now + 1)) return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
+  switch (csr) {
+    case isa::kCsrSsr: {
+      const std::uint32_t old = ssr_->enabled() ? 1 : 0;
+      std::uint32_t next = is_write ? src : is_set ? (old | src) : (old & ~src);
+      next &= 1;
+      if (old != 0 && next == 0 && !(ssr_->all_idle() && fpss_->idle())) {
+        return WakeInfo::blocked(StallCause::kIntBarrier);
+      }
+      return WakeInfo::progress();
+    }
+    case isa::kCsrFpss:
+      if (op.rd != 0 && !fpss_->idle()) return WakeInfo::blocked(StallCause::kIntBarrier);
+      return WakeInfo::progress();
+    case isa::kCsrBarrier:
+      // A hart that has not registered yet would mutate the barrier this
+      // cycle (that counts as progress); a registered hart just re-polls.
+      if (barrier_->would_block(hart_id_)) return WakeInfo::blocked(StallCause::kIntHwBarrier);
+      return WakeInfo::progress();
+    default:
+      return WakeInfo::progress();
+  }
+}
+
+WakeInfo IntCore::probe(std::uint64_t now) const {
+  // Mirrors prepare() in order; every kSleep/kBlocked answer corresponds to
+  // a condition that stays true (with the same stall cause) until the
+  // reported wake cycle, because every agent that could change it is itself
+  // stalled during a skip window.
+  if (fpss_->has_int_writeback()) return WakeInfo::progress();
+  if (halted_) return WakeInfo::blocked(StallCause::kIntHalted);
+  if (fetch_stall_ > 0) return WakeInfo::sleep(now + fetch_stall_, StallCause::kIntFrontend);
+  if (branch_stall_ > 0) return WakeInfo::sleep(now + branch_stall_, StallCause::kIntBranch);
+  if (!fetch_done_) return WakeInfo::progress();  // fetch charges the L0 this cycle
+
+  const MicroOp& op = *op_;
+  const std::uint64_t ready =
+      std::max({ready_[op.sb_rs1], ready_[op.sb_rs2], ready_[op.sb_rd]});
+  if (ready > now) {
+    // kBusy means an in-flight FPSS integer writeback clears it; that drain
+    // is bounded by the FPSS probe's wake, so report "blocked" here.
+    if (ready == kBusy) return WakeInfo::blocked(StallCause::kIntRaw);
+    return WakeInfo::sleep(ready, StallCause::kIntRaw);
+  }
+
+  switch (op.unit) {
+    case ExecUnit::kIntAlu:
+    case ExecUnit::kMul:
+    case ExecUnit::kDiv: {
+      unsigned latency = 1;
+      if (op.unit == ExecUnit::kMul) latency = params_.mul_latency;
+      if (op.unit == ExecUnit::kDiv) {
+        if (div_busy_until_ > now) {
+          return WakeInfo::sleep(div_busy_until_, StallCause::kIntDivBusy);
+        }
+        latency = params_.div_latency;
+      }
+      if (op.rd != 0 && !wb_free(now + latency)) {
+        return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
+      }
+      return WakeInfo::progress();
+    }
+    case ExecUnit::kLoad: {
+      if (op.rd != 0 && !wb_free(now + params_.load_use_latency)) {
+        return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
+      }
+      const std::uint32_t addr = regs_[op.rs1] + static_cast<std::uint32_t>(op.imm);
+      if (fpss_->store_conflict(addr, 4)) return WakeInfo::blocked(StallCause::kIntMemOrder);
+      return WakeInfo::progress();  // TCDM request
+    }
+    case ExecUnit::kStore:
+    case ExecUnit::kBranch:
+    case ExecUnit::kSys:
+      return WakeInfo::progress();
+    case ExecUnit::kJump:
+      if (op.rd != 0 && !wb_free(now + 1)) {
+        return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
+      }
+      return WakeInfo::progress();
+    case ExecUnit::kCsr:
+      return probe_csr(op, now);
+    case ExecUnit::kDma:
+      if (op.rd != 0 && !wb_free(now + 1)) {
+        return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
+      }
+      return WakeInfo::progress();
+    case ExecUnit::kBarrier:
+      if (!fpss_->quiescent_below(epoch_counter_)) {
+        return WakeInfo::blocked(StallCause::kIntBarrier);
+      }
+      return WakeInfo::progress();
+    case ExecUnit::kFrep:
+    case ExecUnit::kSsrCfg:
+    case ExecUnit::kFpu:
+    case ExecUnit::kFpLoad:
+    case ExecUnit::kFpStore:
+      if (fpss_->fifo_full()) return WakeInfo::blocked(StallCause::kIntOffloadFull);
+      return WakeInfo::progress();
+  }
+  return WakeInfo::progress();
 }
 
 }  // namespace copift::sim

@@ -15,10 +15,12 @@
 #include "mem/tcdm.hpp"
 #include "rvasm/program.hpp"
 #include "sim/counters.hpp"
+#include "sim/decode.hpp"
 #include "sim/fpss.hpp"
 #include "sim/params.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
+#include "sim/wake.hpp"
 
 namespace copift::sim {
 
@@ -28,7 +30,7 @@ class IntCore {
   /// carve-out; `barrier` is the cluster-shared hardware barrier behind the
   /// `barrier` CSR. Hart 0 of a 1-hart cluster behaves exactly like the
   /// historical single-core model.
-  IntCore(const SimParams& params, const rvasm::Program& program, mem::AddressSpace& memory,
+  IntCore(const SimParams& params, const DecodedProgram& decoded, mem::AddressSpace& memory,
           FpSubsystem& fpss, ssr::SsrUnit& ssr, mem::L0ICache& icache, mem::DmaEngine& dma,
           ActivityCounters& counters, std::vector<RegionEvent>& regions,
           Tracer& tracer, unsigned hart_id, unsigned num_harts, HwBarrier& barrier);
@@ -40,6 +42,13 @@ class IntCore {
   std::optional<mem::TcdmRequest> prepare(std::uint64_t now);
   /// Phase 2: finalize a memory action after arbitration.
   void commit(std::uint64_t now, bool granted);
+
+  /// Side-effect-free mirror of prepare()'s stall conditions for the
+  /// skip-ahead clock: would this core stall at `now`, and until when?
+  [[nodiscard]] WakeInfo probe(std::uint64_t now) const;
+  /// Attribute `n` skipped cycles (starting at `now`) to `cause` — the bulk
+  /// equivalent of `n` stalled prepare() calls, including trace events.
+  void skip_stall(std::uint64_t now, std::uint64_t n, StallCause cause);
 
   [[nodiscard]] std::uint32_t reg(unsigned index) const noexcept { return regs_[index]; }
   void set_reg(unsigned index, std::uint32_t value) noexcept {
@@ -56,6 +65,8 @@ class IntCore {
   // ActivityCounters field and, when tracing, records the StallEvent — the
   // single place that keeps counters and trace in lockstep.
   void account(std::uint64_t now, StallCause cause);
+  void add_stall(StallCause cause, std::uint64_t n);
+  [[nodiscard]] WakeInfo probe_csr(const MicroOp& op, std::uint64_t now) const;
   // Single RF write-port bookings live in a fixed ring indexed by cycle:
   // a slot blocks exactly the cycle stored in it, so entries for past cycles
   // go stale by construction and are overwritten in place — no per-cycle
@@ -67,12 +78,12 @@ class IntCore {
   }
   void book_wb(std::uint64_t cycle) { wb_ring_[cycle & wb_ring_mask_] = cycle; }
   void retire_and_advance(std::uint32_t next_pc, std::uint64_t now);
-  void execute_alu(const isa::Instr& instr, std::uint64_t now);
-  bool execute_csr(const isa::Instr& instr, std::uint64_t now);  // false => stall
-  void offload_fp(const isa::Instr& instr, std::uint64_t now);
+  void execute_alu(const MicroOp& op, std::uint64_t now);
+  bool execute_csr(const MicroOp& op, std::uint64_t now);  // false => stall
+  void offload_fp(const MicroOp& op, std::uint64_t now);
 
   const SimParams params_;
-  const rvasm::Program* program_;
+  const DecodedProgram* decoded_;
   mem::AddressSpace* memory_;
   FpSubsystem* fpss_;
   ssr::SsrUnit* ssr_;
@@ -92,6 +103,9 @@ class IntCore {
   std::vector<std::uint64_t> wb_ring_;
   std::uint64_t wb_ring_mask_ = 0;
   std::uint32_t pc_;
+  // Micro-op of the instruction at pc_, resolved once per fetch (stall
+  // cycles re-enter prepare() without paying the index math again).
+  const MicroOp* op_ = nullptr;
   bool halted_ = false;
   unsigned fetch_stall_ = 0;
   unsigned branch_stall_ = 0;

@@ -3,14 +3,19 @@
 namespace copift::sim {
 
 CoreComplex::CoreComplex(unsigned hart_id, unsigned num_harts, const SimParams& params,
-                         const rvasm::Program& program, mem::AddressSpace& memory,
+                         const DecodedProgram& decoded, mem::AddressSpace& memory,
                          mem::DmaEngine& dma, HwBarrier& barrier)
     : hart_id_(hart_id),
       params_(params),
       icache_(params.l0_lines, params.l0_words_per_line, params.l0_branch_penalty),
       ssr_(memory),
       fpss_(params, memory, ssr_, counters_, tracer_),
-      core_(params, program, memory, fpss_, ssr_, icache_, dma, counters_, regions_,
-            tracer_, hart_id, num_harts, barrier) {}
+      core_(params, decoded, memory, fpss_, ssr_, icache_, dma, counters_, regions_,
+            tracer_, hart_id, num_harts, barrier) {
+  // Typical kernels emit a handful of region markers; reserving here keeps
+  // the steady-state cycle loop allocation-free (programs with more regions
+  // just fall back to amortized growth).
+  regions_.reserve(64);
+}
 
 }  // namespace copift::sim

@@ -17,6 +17,7 @@
 #include "rvasm/program.hpp"
 #include "sim/core.hpp"
 #include "sim/counters.hpp"
+#include "sim/decode.hpp"
 #include "sim/fpss.hpp"
 #include "sim/params.hpp"
 #include "sim/topology.hpp"
@@ -28,7 +29,7 @@ namespace copift::sim {
 class CoreComplex {
  public:
   CoreComplex(unsigned hart_id, unsigned num_harts, const SimParams& params,
-              const rvasm::Program& program, mem::AddressSpace& memory, mem::DmaEngine& dma,
+              const DecodedProgram& decoded, mem::AddressSpace& memory, mem::DmaEngine& dma,
               HwBarrier& barrier);
 
   CoreComplex(const CoreComplex&) = delete;

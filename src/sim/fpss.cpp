@@ -13,6 +13,27 @@ using isa::FpuClass;
 using isa::Mnemonic;
 using isa::RegClass;
 
+namespace {
+/// Longest issue-to-writeback distance the writeback-port ring must cover.
+unsigned max_wb_horizon(const SimParams& params) {
+  const fpu::FpuLatencies& f = params.fpu;
+  unsigned h = params.fp_load_latency;
+  for (unsigned lat : {f.add, f.mul, f.fma, f.div_sqrt, f.cmp, f.cvt, f.move, f.minmax, f.fclass}) {
+    h = std::max(h, lat);
+  }
+  return h;
+}
+
+/// Min-heap comparator: the completion with the smallest (cycle, seq) is on
+/// top, so equal-cycle completions retire in schedule order (the multimap
+/// insertion order this replaces).
+struct CompletionLater {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    return a.cycle != b.cycle ? a.cycle > b.cycle : a.seq > b.seq;
+  }
+};
+}  // namespace
+
 FpSubsystem::FpSubsystem(const SimParams& params, mem::AddressSpace& memory, ssr::SsrUnit& ssr,
                          ActivityCounters& counters, Tracer& tracer)
     : params_(params),
@@ -20,23 +41,45 @@ FpSubsystem::FpSubsystem(const SimParams& params, mem::AddressSpace& memory, ssr
       ssr_(&ssr),
       counters_(&counters),
       tracer_(&tracer),
-      sequencer_(params.frep_capacity) {}
+      fifo_(params.offload_fifo_depth),
+      sequencer_(params.frep_capacity) {
+  std::uint64_t cap = 2;
+  while (cap < max_wb_horizon(params) + 1) cap *= 2;
+  wb_ring_.assign(cap, ~std::uint64_t{0});
+  wb_mask_ = cap - 1;
+  completions_.reserve(16);
+  outstanding_by_epoch_.reserve(8);
+}
 
-void FpSubsystem::account(std::uint64_t now, StallCause cause) {
+void FpSubsystem::add_stall(StallCause cause, std::uint64_t n) {
   switch (cause) {
-    case StallCause::kFpRaw: ++counters_->fpss_stall_raw; break;
-    case StallCause::kFpSsr: ++counters_->fpss_stall_ssr; break;
-    case StallCause::kFpStruct: ++counters_->fpss_stall_struct; break;
-    case StallCause::kFpTcdm: ++counters_->fpss_stall_tcdm; break;
-    case StallCause::kFpCfg: ++counters_->fpss_cfg_cycles; break;
-    case StallCause::kFpIdle: ++counters_->fpss_idle; break;
+    case StallCause::kFpRaw: counters_->fpss_stall_raw += n; break;
+    case StallCause::kFpSsr: counters_->fpss_stall_ssr += n; break;
+    case StallCause::kFpStruct: counters_->fpss_stall_struct += n; break;
+    case StallCause::kFpTcdm: counters_->fpss_stall_tcdm += n; break;
+    case StallCause::kFpCfg: counters_->fpss_cfg_cycles += n; break;
+    case StallCause::kFpIdle: counters_->fpss_idle += n; break;
     default: throw SimError("integer-core stall cause attributed to the FPSS");
   }
+}
+
+void FpSubsystem::account(std::uint64_t now, StallCause cause) {
+  add_stall(cause, 1);
   tracer_->record_stall(now, TraceUnit::kFpss, cause);
+}
+
+void FpSubsystem::skip_stall(std::uint64_t now, std::uint64_t n, StallCause cause) {
+  add_stall(cause, n);
+  if (tracer_->enabled()) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tracer_->record_stall(now + i, TraceUnit::kFpss, cause);
+    }
+  }
 }
 
 void FpSubsystem::offload(OffloadEntry entry) {
   if (fifo_full()) throw SimError("offload to full FPSS FIFO");
+  if (entry.meta == nullptr) entry.meta = &entry.instr.meta();
   add_outstanding(entry.epoch);
   fifo_.push_back(std::move(entry));
 }
@@ -53,7 +96,8 @@ bool FpSubsystem::idle() const noexcept {
 }
 
 bool FpSubsystem::store_conflict(std::uint32_t addr, std::uint32_t size) const noexcept {
-  for (const OffloadEntry& e : fifo_) {
+  for (std::size_t i = 0; i < fifo_.size(); ++i) {
+    const OffloadEntry& e = fifo_[i];
     if (e.kind != OffloadKind::kStore) continue;
     const std::uint32_t ssize = e.instr.mnemonic == Mnemonic::kFsd ? 8 : 4;
     if (e.operand < addr + size && addr < e.operand + ssize) return true;
@@ -62,18 +106,26 @@ bool FpSubsystem::store_conflict(std::uint32_t addr, std::uint32_t size) const n
 }
 
 bool FpSubsystem::quiescent_below(std::uint64_t epoch) const noexcept {
-  const auto it = outstanding_by_epoch_.begin();
-  return it == outstanding_by_epoch_.end() || it->first >= epoch;
+  return outstanding_by_epoch_.empty() || outstanding_by_epoch_.front().first >= epoch;
 }
 
 void FpSubsystem::add_outstanding(std::uint64_t epoch, std::uint64_t n) {
   if (n == 0) return;
-  outstanding_by_epoch_[epoch] += n;
+  // Epochs only grow, so the slot is almost always the last one.
+  auto it = outstanding_by_epoch_.end();
+  while (it != outstanding_by_epoch_.begin() && std::prev(it)->first > epoch) --it;
+  if (it != outstanding_by_epoch_.begin() && std::prev(it)->first == epoch) {
+    std::prev(it)->second += n;
+  } else {
+    outstanding_by_epoch_.insert(it, {epoch, n});
+  }
   total_outstanding_ += n;
 }
 
 void FpSubsystem::complete_epoch(std::uint64_t epoch) {
-  const auto it = outstanding_by_epoch_.find(epoch);
+  // Completions target the oldest outstanding epochs, so scan from the front.
+  auto it = outstanding_by_epoch_.begin();
+  while (it != outstanding_by_epoch_.end() && it->first != epoch) ++it;
   if (it == outstanding_by_epoch_.end() || it->second == 0) {
     throw SimError("epoch completion underflow");
   }
@@ -82,24 +134,26 @@ void FpSubsystem::complete_epoch(std::uint64_t epoch) {
 }
 
 void FpSubsystem::schedule_completion(std::uint64_t cycle, Completion c) {
-  completions_.emplace(cycle, std::move(c));
+  completions_.push_back(ScheduledCompletion{cycle, completion_seq_++, std::move(c)});
+  std::push_heap(completions_.begin(), completions_.end(), CompletionLater{});
 }
 
 void FpSubsystem::begin_cycle(std::uint64_t now) {
-  // Retire completions due this cycle.
-  for (auto it = completions_.begin(); it != completions_.end() && it->first <= now;) {
-    if (it->second.has_int_wb) int_wb_queue_.push_back(it->second.int_wb);
-    complete_epoch(it->second.epoch);
-    it = completions_.erase(it);
+  // Retire completions due this cycle, oldest (cycle, seq) first.
+  while (!completions_.empty() && completions_.front().cycle <= now) {
+    std::pop_heap(completions_.begin(), completions_.end(), CompletionLater{});
+    const Completion& c = completions_.back().c;
+    if (c.has_int_wb) int_wb_queue_.push_back(c.int_wb);
+    complete_epoch(c.epoch);
+    completions_.pop_back();
   }
   // SSR write-stream drains complete their producing instructions.
   for (unsigned lane = 0; lane < isa::kNumSsrLanes; ++lane) {
-    for (std::uint64_t epoch : ssr_->lane(lane).take_drained_tokens()) {
-      complete_epoch(epoch);
-    }
+    ssr::SsrLane& l = ssr_->lane(lane);
+    if (!l.has_drained_tokens()) continue;
+    for (std::uint64_t epoch : l.drained_tokens()) complete_epoch(epoch);
+    l.clear_drained_tokens();
   }
-  // Garbage-collect old writeback-port bookings.
-  while (!wb_port_.empty() && wb_port_.begin()->first < now) wb_port_.erase(wb_port_.begin());
 }
 
 bool FpSubsystem::ssr_read_reg(unsigned reg) const {
@@ -148,7 +202,7 @@ void FpSubsystem::process_cfg(std::uint64_t now, const OffloadEntry& entry) {
 
 bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry,
                                     bool from_replay) {
-  const auto& meta = entry.instr.meta();
+  const auto& meta = *entry.meta;
   if (fpu_busy_until_ > now) {
     account(now, StallCause::kFpStruct);
     return false;
@@ -195,7 +249,7 @@ bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry
       account(now, StallCause::kFpRaw);
       return false;
     }
-    if (wb_port_.count(now + latency) != 0) {  // one FP-RF write per cycle
+    if (wb_port_booked(now + latency)) {  // one FP-RF write per cycle
       account(now, StallCause::kFpStruct);
       return false;
     }
@@ -220,7 +274,7 @@ bool FpSubsystem::try_issue_compute(std::uint64_t now, const OffloadEntry& entry
     } else {
       rf_.write(entry.instr.rd, result.fp);
       fp_ready_[entry.instr.rd] = now + latency;
-      wb_port_[now + latency] += 1;
+      book_wb_port(now + latency);
       schedule_completion(now + latency, Completion{entry.epoch, false, {}});
     }
   } else if (result.writes_int) {
@@ -257,6 +311,7 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
     const frep::FrepEntry& e = sequencer_.current();
     OffloadEntry entry;
     entry.instr = e.instr;
+    entry.meta = &e.instr.meta();
     entry.kind = OffloadKind::kCompute;
     entry.epoch = e.epoch;
     try_issue_compute(now, entry, /*from_replay=*/true);
@@ -302,7 +357,7 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
         account(now, StallCause::kFpRaw);
         return std::nullopt;
       }
-      if (wb_port_.count(now + params_.fp_load_latency) != 0) {
+      if (wb_port_booked(now + params_.fp_load_latency)) {
         account(now, StallCause::kFpStruct);
         return std::nullopt;
       }
@@ -310,7 +365,6 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
       return mem::TcdmRequest{mem::TcdmPort::kFpLsu, head.operand};
     }
     case OffloadKind::kStore: {
-      const auto& meta = head.instr.meta();
       const unsigned rs2 = head.instr.rs2;
       if (ssr_read_reg(rs2)) {
         if (!ssr_->lane(rs2).can_pop()) {
@@ -321,12 +375,116 @@ std::optional<mem::TcdmRequest> FpSubsystem::prepare(std::uint64_t now) {
         account(now, StallCause::kFpRaw);
         return std::nullopt;
       }
-      (void)meta;
       mem_action_ = MemAction::kStore;
       return mem::TcdmRequest{mem::TcdmPort::kFpLsu, head.operand};
     }
   }
   return std::nullopt;
+}
+
+WakeInfo FpSubsystem::probe_compute(std::uint64_t now, const isa::Instr& instr,
+                                    const isa::InstrInfo& meta) const {
+  // Mirrors try_issue_compute()'s stall conditions in order. SSR-related
+  // stalls are reported as blocked: their wake-up comes from lane traffic,
+  // and any lane that still wants memory access pins the cluster to
+  // per-cycle execution anyway.
+  if (fpu_busy_until_ > now) return WakeInfo::sleep(fpu_busy_until_, StallCause::kFpStruct);
+  std::array<unsigned, isa::kNumSsrLanes> ssr_need{};
+  bool raw_stall = false;
+  std::uint64_t raw_ready = 0;
+  const auto check_src = [&](RegClass cls, unsigned reg) {
+    if (cls != RegClass::kFp) return;
+    if (ssr_read_reg(reg)) {
+      ++ssr_need[reg];
+    } else if (fp_ready_[reg] > now) {
+      raw_stall = true;
+      raw_ready = std::max(raw_ready, fp_ready_[reg]);
+    }
+  };
+  check_src(meta.rs1_class, instr.rs1);
+  check_src(meta.rs2_class, instr.rs2);
+  check_src(meta.rs3_class, instr.rs3);
+  for (unsigned lane = 0; lane < isa::kNumSsrLanes; ++lane) {
+    if (ssr_need[lane] > 0 && ssr_->lane(lane).ready_count() < ssr_need[lane]) {
+      return WakeInfo::blocked(StallCause::kFpSsr);
+    }
+  }
+  if (raw_stall) return WakeInfo::sleep(raw_ready, StallCause::kFpRaw);
+  const unsigned latency = params_.fpu.of(meta.fpu_class);
+  const bool dest_ssr = meta.rd_class == RegClass::kFp && ssr_write_reg(instr.rd);
+  if (dest_ssr) {
+    if (!ssr_->lane(instr.rd).can_push()) return WakeInfo::blocked(StallCause::kFpSsr);
+  } else if (meta.rd_class == RegClass::kFp) {
+    if (fp_ready_[instr.rd] > now) return WakeInfo::sleep(fp_ready_[instr.rd], StallCause::kFpRaw);
+    if (wb_port_booked(now + latency)) return WakeInfo::sleep(now + 1, StallCause::kFpStruct);
+  }
+  return WakeInfo::progress();
+}
+
+WakeInfo FpSubsystem::probe_issue(std::uint64_t now) const {
+  if (sequencer_.replaying()) {
+    const frep::FrepEntry& e = sequencer_.current();
+    return probe_compute(now, e.instr, e.instr.meta());
+  }
+  if (fifo_.empty()) return WakeInfo::blocked(StallCause::kFpIdle);
+  const OffloadEntry& head = fifo_.front();
+  switch (head.kind) {
+    case OffloadKind::kCompute:
+      return probe_compute(now, head.instr, *head.meta);
+    case OffloadKind::kFrepCfg:
+    case OffloadKind::kSsrCfgWrite:
+    case OffloadKind::kSsrCfgRead: {
+      if (head.kind == OffloadKind::kSsrCfgWrite) {
+        const auto imm = static_cast<unsigned>(head.instr.imm);
+        const unsigned reg = imm % 32;
+        const unsigned lane = imm / 32;
+        if (reg >= ssr::kRegRptr0 && lane < isa::kNumSsrLanes && !ssr_->lane(lane).idle()) {
+          return WakeInfo::blocked(StallCause::kFpStruct);  // re-arm backpressure
+        }
+      }
+      return WakeInfo::progress();
+    }
+    case OffloadKind::kLoad:
+      if (fp_ready_[head.instr.rd] > now) {
+        return WakeInfo::sleep(fp_ready_[head.instr.rd], StallCause::kFpRaw);
+      }
+      if (wb_port_booked(now + params_.fp_load_latency)) {
+        return WakeInfo::sleep(now + 1, StallCause::kFpStruct);
+      }
+      return WakeInfo::progress();  // TCDM request
+    case OffloadKind::kStore: {
+      const unsigned rs2 = head.instr.rs2;
+      if (ssr_read_reg(rs2)) {
+        if (!ssr_->lane(rs2).can_pop()) return WakeInfo::blocked(StallCause::kFpSsr);
+      } else if (fp_ready_[rs2] > now) {
+        return WakeInfo::sleep(fp_ready_[rs2], StallCause::kFpRaw);
+      }
+      return WakeInfo::progress();  // TCDM request
+    }
+  }
+  return WakeInfo::progress();
+}
+
+WakeInfo FpSubsystem::probe(std::uint64_t now) const {
+  // begin_cycle() work due at `now` is progress (completion retirements and
+  // drained-token processing change state the integer core can observe).
+  std::uint64_t event = ~std::uint64_t{0};
+  if (!completions_.empty()) {
+    if (completions_.front().cycle <= now) return WakeInfo::progress();
+    event = completions_.front().cycle;
+  }
+  for (unsigned lane = 0; lane < isa::kNumSsrLanes; ++lane) {
+    if (ssr_->lane(lane).has_drained_tokens()) return WakeInfo::progress();
+  }
+  const WakeInfo stall = probe_issue(now);
+  if (stall.kind == WakeInfo::Kind::kProgress) return stall;
+  // The earliest pending completion caps any sleep: at that cycle
+  // begin_cycle() retires it, which may unblock this or another agent.
+  if (stall.kind == WakeInfo::Kind::kSleep) {
+    return WakeInfo::sleep(std::min(stall.wake, event), stall.cause);
+  }
+  if (event != ~std::uint64_t{0}) return WakeInfo::sleep(event, stall.cause);
+  return stall;
 }
 
 void FpSubsystem::commit(std::uint64_t now, bool granted) {
@@ -347,7 +505,7 @@ void FpSubsystem::commit(std::uint64_t now, bool granted) {
     }
     rf_.write(entry.instr.rd, value);
     fp_ready_[entry.instr.rd] = now + params_.fp_load_latency;
-    wb_port_[now + params_.fp_load_latency] += 1;
+    book_wb_port(now + params_.fp_load_latency);
     schedule_completion(now + params_.fp_load_latency, Completion{entry.epoch, false, {}});
     ++counters_->fp_load;
     ++counters_->tcdm_reads;

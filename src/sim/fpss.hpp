@@ -15,11 +15,13 @@
 // synchronization the software-pipelined schedule of paper Fig. 1j needs.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
+#include "common/ring.hpp"
 #include "frep/frep.hpp"
 #include "fpu/fp_rf.hpp"
 #include "fpu/fpu.hpp"
@@ -28,6 +30,7 @@
 #include "sim/counters.hpp"
 #include "sim/params.hpp"
 #include "sim/trace.hpp"
+#include "sim/wake.hpp"
 #include "ssr/ssr.hpp"
 
 namespace copift::sim {
@@ -43,6 +46,9 @@ enum class OffloadKind : std::uint8_t {
 
 struct OffloadEntry {
   isa::Instr instr;
+  // Cached instr.meta(): issue attempts repeat on stall cycles, so the
+  // metadata lookup is resolved once at offload time (decode-once).
+  const isa::InstrInfo* meta = nullptr;
   OffloadKind kind = OffloadKind::kCompute;
   std::uint32_t operand = 0;  // ld/st address, int source value, scfg value, frep reps
   std::uint64_t epoch = 0;
@@ -65,6 +71,7 @@ class FpSubsystem {
   [[nodiscard]] bool fifo_full() const noexcept { return fifo_.size() >= params_.offload_fifo_depth; }
   void offload(OffloadEntry entry);
   [[nodiscard]] std::optional<IntWriteback> take_int_writeback();
+  [[nodiscard]] bool has_int_writeback() const noexcept { return !int_wb_queue_.empty(); }
   /// All offloaded work retired (FIFO drained, sequencer idle, nothing in flight).
   [[nodiscard]] bool idle() const noexcept;
   /// copift.barrier condition: nothing with epoch < `epoch` still in flight.
@@ -83,6 +90,15 @@ class FpSubsystem {
   /// Finalize a memory action after arbitration.
   void commit(std::uint64_t now, bool granted);
 
+  /// Side-effect-free mirror of begin_cycle()+prepare() for the skip-ahead
+  /// clock: progress if anything would retire or issue at `now`, otherwise
+  /// the stall cause and (when provable) the earliest wake-up cycle — which
+  /// also bounds pending completion retirements, so no event is skipped.
+  [[nodiscard]] WakeInfo probe(std::uint64_t now) const;
+  /// Attribute `n` skipped cycles (starting at `now`) to `cause` — the bulk
+  /// equivalent of `n` stalled prepare() calls, including trace events.
+  void skip_stall(std::uint64_t now, std::uint64_t n, StallCause cause);
+
   [[nodiscard]] fpu::FpRegFile& rf() noexcept { return rf_; }
   [[nodiscard]] const fpu::FpRegFile& rf() const noexcept { return rf_; }
   [[nodiscard]] const frep::FrepSequencer& sequencer() const noexcept { return sequencer_; }
@@ -98,6 +114,10 @@ class FpSubsystem {
   // and, when tracing, records the StallEvent (counters and trace stay in
   // lockstep). FREP replay slots are attributed to the FPSS track too.
   void account(std::uint64_t now, StallCause cause);
+  void add_stall(StallCause cause, std::uint64_t n);
+  [[nodiscard]] WakeInfo probe_issue(std::uint64_t now) const;
+  [[nodiscard]] WakeInfo probe_compute(std::uint64_t now, const isa::Instr& instr,
+                                       const isa::InstrInfo& meta) const;
   void add_outstanding(std::uint64_t epoch, std::uint64_t n = 1);
   void complete_epoch(std::uint64_t epoch);
   void schedule_completion(std::uint64_t cycle, Completion c);
@@ -116,18 +136,37 @@ class FpSubsystem {
   ActivityCounters* counters_;
   Tracer* tracer_;
 
-  std::deque<OffloadEntry> fifo_;
+  RingFifo<OffloadEntry> fifo_;
   frep::FrepSequencer sequencer_;
   fpu::FpRegFile rf_;
   std::array<std::uint64_t, 32> fp_ready_{};  // cycle the register becomes usable
 
-  // Timing state.
-  std::uint64_t fpu_busy_until_ = 0;          // div/sqrt block the whole unit
-  std::map<std::uint64_t, unsigned> wb_port_;  // fp-RF writeback port bookings
-  std::multimap<std::uint64_t, Completion> completions_;
-  std::map<std::uint64_t, std::uint64_t> outstanding_by_epoch_;
+  // Timing state. All containers here sit on the per-cycle hot path, so they
+  // are allocation-free in steady state: the writeback port is a
+  // cycle-stamped ring (slot `c & mask` holds `c` iff cycle c is booked; the
+  // ring spans more than the largest latency, so live bookings cannot
+  // alias), completions are a binary min-heap over (cycle, seq) in a
+  // persistent vector (seq preserves schedule order for equal cycles, which
+  // fixes the int-writeback drain order), and the epoch ledger is a small
+  // epoch-sorted vector (a handful of epochs are ever outstanding at once).
+  std::uint64_t fpu_busy_until_ = 0;  // div/sqrt block the whole unit
+  std::vector<std::uint64_t> wb_ring_;
+  std::uint64_t wb_mask_ = 0;
+  struct ScheduledCompletion {
+    std::uint64_t cycle = 0;
+    std::uint64_t seq = 0;
+    Completion c;
+  };
+  std::vector<ScheduledCompletion> completions_;
+  std::uint64_t completion_seq_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> outstanding_by_epoch_;
   std::uint64_t total_outstanding_ = 0;
-  std::deque<IntWriteback> int_wb_queue_;
+  RingFifo<IntWriteback> int_wb_queue_;
+
+  [[nodiscard]] bool wb_port_booked(std::uint64_t cycle) const noexcept {
+    return wb_ring_[cycle & wb_mask_] == cycle;
+  }
+  void book_wb_port(std::uint64_t cycle) noexcept { wb_ring_[cycle & wb_mask_] = cycle; }
 
   // Pending memory action decided in prepare().
   enum class MemAction { kNone, kLoad, kStore };

@@ -51,6 +51,13 @@ struct SimParams {
 
   std::uint64_t max_cycles = 1'000'000'000;
 
+  /// Event-driven clock: when every hart is in a provable known-duration
+  /// wait, jump the cluster clock to the earliest wake-up instead of ticking
+  /// through the stall cycles one by one. Bit-exact by construction (stall
+  /// counters and trace events are applied in bulk); disable to force
+  /// per-cycle execution, e.g. when diffing against the skip path.
+  bool skip_ahead = true;
+
   /// Throw copift::Error (naming the offending field and value) on any
   /// configuration the simulator cannot honestly model: zero cores, banks,
   /// FIFO/FREP depths, non-power-of-two L0 geometry, a stalled DMA, or a

@@ -1,0 +1,41 @@
+// Skip-ahead probe protocol.
+//
+// Each per-hart agent (IntCore, FpSubsystem) can be probed for what it would
+// do at cycle `now` without mutating any state. The cluster skips ahead only
+// when every agent is provably stalled and at least one knows its wake-up
+// cycle; the skipped cycles are then attributed in bulk to each agent's
+// probed stall cause, so counters, identities and traces are bit-identical
+// to per-cycle execution (see Cluster::step_fast()).
+//
+// Probes are conservative: when an agent cannot cheaply prove it will stall,
+// it answers kProgress and the cluster falls back to a normal tick. That
+// only costs a missed skip, never exactness.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace copift::sim {
+
+struct WakeInfo {
+  enum class Kind : std::uint8_t {
+    kProgress,  // may change architectural state this cycle — no skip
+    kSleep,     // stalls with `cause` every cycle until at least `wake`
+    kBlocked,   // stalls with `cause`; wake-up is driven by another agent
+  };
+
+  Kind kind = Kind::kProgress;
+  std::uint64_t wake = 0;  // first cycle the agent may act again (kSleep only)
+  StallCause cause = StallCause::kIntRaw;
+
+  [[nodiscard]] static WakeInfo progress() noexcept { return {}; }
+  [[nodiscard]] static WakeInfo sleep(std::uint64_t wake, StallCause cause) noexcept {
+    return {Kind::kSleep, wake, cause};
+  }
+  [[nodiscard]] static WakeInfo blocked(StallCause cause) noexcept {
+    return {Kind::kBlocked, 0, cause};
+  }
+};
+
+}  // namespace copift::sim

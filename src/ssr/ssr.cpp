@@ -124,10 +124,6 @@ void SsrLane::push(std::uint64_t value, std::uint64_t token) {
   ++elements_moved_;
 }
 
-std::vector<std::uint64_t> SsrLane::take_drained_tokens() {
-  return std::exchange(drained_tokens_, {});
-}
-
 bool SsrLane::idle() const noexcept {
   if (!active_) return true;
   if (write_) return gen_.done() && fifo_.empty();

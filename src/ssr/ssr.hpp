@@ -14,9 +14,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "isa/reg.hpp"
 #include "mem/address_space.hpp"
 #include "mem/tcdm.hpp"
@@ -100,8 +100,15 @@ class SsrLane {
   /// architecturally visible (required by copift.barrier).
   static constexpr std::uint64_t kNoToken = ~std::uint64_t{0};
   void push(std::uint64_t value, std::uint64_t token = kNoToken);
-  /// Tokens whose values have been written to memory since the last call.
-  std::vector<std::uint64_t> take_drained_tokens();
+  /// Tokens whose values have landed in memory since the consumer last
+  /// called clear_drained_tokens(). Split into check/read/clear (instead of
+  /// a take-by-value call) so the common nothing-drained cycle touches no
+  /// heap: the backing vector is persistent and merely cleared.
+  [[nodiscard]] bool has_drained_tokens() const noexcept { return !drained_tokens_.empty(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& drained_tokens() const noexcept {
+    return drained_tokens_;
+  }
+  void clear_drained_tokens() noexcept { drained_tokens_.clear(); }
 
   /// Lane has no pending work (drained writes / exhausted reads).
   [[nodiscard]] bool idle() const noexcept;
@@ -130,7 +137,7 @@ class SsrLane {
   // For reads: FIFO holds fetched data; `ready_` counts elements fetched in
   // previous cycles (data fetched this cycle is consumable next cycle).
   // For writes: FIFO holds data pending drain to memory.
-  std::deque<std::uint64_t> fifo_;
+  RingFifo<std::uint64_t> fifo_;
   unsigned ready_ = 0;
   unsigned fetched_this_cycle_ = 0;
   bool active_ = false;
@@ -141,12 +148,12 @@ class SsrLane {
   std::uint64_t last_value_ = 0;
   bool has_last_ = false;
   // Indirection (ISSR).
-  std::deque<std::uint64_t> token_fifo_;
+  RingFifo<std::uint64_t> token_fifo_;
   std::vector<std::uint64_t> drained_tokens_;
   bool indirect_ = false;
   std::uint32_t idx_remaining_ = 0;
   AffineGenerator idx_gen_;
-  std::deque<std::uint32_t> idx_fifo_;  // fetched indices pending data fetch
+  RingFifo<std::uint32_t> idx_fifo_;  // fetched indices pending data fetch
   std::uint64_t stalled_pops_ = 0;
   std::uint64_t elements_moved_ = 0;
 };
@@ -166,6 +173,16 @@ class SsrUnit {
   void set_enabled(bool on) noexcept { enabled_ = on; }
 
   [[nodiscard]] bool all_idle() const noexcept;
+
+  /// True if any lane wants a TCDM data or index access this cycle. Stream
+  /// traffic pins the cluster to per-cycle execution (skip-ahead gate).
+  [[nodiscard]] bool wants_any_access() const noexcept {
+    std::uint32_t addr = 0;
+    for (const auto& lane : lanes_) {
+      if (lane.wants_data_access(addr) || lane.wants_index_access(addr)) return true;
+    }
+    return false;
+  }
 
   /// Gather this cycle's TCDM requests (appends to `requests`, recording
   /// which lane/kind each request belongs to in `tags`).

@@ -148,12 +148,13 @@ TEST(SsrLane, WriteTokensReportDrain) {
   h.lane.write_cfg(kRegStride0, 8);
   h.lane.write_cfg(kRegWptr0, kTcdmBase);
   h.lane.push(7, /*token=*/42);
-  EXPECT_TRUE(h.lane.take_drained_tokens().empty());
+  EXPECT_FALSE(h.lane.has_drained_tokens());
   h.pump_data();
-  const auto tokens = h.lane.take_drained_tokens();
-  ASSERT_EQ(tokens.size(), 1u);
-  EXPECT_EQ(tokens[0], 42u);
-  EXPECT_TRUE(h.lane.take_drained_tokens().empty());  // consumed
+  ASSERT_TRUE(h.lane.has_drained_tokens());
+  ASSERT_EQ(h.lane.drained_tokens().size(), 1u);
+  EXPECT_EQ(h.lane.drained_tokens()[0], 42u);
+  h.lane.clear_drained_tokens();
+  EXPECT_FALSE(h.lane.has_drained_tokens());  // consumed
 }
 
 TEST(SsrLane, RepeatDeliversElementTwice) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate simulator-performance regressions against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--min-ratio R]
+
+Both files follow the bench_simulator JSON schema
+(``copift-bench-simulator/1``): an object with a ``benchmarks`` array whose
+entries carry ``name``, ``sim_cycles_per_sec`` and ``items_per_sec``. The
+baseline (the committed ``BENCH_simulator.json`` at the repo root) may carry
+extra keys (e.g. the pre-optimization ``before`` snapshot); only its
+``benchmarks`` array is compared.
+
+For every benchmark present in both files the primary throughput metric is
+``sim_cycles_per_sec`` when non-zero, otherwise ``items_per_sec``. The check
+fails (exit 1) when any fresh metric drops below ``min-ratio`` times the
+baseline (default 0.8, i.e. a >20% regression). Benchmarks that only exist
+on one side are reported but never fail the check, so adding or retiring a
+benchmark does not require lock-step baseline updates.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("copift-bench-simulator/"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def metric(bench):
+    if bench.get("sim_cycles_per_sec", 0.0) > 0.0:
+        return "sim_cycles_per_sec", bench["sim_cycles_per_sec"]
+    return "items_per_sec", bench.get("items_per_sec", 0.0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="fail when fresh/baseline falls below this (default 0.8)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    failures = []
+    for name, base in baseline.items():
+        if name not in fresh:
+            print(f"  {name:<24} SKIP (not in fresh run)")
+            continue
+        key, base_value = metric(base)
+        _, fresh_value = metric(fresh[name])
+        if base_value <= 0.0:
+            print(f"  {name:<24} SKIP (no baseline metric)")
+            continue
+        ratio = fresh_value / base_value
+        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"  {name:<24} {key}: {fresh_value:>14.1f} vs {base_value:>14.1f}"
+              f"  ({ratio:6.2f}x)  {status}")
+        if ratio < args.min_ratio:
+            failures.append(name)
+    for name in fresh:
+        if name not in baseline:
+            print(f"  {name:<24} NEW (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed by more than "
+              f"{(1 - args.min_ratio) * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print("\nno benchmark regressed beyond the "
+          f"{(1 - args.min_ratio) * 100:.0f}% gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 // result table as CSV (or JSON with `--json`). `--list` shows every
 // registered workload with its supported variants and default configuration.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +74,11 @@ void print_usage(std::FILE* out) {
                "  --no-verify            skip golden-reference output verification\n"
                "\n"
                "misc:\n"
+               "  --profile              print host-side timing after a single run:\n"
+               "                         assemble+decode time, simulation time, simulated\n"
+               "                         cycles per host second, and skip-ahead statistics\n"
+               "  --no-skip-ahead        force per-cycle execution (disable the\n"
+               "                         event-driven clock jump; results are identical)\n"
                "  --max-cycles N         abort the simulation after N cycles\n"
                "  --help, -h             this message\n"
                "  --version              print the version and exit\n"
@@ -239,6 +245,8 @@ int main(int argc, char** argv) {
   bool report = false;
   bool json = false;
   bool verify = true;
+  bool profile = false;
+  bool skip_ahead = true;
   std::uint64_t max_cycles = 0;
   // -1 = flag absent, use the workload's default (0 is a legal user value
   // that validate() will reject with a config-specific message).
@@ -268,6 +276,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     else if (arg == "--report") report = true;
+    else if (arg == "--profile") profile = true;
+    else if (arg == "--no-skip-ahead") skip_ahead = false;
     else if (arg == "--trace-json") trace_json = value_of(arg);
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json = arg.substr(13);
     else if (arg == "--list") return list_workloads();
@@ -316,6 +326,7 @@ int main(int argc, char** argv) {
     sim::SimParams params;
     if (max_cycles > 0) params.max_cycles = max_cycles;
     if (cores >= 0) params.num_cores = static_cast<unsigned>(cores);
+    params.skip_ahead = skip_ahead;
 
     std::shared_ptr<const workload::Workload> wl;
     std::vector<workload::Variant> run_variants;
@@ -391,13 +402,41 @@ int main(int argc, char** argv) {
       source = ss.str();
     }
 
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
     sim::Cluster cluster(rvasm::assemble(source), params);
+    const auto t1 = clock::now();
     cluster.set_tracing(trace || report || !trace_json.empty());
     if (have_kernel) kernels::populate_inputs(cluster, generated);
+    const auto t2 = clock::now();
     const auto result = cluster.run();
+    const auto t3 = clock::now();
     std::printf("halted after %llu cycles (exit code %u)\n",
                 static_cast<unsigned long long>(result.cycles), result.exit_code);
     print_summary(cluster);
+    if (profile) {
+      const auto ms = [](clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+      };
+      const double sim_seconds = std::chrono::duration<double>(t3 - t2).count();
+      const double cps = sim_seconds > 0.0
+                             ? static_cast<double>(result.cycles) / sim_seconds
+                             : 0.0;
+      std::printf("\n--- host profile ---\n");
+      std::printf("assemble+decode:  %.3f ms\n", ms(t1 - t0));
+      std::printf("input setup:      %.3f ms\n", ms(t2 - t1));
+      std::printf("simulation:       %.3f ms\n", ms(t3 - t2));
+      std::printf("host throughput:  %.0f simulated cycles/s\n", cps);
+      std::printf("skip-ahead:       %s, %llu jumps covering %llu of %llu cycles (%.1f%%)\n",
+                  skip_ahead ? "on" : "off",
+                  static_cast<unsigned long long>(cluster.skip_jumps()),
+                  static_cast<unsigned long long>(cluster.skipped_cycles()),
+                  static_cast<unsigned long long>(result.cycles),
+                  result.cycles > 0
+                      ? 100.0 * static_cast<double>(cluster.skipped_cycles()) /
+                            static_cast<double>(result.cycles)
+                      : 0.0);
+    }
     if (have_kernel && verify) {
       kernels::verify_outputs(cluster, generated);
       std::printf("verification:  PASS (bit-exact vs golden reference)\n");
