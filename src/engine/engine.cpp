@@ -73,18 +73,34 @@ SimEngine::~SimEngine() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+// The engine whose batch the current thread is draining a job of, if any.
+// Lets parallel_for detect a nested call from inside its own jobs — which
+// would otherwise deadlock or throw a misleading "concurrent use" error —
+// and explain the actual mistake.
+thread_local const SimEngine* t_draining_engine = nullptr;
+}  // namespace
+
 void SimEngine::drain_batch(Batch& batch) {
   std::size_t done_here = 0;
+  const SimEngine* const prev = t_draining_engine;
+  t_draining_engine = this;
   while (true) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.count) break;
-    try {
-      (*batch.fn)(i);
-    } catch (...) {
-      batch.errors[i] = std::current_exception();  // slot i is owned by this job
+    // A cancelled batch still claims and accounts every remaining index (so
+    // the completion wait below stays uniform); it just stops invoking fn.
+    if (batch.cancel == nullptr || !batch.cancel->stop_requested()) {
+      batch.started.fetch_add(1, std::memory_order_relaxed);
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        batch.errors[i] = std::current_exception();  // slot i is owned by this job
+      }
     }
     ++done_here;
   }
+  t_draining_engine = prev;
   if (done_here != 0) {
     std::lock_guard lock(mutex_);
     batch.completed += done_here;
@@ -107,16 +123,27 @@ void SimEngine::worker_loop() {
   }
 }
 
-void SimEngine::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+bool SimEngine::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                             const CancelToken* cancel) {
+  if (count == 0) return true;
+  if (t_draining_engine == this) {
+    throw Error(
+        "SimEngine::parallel_for called from inside one of its own jobs; a "
+        "nested batch would deadlock waiting for the worker slot the caller "
+        "occupies — run the nested work inline or give it its own SimEngine");
+  }
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->count = count;
+  batch->cancel = cancel;
   batch->errors.assign(count, nullptr);
   {
     std::lock_guard lock(mutex_);
     if (batch_ != nullptr && batch_->completed != batch_->count) {
-      throw Error("SimEngine::parallel_for is not reentrant");
+      throw Error(
+          "SimEngine::parallel_for called while another thread's batch is "
+          "still in flight; the engine runs one batch at a time — serialize "
+          "callers in front of the pool or use one SimEngine per caller");
     }
     batch_ = batch;
     ++generation_;
@@ -134,6 +161,7 @@ void SimEngine::parallel_for(std::size_t count, const std::function<void(std::si
   for (const auto& err : batch->errors) {
     if (err) std::rethrow_exception(err);
   }
+  return batch->started.load(std::memory_order_relaxed) == count;
 }
 
 }  // namespace copift::engine

@@ -32,6 +32,24 @@ unsigned parse_threads(int argc, char** argv);
 /// non-numeric, out of 32-bit range).
 std::vector<std::uint32_t> parse_cores_list(int argc, char** argv);
 
+/// Cooperative cancellation for batch work. A producer (signal handler,
+/// server shutdown path, disconnecting client) calls request_stop(); consumers
+/// poll stop_requested() between units of work and wind down cleanly. The
+/// token is a single atomic flag, so request_stop() is async-signal-safe and
+/// may be called from a SIGINT/SIGTERM handler.
+class CancelToken {
+ public:
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// Re-arm a token between batches (e.g. a CLI that catches the first ^C).
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
 class SimEngine {
  public:
   /// Worker counts are clamped to [1, kMaxThreads].
@@ -51,11 +69,23 @@ class SimEngine {
   }
 
   /// Invoke `fn(i)` for every i in [0, count), possibly concurrently, and
-  /// block until all jobs have finished. Job exceptions are captured per
-  /// index and the one with the lowest index is rethrown after the batch
-  /// drains — identical behaviour at any thread count. Not reentrant: do not
-  /// call parallel_for from inside a job.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// block until all started jobs have finished. Job exceptions are captured
+  /// per index and the one with the lowest index is rethrown after the batch
+  /// drains — identical behaviour at any thread count.
+  ///
+  /// When `cancel` is non-null the token is polled between jobs: once
+  /// request_stop() has been called no *new* job starts, jobs already running
+  /// complete normally, and parallel_for returns false. A full batch returns
+  /// true. Cancellation never throws and never loses a finished job.
+  ///
+  /// Not reentrant: calling parallel_for from inside one of its own jobs
+  /// throws copift::Error (the nested batch would self-deadlock waiting for
+  /// the caller's own worker slot), as does a concurrent call from a second
+  /// thread while a batch is in flight — use one engine per independent
+  /// caller, or serialize requests in front of the pool as serve::Server
+  /// does.
+  bool parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    const CancelToken* cancel = nullptr);
 
  private:
   // Per-batch state lives on the heap and is snapshotted (shared_ptr) by
@@ -65,8 +95,10 @@ class SimEngine {
   struct Batch {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t count = 0;
+    const CancelToken* cancel = nullptr;
     std::atomic<std::size_t> next{0};
-    std::size_t completed = 0;  // guarded by the engine mutex
+    std::atomic<std::size_t> started{0};  // jobs actually begun (<= count)
+    std::size_t completed = 0;  // jobs finished or skipped; guarded by the engine mutex
     std::vector<std::exception_ptr> errors;
   };
 

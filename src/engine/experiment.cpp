@@ -367,11 +367,12 @@ Experiment& Experiment::steady(std::uint32_t n1, std::uint32_t n2) {
   return *this;
 }
 
-ResultTable Experiment::run(SimEngine& engine) const {
+ResultTable Experiment::run(SimEngine& engine, const CancelToken* cancel) const {
   const std::size_t count = grid_.size();
   std::vector<ResultRow> rows(count);
+  std::vector<unsigned char> done(count, 0);
   ProgramCache cache;
-  engine.parallel_for(count, [&](std::size_t i) {
+  const bool complete = engine.parallel_for(count, [&](std::size_t i) {
     const GridPoint pt = grid_.point(i);
     const bool verify = verify_ && (!verify_pred_ || verify_pred_(pt));
     ResultRow row;
@@ -396,7 +397,17 @@ ResultTable Experiment::run(SimEngine& engine) const {
       row.run = kernels::run_kernel(kernel, cache.get(kernel), pt.params, verify, energy_);
     }
     rows[i] = std::move(row);
-  });
+    done[i] = 1;
+  }, cancel);
+  if (!complete) {
+    // Keep only the grid points that finished, preserving grid order, so an
+    // interrupted sweep still yields every result that was paid for.
+    std::vector<ResultRow> partial;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (done[i]) partial.push_back(std::move(rows[i]));
+    }
+    return ResultTable(std::move(partial));
+  }
   return ResultTable(std::move(rows));
 }
 

@@ -205,7 +205,12 @@ class Experiment {
   /// program is assembled exactly once and shared immutably across runs.
   /// Results are keyed by grid index: the returned table is identical for
   /// any engine thread count.
-  [[nodiscard]] ResultTable run(SimEngine& engine) const;
+  ///
+  /// When `cancel` is given and fires mid-sweep, no further grid points
+  /// start; the returned table then holds only the points that finished, in
+  /// grid order (compare size() against grid().size() to detect truncation —
+  /// completed rows are never discarded).
+  [[nodiscard]] ResultTable run(SimEngine& engine, const CancelToken* cancel = nullptr) const;
 
  private:
   ParamGrid grid_;

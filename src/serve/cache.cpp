@@ -1,0 +1,151 @@
+#include "serve/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace copift::serve {
+
+std::string params_fingerprint(const sim::SimParams& p) {
+  std::string out;
+  out.reserve(160);
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += ';';
+  };
+  field("fpu.add", p.fpu.add);
+  field("fpu.mul", p.fpu.mul);
+  field("fpu.fma", p.fpu.fma);
+  field("fpu.div_sqrt", p.fpu.div_sqrt);
+  field("fpu.cmp", p.fpu.cmp);
+  field("fpu.cvt", p.fpu.cvt);
+  field("fpu.move", p.fpu.move);
+  field("fpu.minmax", p.fpu.minmax);
+  field("fpu.fclass", p.fpu.fclass);
+  field("num_cores", p.num_cores);
+  field("offload_fifo_depth", p.offload_fifo_depth);
+  field("frep_capacity", p.frep_capacity);
+  field("ssr_cfg_latency", p.ssr_cfg_latency);
+  field("load_use_latency", p.load_use_latency);
+  field("mul_latency", p.mul_latency);
+  field("div_latency", p.div_latency);
+  field("branch_taken_penalty", p.branch_taken_penalty);
+  field("fp_load_latency", p.fp_load_latency);
+  field("num_tcdm_banks", p.num_tcdm_banks);
+  field("l0_lines", p.l0_lines);
+  field("l0_words_per_line", p.l0_words_per_line);
+  field("l0_branch_penalty", p.l0_branch_penalty);
+  field("ssr_fifo_depth", p.ssr_fifo_depth);
+  field("dma_bytes_per_cycle", p.dma_bytes_per_cycle);
+  field("max_cycles", p.max_cycles);
+  field("skip_ahead", p.skip_ahead ? 1 : 0);
+  return out;
+}
+
+const engine::ResultRow& ResultCache::Entry::wait() {
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [this] { return ready; });
+  if (failed) throw Error("cached computation failed: " + error);
+  return row;
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+ResultCache::Claim ResultCache::lookup_or_claim(const ResultKey& key, EntryPtr& out) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    out = it->second->second;
+    touch_locked(key);
+    bool ready;
+    {
+      std::lock_guard entry_lock(out->mutex);
+      ready = out->ready;
+    }
+    // A failed entry never stays in the index (fail() erases it), so a
+    // ready resident entry always carries a valid row.
+    if (ready) {
+      ++stats_.hits;
+      return Claim::kHit;
+    }
+    ++stats_.coalesced;
+    return Claim::kShared;
+  }
+  out = std::make_shared<Entry>();
+  lru_.emplace_front(key, out);
+  index_.emplace(key, lru_.begin());
+  ++stats_.misses;
+  evict_excess_locked();
+  return Claim::kOwned;
+}
+
+void ResultCache::publish(const EntryPtr& entry, engine::ResultRow row) {
+  {
+    std::lock_guard lock(entry->mutex);
+    entry->row = std::move(row);
+    entry->ready = true;
+  }
+  entry->cv.notify_all();
+}
+
+void ResultCache::fail(const ResultKey& key, const EntryPtr& entry, const std::string& message) {
+  {
+    std::lock_guard lock(entry->mutex);
+    entry->failed = true;
+    entry->error = message;
+    entry->ready = true;
+  }
+  entry->cv.notify_all();
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  // Only drop the entry we failed — a later request may already have
+  // re-claimed the key with a fresh entry.
+  if (it != index_.end() && it->second->second == entry) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  ++stats_.failures;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = index_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ResultCache::touch_locked(const ResultKey& key) {
+  const auto it = index_.find(key);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void ResultCache::evict_excess_locked() {
+  while (index_.size() > capacity_) {
+    // Evict the least-recently-used *completed* entry; in-flight entries are
+    // pinned (their producer still needs to publish through the cache, and
+    // dropping them would re-trigger the very computation they deduplicate).
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      bool ready;
+      {
+        std::lock_guard entry_lock(it->second->mutex);
+        ready = it->second->ready;
+      }
+      if (ready) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) return;  // everything in flight: allow overshoot
+    index_.erase(victim->first);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace copift::serve

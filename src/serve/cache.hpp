@@ -1,0 +1,112 @@
+// Bounded LRU memoization cache for simulation results.
+//
+// Every simulated run is a pure function of (workload, variant, config
+// values, SimParams, cores, seed) — the exact coordinates ProgramCache keys
+// assembled programs on, extended with a SimParams fingerprint and the
+// verify flag. The serving layer therefore never simulates the same point
+// twice while it stays resident: repeat requests hit the cache, and
+// identical *in-flight* points coalesce onto one computation (N concurrent
+// clients asking for the same sweep trigger one simulation; the other N-1
+// wait on the shared entry).
+//
+// Thread-safe; eviction is strict LRU over completed entries.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/experiment.hpp"
+#include "sim/params.hpp"
+
+namespace copift::serve {
+
+/// Cache coordinates of one simulated grid point. Mirrors ProgramCache's
+/// (name, variant, n, block, seed, cores) key, plus the simulator
+/// configuration (fingerprinted field-by-field) and whether golden-reference
+/// verification ran — two runs that differ in either are different results.
+struct ResultKey {
+  std::string workload;
+  int variant = 0;
+  std::uint32_t n = 0;
+  std::uint32_t block = 0;
+  std::uint32_t seed = 0;
+  std::uint32_t cores = 0;
+  std::string params_fingerprint;
+  bool verify = true;
+
+  auto operator<=>(const ResultKey&) const = default;
+};
+
+/// Canonical field-by-field serialization of SimParams (including FPU
+/// latencies). Two SimParams with equal fingerprints produce bit-identical
+/// simulations; any field change changes the fingerprint.
+std::string params_fingerprint(const sim::SimParams& params);
+
+/// Counters exposed through the daemon's `stats` request.
+struct CacheStats {
+  std::uint64_t hits = 0;        // completed entry found
+  std::uint64_t misses = 0;      // claimed for computation by the caller
+  std::uint64_t coalesced = 0;   // attached to another caller's in-flight entry
+  std::uint64_t evictions = 0;
+  std::uint64_t failures = 0;    // entries dropped because computation threw
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// One key's shared computation state. The producer publishes exactly once
+  /// (value or failure); consumers wait(). Entries outlive eviction: waiters
+  /// hold the shared_ptr, so evicting a key never dangles a consumer.
+  struct Entry {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool ready = false;
+    bool failed = false;
+    std::string error;             // valid when failed
+    engine::ResultRow row;         // valid when ready && !failed
+
+    /// Block until published; throws copift::Error carrying the producer's
+    /// message on failure.
+    const engine::ResultRow& wait();
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  enum class Claim {
+    kHit,     // entry was complete: out->row is ready now
+    kOwned,   // caller claimed the key and must publish (or fail) the entry
+    kShared,  // another caller is computing: wait() on the entry
+  };
+
+  explicit ResultCache(std::size_t capacity);
+
+  /// Look `key` up, claiming it for computation when absent. Exactly one
+  /// caller per key gets kOwned until the entry is published or failed.
+  Claim lookup_or_claim(const ResultKey& key, EntryPtr& out);
+
+  /// Publish the computed row for a kOwned claim and wake waiters.
+  void publish(const EntryPtr& entry, engine::ResultRow row);
+  /// Publish failure for a kOwned claim: waiters rethrow `message`, and the
+  /// key is removed so a later request retries instead of caching the error.
+  void fail(const ResultKey& key, const EntryPtr& entry, const std::string& message);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  void touch_locked(const ResultKey& key);
+  void evict_excess_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  // LRU order: front = most recent. The map points into the list.
+  std::list<std::pair<ResultKey, EntryPtr>> lru_;
+  std::map<ResultKey, std::list<std::pair<ResultKey, EntryPtr>>::iterator> index_;
+  CacheStats stats_{};
+};
+
+}  // namespace copift::serve

@@ -1,0 +1,165 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace copift::serve {
+
+namespace {
+
+std::string errno_text(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// --- WakePipe ---------------------------------------------------------------
+
+WakePipe::WakePipe() {
+  if (::pipe(fds_) != 0) throw NetError(errno_text("pipe"));
+  // The write end must never block inside a signal handler.
+  ::fcntl(fds_[1], F_SETFL, O_NONBLOCK);
+}
+
+WakePipe::~WakePipe() {
+  ::close(fds_[0]);
+  ::close(fds_[1]);
+}
+
+void WakePipe::wake() noexcept {
+  const char byte = 'w';
+  // A full pipe already guarantees pending wakeups; dropping the byte is fine.
+  [[maybe_unused]] const auto n = ::write(fds_[1], &byte, 1);
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw NetError(errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = errno_text("bind to 127.0.0.1:" + std::to_string(port));
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(what);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string what = errno_text("listen");
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string what = errno_text("getsockname");
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError(what);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Listener::accept_client(int wake_fd) {
+  if (fd_ < 0) return -1;
+  pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+  const int rc = ::poll(fds, 2, -1);
+  if (rc <= 0) return -1;  // EINTR or poll error: let the caller re-decide
+  if ((fds[1].revents & POLLIN) != 0) return -1;  // woken for shutdown
+  if ((fds[0].revents & POLLIN) == 0) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return -1;
+  const int one = 1;
+  // Sweep responses are latency-sensitive single lines; don't Nagle them.
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+// --- Connection -------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::ReadStatus Connection::read_line(std::string& out, int wake_fd,
+                                             int idle_timeout_ms, std::size_t max_line_bytes) {
+  while (true) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      out.assign(buffer_, 0, newline);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      buffer_.erase(0, newline + 1);
+      return ReadStatus::kLine;
+    }
+    if (buffer_.size() > max_line_bytes) return ReadStatus::kOverflow;
+
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, idle_timeout_ms > 0 ? idle_timeout_ms : -1);
+    if (rc == 0) return ReadStatus::kIdleTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kClosed;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return ReadStatus::kWake;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadStatus::kClosed;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Connection::send_line(std::string_view line) {
+  std::lock_guard lock(write_mutex_);
+  if (peer_gone_) return false;
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      peer_gone_ = true;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Connection::shutdown_read() noexcept { ::shutdown(fd_, SHUT_RD); }
+
+}  // namespace copift::serve

@@ -1,0 +1,107 @@
+// Minimal POSIX TCP layer for the serving daemon: a listener with a
+// poll-based accept loop that a wake pipe can interrupt, and a per-connection
+// line-framed reader/writer with idle timeouts.
+//
+// Deliberately blocking-with-poll rather than a full event loop: the daemon
+// serves tens of concurrent sweep clients, not millions of idle sockets, and
+// one reader thread per connection keeps request parsing trivially ordered
+// per client while the scheduler provides cross-client fairness.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace copift::serve {
+
+/// Raised on socket-level failures (bind, listen, accept); carries errno text.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error("net error: " + what) {}
+};
+
+/// A self-pipe whose read end can be poll()ed alongside sockets and whose
+/// write end is async-signal-safe — the canonical POSIX way to turn SIGTERM
+/// into a wakeup for threads blocked in poll().
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// Async-signal-safe: a single write() of one byte.
+  void wake() noexcept;
+  [[nodiscard]] int read_fd() const noexcept { return fds_[0]; }
+
+ private:
+  int fds_[2];
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the daemon is a local service;
+/// fronting proxies own external exposure). Port 0 binds an ephemeral port —
+/// port() reports the actual one, which tests and scripts rely on.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block in poll() until a client connects or `wake_fd` becomes readable.
+  /// Returns the accepted fd, or -1 when woken/interrupted without a client.
+  [[nodiscard]] int accept_client(int wake_fd);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// One accepted client connection with '\n'-framed messages.
+///
+/// read_line() may only be called from the connection's single reader
+/// thread; send_line() is serialized by an internal mutex so the scheduler,
+/// engine workers (progress events) and the reader thread can all write.
+class Connection {
+ public:
+  enum class ReadStatus {
+    kLine,         // `out` holds one complete line (without the '\n')
+    kClosed,       // peer closed or connection error
+    kIdleTimeout,  // no traffic for the idle window
+    kWake,         // wake_fd fired (shutdown requested)
+    kOverflow,     // line exceeded max_line_bytes (protocol violation)
+  };
+
+  explicit Connection(int fd);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Read until a full line, idle timeout (`idle_timeout_ms`; <= 0 waits
+  /// forever), wake, or EOF. Lines longer than `max_line_bytes` are a
+  /// protocol violation (kOverflow) — the caller should answer and close.
+  ReadStatus read_line(std::string& out, int wake_fd, int idle_timeout_ms,
+                       std::size_t max_line_bytes);
+
+  /// Append '\n' and write the whole message (looping over partial writes).
+  /// Returns false once the peer is gone; errors never raise SIGPIPE.
+  bool send_line(std::string_view line);
+
+  /// Shut down the socket for reading so a blocked reader thread returns;
+  /// queued writes still flush.
+  void shutdown_read() noexcept;
+
+ private:
+  int fd_;
+  std::string buffer_;  // bytes received but not yet returned as lines
+  std::mutex write_mutex_;
+  bool peer_gone_ = false;  // guarded by write_mutex_
+};
+
+}  // namespace copift::serve

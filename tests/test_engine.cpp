@@ -119,6 +119,72 @@ TEST(SimEngine, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_GE(pool.threads(), 1u);
 }
 
+TEST(SimEngine, NestedParallelForThrowsInsteadOfDeadlocking) {
+  // A job that re-enters its own engine would deadlock waiting for the
+  // worker slot it occupies; the engine must detect this and throw a
+  // descriptive error from the job instead.
+  for (const unsigned threads : {1u, 4u}) {
+    SimEngine pool(threads);
+    try {
+      pool.parallel_for(2, [&](std::size_t) {
+        pool.parallel_for(2, [](std::size_t) {});
+      });
+      FAIL() << "nested parallel_for did not throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("inside one of its own jobs"), std::string::npos)
+          << e.what();
+    }
+    // The pool stays usable after the misuse.
+    std::atomic<int> ran{0};
+    EXPECT_TRUE(pool.parallel_for(4, [&](std::size_t) { ++ran; }));
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
+
+TEST(SimEngine, CancelTokenStopsBetweenJobs) {
+  SimEngine pool(2);
+  CancelToken cancel;
+  cancel.request_stop();
+  std::atomic<int> ran{0};
+  // A pre-cancelled batch runs nothing and reports incompleteness.
+  EXPECT_FALSE(pool.parallel_for(8, [&](std::size_t) { ++ran; }, &cancel));
+  EXPECT_EQ(ran.load(), 0);
+
+  cancel.reset();
+  std::atomic<int> invocations{0};
+  const bool complete = pool.parallel_for(
+      1000,
+      [&](std::size_t) {
+        ++invocations;
+        cancel.request_stop();  // first job cancels the rest
+      },
+      &cancel);
+  EXPECT_FALSE(complete);
+  // At most the jobs already claimed before the stop flag landed ran —
+  // far fewer than the full batch.
+  EXPECT_LT(invocations.load(), 1000);
+
+  // The token is per-batch input: a fresh batch without it completes fully.
+  std::atomic<int> after{0};
+  EXPECT_TRUE(pool.parallel_for(8, [&](std::size_t) { ++after; }));
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(Experiment, CancelledRunReturnsFinishedPrefixRows) {
+  Experiment e;
+  e.over("exp").n(256).sweep({8, 16, 32, 64}).verify(false);
+  SimEngine pool(1);
+
+  CancelToken cancel;
+  cancel.request_stop();
+  const auto none = e.run(pool, &cancel);
+  EXPECT_EQ(none.size(), 0u);  // cancelled before any point ran
+
+  cancel.reset();
+  const auto all = e.run(pool, &cancel);
+  EXPECT_EQ(all.size(), e.grid().size());  // un-cancelled token is harmless
+}
+
 // --- ProgramCache -----------------------------------------------------------
 
 TEST(ProgramCache, SharesOneProgramPerDistinctConfig) {

@@ -1,0 +1,544 @@
+// Tests for the serving subsystem: the JSON parser (including a full
+// round trip of ResultTable::json() with hostile labels), request
+// validation, the memoizing result cache, and an end-to-end in-process
+// server exercised over real sockets.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "engine/engine.hpp"
+#include "engine/experiment.hpp"
+#include "serve/cache.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace copift;
+using serve::Json;
+using serve::ProtocolError;
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(ServeJson, ParsesLiterals) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_TRUE(Json::parse("  {\"a\": [1, 2]}  ").is_object());
+}
+
+TEST(ServeJson, ParsesNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-2e3").as_number(), -2000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(Json::parse("0").as_u64(), 0u);
+  EXPECT_EQ(Json::parse("42").as_u32(), 42u);
+}
+
+TEST(ServeJson, Keeps64BitIntegersExact) {
+  // 18446744073709551615 is not representable as a double; the parser must
+  // carry it exactly so cycle counts survive the wire.
+  const auto v = Json::parse("18446744073709551615");
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+  const auto round = Json::parse(v.dump());
+  EXPECT_EQ(round.as_u64(), 18446744073709551615ull);
+}
+
+TEST(ServeJson, RejectsNonIntegerAsU64) {
+  EXPECT_THROW((void)Json::parse("1.5").as_u64(), ProtocolError);
+  EXPECT_THROW((void)Json::parse("-1").as_u64(), ProtocolError);
+  EXPECT_THROW((void)Json::parse("1e30").as_u64(), ProtocolError);
+  EXPECT_THROW((void)Json::parse("4294967296").as_u32(), ProtocolError);
+}
+
+TEST(ServeJson, ErrorsCarryByteOffsets) {
+  const auto offset_of = [](const char* text) -> std::string {
+    try {
+      (void)Json::parse(text);
+    } catch (const ProtocolError& e) {
+      return e.what();
+    }
+    return {};
+  };
+  EXPECT_NE(offset_of("{\"a\":}").find("offset 5"), std::string::npos) << offset_of("{\"a\":}");
+  EXPECT_NE(offset_of("[1,]").find("offset 3"), std::string::npos) << offset_of("[1,]");
+  EXPECT_FALSE(offset_of("{\"a\":1} trailing").empty());
+  EXPECT_FALSE(offset_of("01").empty());  // leading zeros are not JSON
+  EXPECT_FALSE(offset_of("\"unterminated").empty());
+  EXPECT_FALSE(offset_of("nan").empty());
+}
+
+TEST(ServeJson, RejectsDuplicateKeys) {
+  try {
+    (void)Json::parse("{\"a\":1,\"a\":2}");
+    FAIL() << "duplicate key accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("a"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ServeJson, EnforcesDepthBound) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  for (int i = 0; i < 80; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), ProtocolError);          // default depth 64
+  EXPECT_NO_THROW((void)Json::parse(deep, 128));                 // raised bound is fine
+  EXPECT_THROW((void)Json::parse("[[[[1]]]]", 3), ProtocolError);
+  EXPECT_NO_THROW((void)Json::parse("[[[[1]]]]", 4));
+}
+
+TEST(ServeJson, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");        // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");    // €
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");                                         // 😀 surrogate pair
+  EXPECT_THROW((void)Json::parse(R"("\ud83d")"), ProtocolError);         // lone high surrogate
+  EXPECT_THROW((void)Json::parse(R"("\q")"), ProtocolError);
+}
+
+TEST(ServeJson, DumpRoundTripsHostileStrings) {
+  const std::string hostile = "fifo=1,\"deep\" mode\nline2\ttab\\slash";
+  const Json v = Json::string(hostile);
+  EXPECT_EQ(Json::parse(v.dump()).as_string(), hostile);
+}
+
+TEST(ServeJson, ObjectPreservesInsertionOrder) {
+  const Json v = Json::parse("{\"z\":1,\"a\":2,\"m\":3}");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+  EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  EXPECT_EQ(v.at("m").as_u64(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), ProtocolError);
+}
+
+// --- ResultTable::json() through the parser ----------------------------------
+
+TEST(ServeJson, ResultTableJsonRoundTripsExactly) {
+  // The repo could always *write* JSON; this proves the new reader accepts
+  // everything the writer produces, including the hostile params label the
+  // serializer tests use, with row-exact values.
+  const std::string hostile = "fifo=1,\"deep\" mode\nline2";
+  engine::Experiment e;
+  e.over("exp").n(64).block(16).verify(false);
+  e.with_params(hostile, sim::SimParams{});
+  engine::SimEngine pool(1);
+  const auto table = e.run(pool);
+  ASSERT_EQ(table.size(), 1u);
+
+  const Json doc = Json::parse(serve::single_line(table.json()));
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.as_array().size(), 1u);
+  const Json& row = doc.as_array().front();
+  EXPECT_EQ(row.at("kernel").as_string(), "exp");
+  EXPECT_EQ(row.at("variant").as_string(), "copift");
+  EXPECT_EQ(row.at("n").as_u32(), 64u);
+  EXPECT_EQ(row.at("block").as_u32(), 16u);
+  EXPECT_EQ(row.at("params").as_string(), hostile);
+  EXPECT_EQ(row.at("verified").as_bool(), false);
+  EXPECT_EQ(row.at("cycles").as_u64(), table.at(0).run.result.cycles);
+  EXPECT_DOUBLE_EQ(row.at("ipc").as_number(), table.at(0).ipc());
+  EXPECT_DOUBLE_EQ(row.at("power_mw").as_number(), table.at(0).power_mw());
+  // Stall counters are u64s; spot-check one survives exactly.
+  EXPECT_EQ(row.at("stalls").at("int_issue_cycles").as_u64(),
+            table.at(0).run.region.int_issue_cycles());
+}
+
+// --- request validation ------------------------------------------------------
+
+TEST(ServeRequest, ParsesRunRequestWithDefaults) {
+  const auto r = serve::parse_request(
+      R"({"id":7,"type":"run","workloads":["exp"],"block":[16,32]})", 1000);
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.type, serve::Request::Type::kRun);
+  ASSERT_EQ(r.workloads.size(), 1u);
+  EXPECT_EQ(r.workloads[0], "exp");
+  EXPECT_TRUE(r.variants.empty());  // absent axes take workload defaults
+  EXPECT_EQ(r.blocks, (std::vector<std::uint32_t>{16, 32}));
+  EXPECT_TRUE(r.verify);
+  EXPECT_TRUE(r.progress);
+}
+
+TEST(ServeRequest, HealthAndStatsNeedNoAxes) {
+  EXPECT_EQ(serve::parse_request(R"({"id":1,"type":"health"})", 10).type,
+            serve::Request::Type::kHealth);
+  EXPECT_EQ(serve::parse_request(R"({"id":2,"type":"stats"})", 10).type,
+            serve::Request::Type::kStats);
+}
+
+TEST(ServeRequest, UnknownWorkloadListsRegistry) {
+  try {
+    (void)serve::parse_request(R"({"id":1,"type":"run","workloads":["nope"]})", 10);
+    FAIL() << "unknown workload accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos) << what;
+    EXPECT_NE(what.find("exp"), std::string::npos) << what;  // registered names listed
+  }
+}
+
+TEST(ServeRequest, UnknownKeysListAllowedKeys) {
+  try {
+    (void)serve::parse_request(R"({"id":1,"type":"run","workloads":["exp"],"bogus":1})", 10);
+    FAIL() << "unknown key accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("workloads"), std::string::npos) << what;
+  }
+}
+
+TEST(ServeRequest, RejectsBadAxisValues) {
+  EXPECT_THROW((void)serve::parse_request(
+                   R"({"id":1,"type":"run","workloads":["exp"],"n":[0]})", 10),
+               Error);
+  EXPECT_THROW((void)serve::parse_request(
+                   R"({"id":1,"type":"run","workloads":["exp"],"block":[-4]})", 10),
+               Error);
+  EXPECT_THROW((void)serve::parse_request(
+                   R"({"id":1,"type":"run","workloads":["exp"],"variants":["quantum"]})", 10),
+               Error);
+  // Seed 0 is a legal seed value.
+  EXPECT_NO_THROW((void)serve::parse_request(
+      R"({"id":1,"type":"run","workloads":["exp"],"seeds":[0]})", 10));
+}
+
+TEST(ServeRequest, PreValidatesGridPoints) {
+  // cores=3 does not divide n=256: Workload::validate rejects the point, and
+  // the request dies at parse time instead of mid-sweep.
+  try {
+    (void)serve::parse_request(
+        R"({"id":1,"type":"run","workloads":["exp"],"n":[256],"cores":[3]})", 10);
+    FAIL() << "invalid grid point accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("divide"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ServeRequest, EnforcesMaxPoints) {
+  try {
+    (void)serve::parse_request(
+        R"({"id":1,"type":"run","workloads":["exp"],"seeds":[1,2,3,4,5,6]})", 5);
+    FAIL() << "oversized grid accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("6"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos) << e.what();
+  }
+}
+
+// --- result cache ------------------------------------------------------------
+
+serve::ResultKey test_key(std::uint32_t seed) {
+  serve::ResultKey key;
+  key.workload = "exp";
+  key.n = 64;
+  key.block = 16;
+  key.seed = seed;
+  key.cores = 1;
+  key.params_fingerprint = "test";
+  return key;
+}
+
+engine::ResultRow dummy_row(std::uint64_t cycles) {
+  engine::ResultRow row;
+  row.run.result.cycles = cycles;
+  return row;
+}
+
+TEST(ServeCache, MissThenHit) {
+  serve::ResultCache cache(4);
+  serve::ResultCache::EntryPtr entry;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), entry), serve::ResultCache::Claim::kOwned);
+  cache.publish(entry, dummy_row(123));
+
+  serve::ResultCache::EntryPtr again;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), again), serve::ResultCache::Claim::kHit);
+  EXPECT_EQ(again->wait().run.result.cycles, 123u);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServeCache, CoalescesConcurrentClaims) {
+  serve::ResultCache cache(4);
+  serve::ResultCache::EntryPtr owner;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), owner), serve::ResultCache::Claim::kOwned);
+
+  serve::ResultCache::EntryPtr shared;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), shared), serve::ResultCache::Claim::kShared);
+  EXPECT_EQ(owner.get(), shared.get());
+
+  std::uint64_t seen = 0;
+  std::thread waiter([&] { seen = shared->wait().run.result.cycles; });
+  cache.publish(owner, dummy_row(77));
+  waiter.join();
+  EXPECT_EQ(seen, 77u);
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
+TEST(ServeCache, FailedEntriesRetryInsteadOfCachingTheError) {
+  serve::ResultCache cache(4);
+  serve::ResultCache::EntryPtr entry;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), entry), serve::ResultCache::Claim::kOwned);
+
+  serve::ResultCache::EntryPtr waiter;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), waiter), serve::ResultCache::Claim::kShared);
+  cache.fail(test_key(1), entry, "simulated explosion");
+  try {
+    (void)waiter->wait();
+    FAIL() << "failed entry returned a row";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("simulated explosion"), std::string::npos);
+  }
+
+  // The key was dropped: the next request claims it fresh.
+  serve::ResultCache::EntryPtr retry;
+  EXPECT_EQ(cache.lookup_or_claim(test_key(1), retry), serve::ResultCache::Claim::kOwned);
+  EXPECT_EQ(cache.stats().failures, 1u);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed) {
+  serve::ResultCache cache(2);
+  for (std::uint32_t seed = 1; seed <= 2; ++seed) {
+    serve::ResultCache::EntryPtr e;
+    ASSERT_EQ(cache.lookup_or_claim(test_key(seed), e), serve::ResultCache::Claim::kOwned);
+    cache.publish(e, dummy_row(seed));
+  }
+  // Touch seed 1 so seed 2 becomes the LRU victim.
+  serve::ResultCache::EntryPtr touch;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), touch), serve::ResultCache::Claim::kHit);
+
+  serve::ResultCache::EntryPtr e3;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(3), e3), serve::ResultCache::Claim::kOwned);
+  cache.publish(e3, dummy_row(3));
+
+  serve::ResultCache::EntryPtr probe;
+  EXPECT_EQ(cache.lookup_or_claim(test_key(1), probe), serve::ResultCache::Claim::kHit);
+  EXPECT_EQ(cache.lookup_or_claim(test_key(2), probe), serve::ResultCache::Claim::kOwned);
+
+  // Two evictions: seed 2 when seed 3 arrived, then seed 3 when the seed-2
+  // probe re-claimed its key; capacity is never exceeded by completed entries.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ServeCache, InFlightEntriesAreNotEvicted) {
+  serve::ResultCache cache(1);
+  serve::ResultCache::EntryPtr inflight;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(1), inflight), serve::ResultCache::Claim::kOwned);
+
+  // A second key overflows capacity, but the only candidate is in flight and
+  // must be skipped; the original claim stays reachable.
+  serve::ResultCache::EntryPtr other;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(2), other), serve::ResultCache::Claim::kOwned);
+  serve::ResultCache::EntryPtr probe;
+  EXPECT_EQ(cache.lookup_or_claim(test_key(1), probe), serve::ResultCache::Claim::kShared);
+  cache.publish(inflight, dummy_row(1));
+  cache.publish(other, dummy_row(2));
+}
+
+TEST(ServeCache, KeyDistinguishesParamsAndVerify) {
+  serve::ResultCache cache(8);
+  auto base = test_key(1);
+  auto no_verify = base;
+  no_verify.verify = false;
+  auto other_params = base;
+  other_params.params_fingerprint = "different";
+
+  serve::ResultCache::EntryPtr a, b, c;
+  EXPECT_EQ(cache.lookup_or_claim(base, a), serve::ResultCache::Claim::kOwned);
+  EXPECT_EQ(cache.lookup_or_claim(no_verify, b), serve::ResultCache::Claim::kOwned);
+  EXPECT_EQ(cache.lookup_or_claim(other_params, c), serve::ResultCache::Claim::kOwned);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(ServeCache, ParamsFingerprintTracksEveryField) {
+  sim::SimParams base;
+  const std::string before = serve::params_fingerprint(base);
+  EXPECT_EQ(before, serve::params_fingerprint(sim::SimParams{}));  // deterministic
+
+  sim::SimParams changed = base;
+  changed.offload_fifo_depth += 1;
+  EXPECT_NE(serve::params_fingerprint(changed), before);
+
+  sim::SimParams lat = base;
+  lat.fpu.fma += 1;
+  EXPECT_NE(serve::params_fingerprint(lat), before);
+}
+
+// --- end-to-end server -------------------------------------------------------
+
+/// Minimal blocking test client for the line protocol.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      throw Error("test client connect failed");
+    }
+    conn_ = std::make_unique<serve::Connection>(fd_);
+  }
+
+  void send(const std::string& line) { ASSERT_TRUE(conn_->send_line(line)); }
+
+  /// Next line as parsed JSON (30 s safety timeout).
+  Json next() {
+    std::string line;
+    const auto status = conn_->read_line(line, -1, 30000, 1 << 24);
+    if (status != serve::Connection::ReadStatus::kLine) {
+      throw Error("test client read failed (status " +
+                  std::to_string(static_cast<int>(status)) + ")");
+    }
+    return Json::parse(line);
+  }
+
+  /// Skip accepted/progress events and return the final result/error event.
+  Json final_event(std::uint64_t id) {
+    while (true) {
+      const Json doc = next();
+      EXPECT_EQ(doc.at("id").as_u64(), id);
+      const std::string& event = doc.at("event").as_string();
+      if (event == "result" || event == "error" || event == "health" || event == "stats") {
+        return doc;
+      }
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<serve::Connection> conn_;
+};
+
+serve::ServerConfig small_server_config() {
+  serve::ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.engine_threads = 2;
+  config.cache_entries = 64;
+  return config;
+}
+
+TEST(ServeServer, ResultsAreBitIdenticalToBatchMode) {
+  serve::Server server(small_server_config());
+  server.start();
+
+  TestClient client(server.port());
+  client.send(R"({"id":5,"type":"run","workloads":["exp"],)"
+              R"("variants":["baseline","copift"],"n":[128],"block":[16,32]})");
+  const Json reply = client.final_event(5);
+  ASSERT_EQ(reply.at("event").as_string(), "result") << reply.dump();
+
+  // The same grid through batch mode, dumped through the same parser: the
+  // serialized rows must match byte for byte (exact cycles, %.17g doubles).
+  engine::Experiment e;
+  e.over("exp").n(128).sweep({16, 32});
+  e.over({workload::Variant::kBaseline, workload::Variant::kCopift});
+  engine::SimEngine pool(2);
+  const auto table = e.run(pool);
+  const Json batch = Json::parse(serve::single_line(table.json()));
+
+  EXPECT_EQ(reply.at("rows").dump(), batch.dump());
+  EXPECT_EQ(reply.at("rows").as_array().size(), 4u);
+}
+
+TEST(ServeServer, CachesRepeatAndConcurrentRequests) {
+  serve::Server server(small_server_config());
+  server.start();
+
+  const std::string sweep = R"({"id":1,"type":"run","workloads":["exp"],)"
+                            R"("n":[256],"block":[16,32],"progress":false})";
+
+  // Four concurrent clients issue the identical sweep; then one repeats it.
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      TestClient c(server.port());
+      c.send(sweep);
+      const Json reply = c.final_event(1);
+      if (reply.at("event").as_string() == "result" &&
+          reply.at("rows").as_array().size() == 2) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 4);
+
+  TestClient c(server.port());
+  c.send(sweep);
+  const Json repeat = c.final_event(1);
+  ASSERT_EQ(repeat.at("event").as_string(), "result");
+  // The repeat is served entirely from cache.
+  EXPECT_EQ(repeat.at("cache").at("hits").as_u64(), 2u);
+  EXPECT_EQ(repeat.at("cache").at("simulated").as_u64(), 0u);
+
+  // 5 requests x 2 points = 10 requested, but only 2 unique points simulated.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.points_requested, 10u);
+  EXPECT_EQ(stats.points_simulated, 2u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.coalesced, 8u);
+}
+
+TEST(ServeServer, BadRequestsKeepTheConnectionUsable) {
+  serve::Server server(small_server_config());
+  server.start();
+
+  TestClient client(server.port());
+  client.send("this is not json");
+  Json err = client.next();
+  EXPECT_EQ(err.at("event").as_string(), "error");
+
+  client.send(R"({"id":9,"type":"run","workloads":["nope"]})");
+  err = client.next();
+  EXPECT_EQ(err.at("event").as_string(), "error");
+  EXPECT_EQ(err.at("id").as_u64(), 9u);  // id recovered from the bad request
+  EXPECT_NE(err.at("message").as_string().find("nope"), std::string::npos);
+
+  // The connection survived both errors.
+  client.send(R"({"id":10,"type":"health"})");
+  const Json health = client.final_event(10);
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+}
+
+TEST(ServeServer, GracefulShutdownDrainsQueuedWork) {
+  serve::Server server(small_server_config());
+  server.start();
+
+  TestClient client(server.port());
+  client.send(R"({"id":3,"type":"run","workloads":["exp"],"n":[256],)"
+              R"("block":[8,16,32,64],"progress":false})");
+  // Wait until the sweep is queued, then shut down: the queued work must
+  // still complete and its response flush before the threads exit.
+  const Json accepted = client.next();
+  ASSERT_EQ(accepted.at("event").as_string(), "accepted");
+  server.request_shutdown();
+  const Json reply = client.final_event(3);
+  ASSERT_EQ(reply.at("event").as_string(), "result") << reply.dump();
+  EXPECT_EQ(reply.at("rows").as_array().size(), 4u);
+  server.wait();  // all threads join; no hang
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// copift_serve: simulation-as-a-service daemon.
+//
+// Serves sweep requests over a line-delimited JSON TCP protocol (see
+// docs/serving.md), scheduling work on the SimEngine pool, deduping
+// identical grid points through a bounded LRU result cache, and streaming
+// progress events for long sweeps.
+//
+//   copift_serve --port 7774 --threads 8 --cache-entries 4096
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the daemon stops accepting,
+// drains every queued sweep, flushes every pending response, prints a final
+// stats line and exits 0. A second signal aborts the in-flight batch between
+// grid points and exits 1 (clients with unfinished sweeps receive error
+// events instead of results).
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace copift;
+
+constexpr const char* kVersion = "0.1.0";
+
+serve::Server* g_server = nullptr;
+std::atomic<int> g_signals{0};
+
+void on_signal(int) {
+  // Async-signal-safe: both request paths are an atomic store + pipe write.
+  const int n = g_signals.fetch_add(1, std::memory_order_relaxed);
+  if (g_server == nullptr) return;
+  if (n == 0) g_server->request_shutdown();
+  else g_server->request_abort();
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: copift_serve [options]\n"
+               "\n"
+               "  --port N           TCP port on 127.0.0.1 (default 7774; 0 = ephemeral,\n"
+               "                     the bound port is printed on startup)\n"
+               "  --threads N        SimEngine worker threads (0 = all cores)\n"
+               "  --cache-entries N  result-cache capacity in grid points (default 4096)\n"
+               "  --idle-timeout S   close connections idle for S seconds (default 120,\n"
+               "                     0 = never)\n"
+               "  --max-points N     reject requests expanding past N grid points\n"
+               "                     (default 65536)\n"
+               "  --help, -h         this message\n"
+               "  --version          print the version and exit\n"
+               "\n"
+               "protocol: one JSON object per line; see docs/serving.md for the schema\n"
+               "and example transcripts. Try:\n"
+               "  printf '{\"id\":1,\"type\":\"run\",\"workloads\":[\"exp\"],"
+               "\"block\":[32,64]}\\n' | nc 127.0.0.1 7774\n");
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || std::strchr(value, '-') != nullptr) {
+    throw Error(std::string(flag) + ": invalid value '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig config;
+  config.port = 7774;
+  try {
+    int i = 1;
+    const auto value_of = [&](const std::string& flag) -> const char* {
+      if (i + 1 >= argc) throw Error(flag + " requires a value");
+      return argv[++i];
+    };
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        return 0;
+      } else if (arg == "--version") {
+        std::printf("copift_serve %s\n", kVersion);
+        return 0;
+      } else if (arg == "--port") {
+        const auto v = parse_u64("--port", value_of(arg));
+        if (v > 65535) throw Error("--port: " + std::to_string(v) + " is out of range");
+        config.port = static_cast<std::uint16_t>(v);
+      } else if (arg == "--threads") {
+        const auto v = parse_u64("--threads", value_of(arg));
+        if (v > engine::SimEngine::kMaxThreads) {
+          throw Error("--threads: " + std::to_string(v) + " is out of range (0.." +
+                      std::to_string(engine::SimEngine::kMaxThreads) + ")");
+        }
+        config.engine_threads = static_cast<unsigned>(v);
+      } else if (arg == "--cache-entries") {
+        config.cache_entries = static_cast<std::size_t>(parse_u64("--cache-entries", value_of(arg)));
+      } else if (arg == "--idle-timeout") {
+        config.idle_timeout_ms = static_cast<int>(parse_u64("--idle-timeout", value_of(arg)) * 1000);
+      } else if (arg == "--max-points") {
+        config.max_grid_points = static_cast<std::size_t>(parse_u64("--max-points", value_of(arg)));
+      } else {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+        print_usage(stderr);
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
+  }
+
+  try {
+    serve::Server server(config);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    std::printf("copift_serve %s listening on 127.0.0.1:%u (%u engine threads, "
+                "%zu cache entries)\n",
+                kVersion, server.port(), server.engine_threads(), config.cache_entries);
+    std::fflush(stdout);
+
+    server.wait();
+    g_server = nullptr;
+
+    const auto s = server.stats();
+    std::fprintf(stderr,
+                 "copift_serve: shut down after %llu ms: %llu connections, "
+                 "%llu requests served (%llu failed), %llu/%llu points simulated, "
+                 "cache hits %llu / coalesced %llu / evictions %llu\n",
+                 static_cast<unsigned long long>(s.uptime_ms),
+                 static_cast<unsigned long long>(s.connections_accepted),
+                 static_cast<unsigned long long>(s.requests_served),
+                 static_cast<unsigned long long>(s.requests_failed),
+                 static_cast<unsigned long long>(s.points_simulated),
+                 static_cast<unsigned long long>(s.points_requested),
+                 static_cast<unsigned long long>(s.cache.hits),
+                 static_cast<unsigned long long>(s.cache.coalesced),
+                 static_cast<unsigned long long>(s.cache.evictions));
+    // Two signals = hard abort; report it in the exit status.
+    return g_signals.load(std::memory_order_relaxed) > 1 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -15,6 +15,7 @@
 // registered workload with its supported variants and default configuration.
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,13 @@ namespace {
 using namespace copift;
 
 constexpr const char* kVersion = "0.3.0";
+
+// Sweep-mode SIGINT handling: the handler only flips the engine CancelToken
+// (an async-signal-safe atomic store); the main thread then finishes the
+// grid points already in flight and writes a partial table.
+engine::CancelToken g_cancel;
+
+void on_sigint(int) { g_cancel.request_stop(); }
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
@@ -372,9 +380,20 @@ int main(int argc, char** argv) {
         else experiment.sweep_seeds(values);
       }
       engine::SimEngine pool(threads);
-      const auto table = experiment.run(pool);
+      // Ctrl-C mid-sweep cancels between grid points and still emits the
+      // finished rows, so a long sweep never dies with nothing to show.
+      std::signal(SIGINT, on_sigint);
+      const auto table = experiment.run(pool, &g_cancel);
+      std::signal(SIGINT, SIG_DFL);
       if (json) table.write_json(std::cout);
       else table.write_csv(std::cout);
+      const std::size_t total = experiment.grid().size();
+      if (table.size() < total) {
+        std::fprintf(stderr,
+                     "interrupted: wrote %zu of %zu grid points (partial sweep)\n",
+                     table.size(), total);
+        return 130;  // 128 + SIGINT, the conventional interrupted-exit status
+      }
       std::fprintf(stderr, "sweep: %zu grid points on %u threads\n", table.size(),
                    pool.threads());
       return 0;

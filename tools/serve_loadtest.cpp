@@ -1,0 +1,322 @@
+// serve_loadtest: concurrent load-test client for the copift_serve daemon.
+//
+// Spawns N client connections that issue a mix of identical and distinct
+// sweep requests (the identical ones must be deduplicated by the server's
+// result cache / in-flight coalescing), validates that every response
+// arrives complete, then re-issues the same workload as a warm phase and
+// reports cold vs warm-cache latency and requests/sec — optionally as a
+// BENCH_serving.json the CI regression gate consumes.
+//
+//   serve_loadtest --port 7774 --clients 8 --requests 4 --json BENCH.json
+//
+// Exits non-zero when any response is missing/incomplete/an error, or when
+// --expect-dedupe is given and the server's stats do not prove that fewer
+// points were simulated than requested.
+#include <algorithm>
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace copift;
+using clock_type = std::chrono::steady_clock;
+
+struct Options {
+  std::uint16_t port = 7774;
+  unsigned clients = 8;
+  unsigned requests = 4;  // per client per phase
+  std::string json_path;
+  bool expect_dedupe = false;
+};
+
+/// One blocking client connection speaking the line-delimited JSON protocol.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw Error("socket: " + std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd_);
+      throw Error("connect to 127.0.0.1:" + std::to_string(port) + ": " + what);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn_ = std::make_unique<serve::Connection>(fd_);  // takes fd ownership
+  }
+
+  /// Send one request and block until its result/error event (progress and
+  /// accepted events are counted but not returned). 60 s safety timeout.
+  serve::Json roundtrip(const std::string& line, std::uint64_t id) {
+    if (!conn_->send_line(line)) throw Error("send failed (server closed connection?)");
+    std::string reply;
+    while (true) {
+      const auto status = conn_->read_line(reply, -1, 60000, 1 << 24);
+      if (status != serve::Connection::ReadStatus::kLine) {
+        throw Error("connection lost waiting for response to request " + std::to_string(id) +
+                    " (status " + std::to_string(static_cast<int>(status)) + ")");
+      }
+      const serve::Json doc = serve::Json::parse(reply);
+      if (doc.at("id").as_u64() != id) continue;  // stale event from earlier request
+      const std::string& event = doc.at("event").as_string();
+      if (event == "progress") {
+        ++progress_events_;
+        continue;
+      }
+      if (event == "accepted") continue;
+      return doc;  // result, error, health or stats
+    }
+  }
+
+  [[nodiscard]] std::uint64_t progress_events() const noexcept { return progress_events_; }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<serve::Connection> conn_;
+  std::uint64_t progress_events_ = 0;
+};
+
+struct PhaseResult {
+  std::vector<double> latencies_ms;
+  double wall_seconds = 0.0;
+  unsigned failures = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t progress_events = 0;
+};
+
+/// The request each (client, index) issues. Even indices are the SHARED
+/// sweep — byte-identical across every client and iteration, so all but the
+/// first must be served from cache/coalescing. Odd indices are distinct per
+/// client+index (unique seeds), forcing real simulations.
+std::string request_line(unsigned client, unsigned index, std::uint64_t id) {
+  if (index % 2 == 0) {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"type\":\"run\",\"workloads\":[\"exp\"],"
+           "\"variants\":[\"copift\",\"baseline\"],\"block\":[16,32,64],\"n\":[384]}";
+  }
+  const unsigned seed = 1000 + client * 131 + index;
+  return "{\"id\":" + std::to_string(id) +
+         ",\"type\":\"run\",\"workloads\":[\"axpy\"],\"variants\":[\"copift\"],"
+         "\"n\":[256],\"seeds\":[" + std::to_string(seed) + "]}";
+}
+
+serve::Json roundtrip_checked(Client& client, unsigned c, unsigned r, std::uint64_t id,
+                              unsigned& failures);
+
+PhaseResult run_phase(const Options& opt, const char* phase_name) {
+  PhaseResult result;
+  std::mutex mutex;
+  std::vector<std::thread> threads;
+  const auto t0 = clock_type::now();
+  for (unsigned c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> latencies;
+      unsigned failures = 0;
+      std::uint64_t rows = 0;
+      std::uint64_t progress = 0;
+      try {
+        Client client(opt.port);
+        for (unsigned r = 0; r < opt.requests; ++r) {
+          const std::uint64_t id = static_cast<std::uint64_t>(c) * 10000 + r + 1;
+          const auto start = clock_type::now();
+          const serve::Json reply = roundtrip_checked(client, c, r, id, failures);
+          latencies.push_back(
+              std::chrono::duration<double, std::milli>(clock_type::now() - start).count());
+          if (reply.is_object() && reply.find("rows") != nullptr) {
+            rows += reply.at("rows").as_array().size();
+          }
+        }
+        progress = client.progress_events();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[%s] client %u: %s\n", phase_name, c, e.what());
+        failures += opt.requests;
+      }
+      std::lock_guard lock(mutex);
+      result.latencies_ms.insert(result.latencies_ms.end(), latencies.begin(), latencies.end());
+      result.failures += failures;
+      result.rows += rows;
+      result.progress_events += progress;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_seconds = std::chrono::duration<double>(clock_type::now() - t0).count();
+  return result;
+}
+
+serve::Json roundtrip_checked(Client& client, unsigned c, unsigned r, std::uint64_t id,
+                              unsigned& failures) {
+  const std::string line = request_line(c, r, id);
+  serve::Json reply = client.roundtrip(line, id);
+  const std::string& event = reply.at("event").as_string();
+  if (event != "result") {
+    std::fprintf(stderr, "client %u request %llu: got %s: %s\n", c,
+                 static_cast<unsigned long long>(id), event.c_str(), reply.dump().c_str());
+    ++failures;
+    return reply;
+  }
+  const auto& rows = reply.at("rows").as_array();
+  if (rows.empty()) {
+    std::fprintf(stderr, "client %u request %llu: empty result\n", c,
+                 static_cast<unsigned long long>(id));
+    ++failures;
+    return reply;
+  }
+  for (const auto& row : rows) {
+    if (!row.at("verified").as_bool()) {
+      std::fprintf(stderr, "client %u request %llu: unverified row %s\n", c,
+                   static_cast<unsigned long long>(id), row.dump().c_str());
+      ++failures;
+    }
+  }
+  return reply;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    int i = 1;
+    const auto value_of = [&](const std::string& flag) -> const char* {
+      if (i + 1 >= argc) throw Error(flag + " requires a value");
+      return argv[++i];
+    };
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::stoul(value_of(arg)));
+      else if (arg == "--clients") opt.clients = static_cast<unsigned>(std::stoul(value_of(arg)));
+      else if (arg == "--requests") opt.requests = static_cast<unsigned>(std::stoul(value_of(arg)));
+      else if (arg == "--json") opt.json_path = value_of(arg);
+      else if (arg == "--expect-dedupe") opt.expect_dedupe = true;
+      else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: serve_loadtest [--port N] [--clients N] [--requests N]\n"
+                    "                      [--json FILE] [--expect-dedupe]\n");
+        return 0;
+      } else {
+        throw Error("unknown argument '" + arg + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    std::printf("load test: %u clients x %u requests against 127.0.0.1:%u\n", opt.clients,
+                opt.requests, opt.port);
+
+    const PhaseResult cold = run_phase(opt, "cold");
+    const PhaseResult warm = run_phase(opt, "warm");
+
+    // One final stats request proves (or disproves) that deduplication fired.
+    Client probe(opt.port);
+    const serve::Json stats = probe.roundtrip("{\"id\":999999,\"type\":\"stats\"}", 999999);
+    const std::uint64_t requested = stats.at("points_requested").as_u64();
+    const std::uint64_t simulated = stats.at("points_simulated").as_u64();
+    const auto& cache = stats.at("cache");
+    const std::uint64_t hits = cache.at("hits").as_u64();
+    const std::uint64_t coalesced = cache.at("coalesced").as_u64();
+
+    const auto report = [](const char* name, const PhaseResult& r, unsigned total_requests) {
+      std::printf("%-5s %u requests in %.3f s (%.1f req/s): latency mean %.2f ms, "
+                  "p50 %.2f ms, max %.2f ms; %llu rows, %llu progress events, %u failures\n",
+                  name, total_requests, r.wall_seconds,
+                  r.wall_seconds > 0 ? static_cast<double>(total_requests) / r.wall_seconds : 0.0,
+                  mean(r.latencies_ms), percentile(r.latencies_ms, 0.5),
+                  r.latencies_ms.empty()
+                      ? 0.0
+                      : *std::max_element(r.latencies_ms.begin(), r.latencies_ms.end()),
+                  static_cast<unsigned long long>(r.rows),
+                  static_cast<unsigned long long>(r.progress_events), r.failures);
+    };
+    const unsigned per_phase = opt.clients * opt.requests;
+    report("cold", cold, per_phase);
+    report("warm", warm, per_phase);
+    std::printf("dedupe: %llu points requested, %llu simulated, %llu cache hits, "
+                "%llu coalesced\n",
+                static_cast<unsigned long long>(requested),
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(coalesced));
+
+    if (!opt.json_path.empty()) {
+      std::FILE* out = std::fopen(opt.json_path.c_str(), "w");
+      if (out == nullptr) throw Error("cannot open " + opt.json_path + " for writing");
+      const double cold_rps =
+          cold.wall_seconds > 0 ? static_cast<double>(per_phase) / cold.wall_seconds : 0.0;
+      const double warm_rps =
+          warm.wall_seconds > 0 ? static_cast<double>(per_phase) / warm.wall_seconds : 0.0;
+      std::fprintf(out,
+                   "{\n"
+                   "  \"schema\": \"copift-bench-simulator/1\",\n"
+                   "  \"generated_by\": \"serve_loadtest (%u clients x %u requests)\",\n"
+                   "  \"benchmarks\": [\n"
+                   "    {\"name\": \"serve_cold_requests\", \"items_per_sec\": %.3f,\n"
+                   "     \"latency_ms_mean\": %.3f, \"latency_ms_p50\": %.3f},\n"
+                   "    {\"name\": \"serve_warm_requests\", \"items_per_sec\": %.3f,\n"
+                   "     \"latency_ms_mean\": %.3f, \"latency_ms_p50\": %.3f}\n"
+                   "  ]\n"
+                   "}\n",
+                   opt.clients, opt.requests, cold_rps, mean(cold.latencies_ms),
+                   percentile(cold.latencies_ms, 0.5), warm_rps, mean(warm.latencies_ms),
+                   percentile(warm.latencies_ms, 0.5));
+      std::fclose(out);
+      std::printf("wrote %s\n", opt.json_path.c_str());
+    }
+
+    if (cold.failures + warm.failures > 0) {
+      std::fprintf(stderr, "FAIL: %u responses missing or invalid\n",
+                   cold.failures + warm.failures);
+      return 1;
+    }
+    if (opt.expect_dedupe) {
+      if (simulated >= requested) {
+        std::fprintf(stderr, "FAIL: dedupe never fired (%llu simulated of %llu requested)\n",
+                     static_cast<unsigned long long>(simulated),
+                     static_cast<unsigned long long>(requested));
+        return 1;
+      }
+      if (hits + coalesced == 0) {
+        std::fprintf(stderr, "FAIL: no cache hits or coalesced requests recorded\n");
+        return 1;
+      }
+    }
+    std::printf("PASS\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
