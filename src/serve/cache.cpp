@@ -92,21 +92,26 @@ void ResultCache::publish(const EntryPtr& entry, engine::ResultRow row) {
 
 void ResultCache::fail(const ResultKey& key, const EntryPtr& entry, const std::string& message) {
   {
+    // Drop the key from the index *before* publishing failed/ready: if the
+    // entry became ready-and-failed while still resident, a concurrent
+    // lookup_or_claim would see ready == true and return kHit for an entry
+    // with no valid row. Only drop the entry we failed — a later request may
+    // already have re-claimed the key with a fresh entry.
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second->second == entry) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    ++stats_.failures;
+  }
+  {
     std::lock_guard lock(entry->mutex);
     entry->failed = true;
     entry->error = message;
     entry->ready = true;
   }
   entry->cv.notify_all();
-  std::lock_guard lock(mutex_);
-  const auto it = index_.find(key);
-  // Only drop the entry we failed — a later request may already have
-  // re-claimed the key with a fresh entry.
-  if (it != index_.end() && it->second->second == entry) {
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
-  ++stats_.failures;
 }
 
 CacheStats ResultCache::stats() const {

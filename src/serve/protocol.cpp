@@ -579,6 +579,12 @@ Request parse_request(std::string_view line, std::size_t max_points) {
   // with each workload's own defaults filling absent axes — a doomed request
   // is rejected here with the workload's value-carrying ConfigError instead
   // of failing halfway through a scheduled sweep.
+  //
+  // The point count is a *product* of axis sizes, so a compact request line
+  // can encode an astronomically large grid; the limit must be enforced on
+  // the saturating product of sizes BEFORE the cross-product loop runs, or a
+  // single line would pin the reader thread for the lifetime of the process.
+  constexpr std::size_t kSaturated = std::numeric_limits<std::size_t>::max();
   std::size_t points = 0;
   for (const auto& name : req.workloads) {
     const auto wl = registry.at(name);
@@ -592,6 +598,22 @@ Request parse_request(std::string_view line, std::size_t max_points) {
     const auto cores =
         req.cores.empty() ? std::vector<std::uint32_t>{defaults.cores} : req.cores;
     const auto seeds = req.seeds.empty() ? std::vector<std::uint32_t>{defaults.seed} : req.seeds;
+
+    std::size_t count = 1;
+    for (const std::size_t axis :
+         {variants.size(), ns.size(), blocks.size(), cores.size(), seeds.size()}) {
+      count = count > kSaturated / axis ? kSaturated : count * axis;
+    }
+    points = count > kSaturated - points ? kSaturated : points + count;
+    if (points > max_points) {
+      throw ProtocolError("request expands to " +
+                          (points == kSaturated ? std::string("over ") +
+                                                      std::to_string(kSaturated)
+                                                : std::to_string(points)) +
+                          " grid points, above the server limit of " +
+                          std::to_string(max_points));
+    }
+
     for (const auto variant : variants) {
       for (const auto n : ns) {
         for (const auto block : blocks) {
@@ -607,17 +629,11 @@ Request parse_request(std::string_view line, std::size_t max_points) {
               } catch (const Error& e) {
                 throw ProtocolError(std::string("invalid grid point: ") + e.what());
               }
-              ++points;
             }
           }
         }
       }
     }
-  }
-  if (points > max_points) {
-    throw ProtocolError("request expands to " + std::to_string(points) +
-                        " grid points, above the server limit of " +
-                        std::to_string(max_points));
   }
   return req;
 }

@@ -77,8 +77,8 @@ void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard lock(readers_mutex_);
-    for (auto& t : reader_threads_) {
-      if (t.joinable()) t.join();
+    for (auto& reader : reader_threads_) {
+      if (reader.thread.joinable()) reader.thread.join();
     }
     reader_threads_.clear();
   }
@@ -102,9 +102,23 @@ void Server::accept_loop() {
     active_connections_.fetch_add(1, std::memory_order_relaxed);
     active_readers_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard lock(readers_mutex_);
-    reader_threads_.emplace_back([this, client = std::move(client)]() mutable {
+    // Reap readers whose connection already ended (their done flag is set, so
+    // join() returns immediately); without this a long-running daemon keeps
+    // one joinable thread's stack and descriptor per connection ever served.
+    for (auto it = reader_threads_.begin(); it != reader_threads_.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = reader_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, client = std::move(client), done]() mutable {
       reader_loop(std::move(client));
+      done->store(true, std::memory_order_release);
     });
+    reader_threads_.push_back(Reader{std::move(thread), std::move(done)});
   }
   listener_->close();
   // The scheduler's exit predicate watches shutdown_ + active_readers_; kick
@@ -158,18 +172,24 @@ bool Server::handle_line(const std::shared_ptr<Client>& client, const std::strin
   pending.request = std::move(request);
   pending.client_seq = client->next_seq++;
 
+  // Send 'accepted' before the request becomes visible to the scheduler:
+  // once it is enqueued the sweep can complete and its 'result' line go out
+  // on this connection, and the documented accepted -> progress -> result
+  // order must hold. A failed send means the client is gone, so the request
+  // is dropped instead of simulated for nobody.
+  const std::string accepted = event_prefix(pending.request.id, "accepted") +
+                               ",\"points\":" + std::to_string(pending.points.size()) + "}";
+  if (!client->conn.send_line(accepted)) return false;
+
   requests_received_.fetch_add(1, std::memory_order_relaxed);
   points_requested_.fetch_add(pending.points.size(), std::memory_order_relaxed);
   inflight_.fetch_add(1, std::memory_order_relaxed);
-
-  const std::string accepted = event_prefix(pending.request.id, "accepted") +
-                               ",\"points\":" + std::to_string(pending.points.size()) + "}";
   {
     std::lock_guard lock(queue_mutex_);
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_all();
-  return client->conn.send_line(accepted);
+  return true;
 }
 
 std::vector<Server::PointSpec> Server::expand(const Request& request) {

@@ -138,10 +138,18 @@ class Server {
   engine::CancelToken cancel_;
   std::chrono::steady_clock::time_point start_time_{};
 
+  /// A per-connection reader thread plus its exit flag, so the accept loop
+  /// can reap finished readers instead of accumulating joinable threads for
+  /// the lifetime of the daemon.
+  struct Reader {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   std::thread accept_thread_;
   std::thread scheduler_thread_;
   std::mutex readers_mutex_;
-  std::vector<std::thread> reader_threads_;  // guarded by readers_mutex_
+  std::vector<Reader> reader_threads_;  // guarded by readers_mutex_
   std::atomic<std::uint64_t> active_readers_{0};
 
   std::mutex queue_mutex_;

@@ -3,6 +3,7 @@
 // validation, the memoizing result cache, and an end-to-end in-process
 // server exercised over real sockets.
 #include <arpa/inet.h>
+#include <chrono>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -238,6 +239,32 @@ TEST(ServeRequest, EnforcesMaxPoints) {
     EXPECT_NE(std::string(e.what()).find("6"), std::string::npos) << e.what();
     EXPECT_NE(std::string(e.what()).find("5"), std::string::npos) << e.what();
   }
+}
+
+TEST(ServeRequest, RejectsHugeGridWithoutIterating) {
+  // The grid size is a *product* of axis sizes, so a compact line can encode
+  // an astronomical cross product (here 2000^4 = 1.6e13 points). The limit
+  // must be enforced on the product of sizes, not by counting inside the
+  // expansion loop — this request must be rejected in well under a second.
+  std::string axis = "[";
+  for (int i = 1; i <= 2000; ++i) {
+    if (i > 1) axis += ',';
+    axis += std::to_string(i);
+  }
+  axis += ']';
+  const std::string line = R"({"id":1,"type":"run","workloads":["exp"],"n":)" + axis +
+                           R"(,"block":)" + axis + R"(,"cores":)" + axis + R"(,"seeds":)" +
+                           axis + "}";
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)serve::parse_request(line, 65536);
+    FAIL() << "huge grid accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("65536"), std::string::npos) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1000)
+      << "max_points check iterated the cross product";
 }
 
 // --- result cache ------------------------------------------------------------
