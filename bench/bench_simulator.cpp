@@ -99,6 +99,30 @@ BenchFn sim_bench(std::string_view workload, workload::Variant variant, std::uin
   };
 }
 
+/// Beyond-TCDM throughput: one tiled run (arrays in DRAM, double-buffered
+/// DMA, DRAM timing on) so the regression gate covers the dram/dma tick path
+/// and the tile-loop codegen, not just TCDM-resident simulation.
+BenchFn tiled_bench(std::string_view workload, workload::Variant variant, std::uint32_t n,
+                    std::uint32_t tile, std::uint32_t cores) {
+  workload::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.block = 64;
+  cfg.cores = cores;
+  cfg.tile = tile;
+  const auto generated = workload::generate(workload, variant, cfg);
+  const auto program = kernels::assemble_kernel(generated);
+  sim::SimParams params;
+  params.num_cores = cores;
+  params.dram_enabled = true;
+  return [generated, program, params](BenchResult& r) {
+    sim::Cluster cluster(program, params);
+    kernels::populate_inputs(cluster, generated);
+    const auto result = cluster.run();
+    r.sim_cycles += result.cycles;
+    r.sim_instrs += cluster.counters().retired();
+  };
+}
+
 /// Assembly throughput (programs/sec) for the exp/copift kernel.
 BenchFn assemble_bench() {
   workload::WorkloadConfig cfg;
@@ -204,6 +228,8 @@ int main(int argc, char** argv) {
     specs.push_back({"log_copift", sim_bench("log", workload::Variant::kCopift, 1)});
     specs.push_back({"pi_lcg_copift", sim_bench("pi_lcg", workload::Variant::kCopift, 1)});
     specs.push_back({"exp_copift_cores4", sim_bench("exp", workload::Variant::kCopift, 4)});
+    specs.push_back(
+        {"axpy_copift_tiled_dram", tiled_bench("axpy", workload::Variant::kCopift, 65536, 1024, 2)});
     specs.push_back({"assemble", assemble_bench()});
     specs.push_back({"engine_sweep_t4", sweep_bench(4)});
   } catch (const std::exception& e) {

@@ -11,8 +11,9 @@ namespace copift::engine {
 // --- ProgramCache -----------------------------------------------------------
 
 std::shared_ptr<const rvasm::Program> ProgramCache::get(const kernels::GeneratedKernel& kernel) {
-  Key key{kernel.name(), static_cast<int>(kernel.variant), kernel.config.n,
-          kernel.config.block, kernel.config.seed, kernel.config.cores};
+  Key key{kernel.name(),        static_cast<int>(kernel.variant), kernel.config.n,
+          kernel.config.block,  kernel.config.seed,               kernel.config.cores,
+          kernel.config.tile};
   std::lock_guard lock(mutex_);
   auto it = programs_.find(key);
   if (it != programs_.end()) {
@@ -41,7 +42,7 @@ std::uint64_t ProgramCache::hits() const {
 
 std::size_t ParamGrid::size() const noexcept {
   return workloads.size() * variants.size() * ns.size() * blocks.size() * cores.size() *
-         seeds.size() * params.size();
+         tiles.size() * seeds.size() * params.size();
 }
 
 GridPoint ParamGrid::point(std::size_t index) const {
@@ -54,6 +55,8 @@ GridPoint ParamGrid::point(std::size_t index) const {
   rest /= params.size();
   const std::size_t si = rest % seeds.size();
   rest /= seeds.size();
+  const std::size_t ti = rest % tiles.size();
+  rest /= tiles.size();
   const std::size_t ci = rest % cores.size();
   rest /= cores.size();
   const std::size_t bi = rest % blocks.size();
@@ -69,6 +72,7 @@ GridPoint ParamGrid::point(std::size_t index) const {
   p.config.block = blocks[bi];
   p.config.seed = seeds[si];
   p.config.cores = cores[ci];
+  p.config.tile = tiles[ti];
   p.params_label = params[pi].label;
   p.params = params[pi].params;
   p.params.num_cores = cores[ci];
@@ -80,7 +84,8 @@ GridPoint ParamGrid::point(std::size_t index) const {
 const ResultRow* ResultTable::find(std::string_view workload, Variant variant,
                                    std::uint32_t n, std::uint32_t block,
                                    const std::string& params_label, std::uint32_t cores,
-                                   std::optional<std::uint32_t> seed) const {
+                                   std::optional<std::uint32_t> seed,
+                                   std::optional<std::uint32_t> tile) const {
   for (const auto& row : rows_) {
     if (row.point.name() != workload || row.point.variant != variant) continue;
     if (n != 0 && row.point.config.n != n) continue;
@@ -88,6 +93,7 @@ const ResultRow* ResultTable::find(std::string_view workload, Variant variant,
     if (!params_label.empty() && row.point.params_label != params_label) continue;
     if (cores != 0 && row.point.config.cores != cores) continue;
     if (seed.has_value() && row.point.config.seed != *seed) continue;
+    if (tile.has_value() && row.point.config.tile != *tile) continue;
     return &row;
   }
   return nullptr;
@@ -152,20 +158,21 @@ const sim::ActivityCounters& stall_region(const ResultRow& row) {
   return row.steady ? row.steady_region : row.run.region;
 }
 
-constexpr std::array<const char*, 20> kStallColumns = {
+constexpr std::array<const char*, 22> kStallColumns = {
     "int_issue_cycles", "int_stall_cycles", "int_halt_cycles", "stall_raw",
     "stall_wb_port", "stall_offload_full", "stall_icache", "stall_branch",
     "stall_div_busy", "stall_tcdm", "stall_mem_order", "stall_barrier",
-    "stall_hw_barrier", "fpss_issue_cycles", "fpss_stall_cycles", "fpss_idle",
+    "stall_hw_barrier", "stall_dma_wait", "stall_dma_dram",
+    "fpss_issue_cycles", "fpss_stall_cycles", "fpss_idle",
     "fpss_stall_raw", "fpss_stall_ssr", "fpss_stall_struct", "fpss_stall_tcdm"};
 
 /// The stall-cause values in kStallColumns order.
-std::array<std::uint64_t, 20> stall_values(const sim::ActivityCounters& r) {
+std::array<std::uint64_t, 22> stall_values(const sim::ActivityCounters& r) {
   return {r.int_issue_cycles(), r.int_stall_cycles(), r.int_halt_cycles,
           r.stall_raw,          r.stall_wb_port,      r.stall_offload_full,
           r.stall_icache,       r.stall_branch,       r.stall_div_busy,
           r.stall_tcdm,         r.stall_mem_order,    r.stall_barrier,
-          r.stall_hw_barrier,
+          r.stall_hw_barrier,   r.stall_dma_wait,     r.stall_dma_dram,
           r.fpss_issue_cycles(), r.fpss_stall_cycles(), r.fpss_idle,
           r.fpss_stall_raw,     r.fpss_stall_ssr,     r.fpss_stall_struct,
           r.fpss_stall_tcdm};
@@ -174,7 +181,7 @@ std::array<std::uint64_t, 20> stall_values(const sim::ActivityCounters& r) {
 }  // namespace
 
 void ResultTable::write_csv(std::ostream& os) const {
-  os << "index,kernel,variant,n,block,seed,cores,params,verified,cycles,region_cycles,"
+  os << "index,kernel,variant,n,block,seed,cores,tile,params,verified,cycles,region_cycles,"
         "int_retired,fp_retired,ipc,power_mw,energy_nj,steady,steady_ipc,"
         "cycles_per_item,energy_pj_per_item";
   for (const char* col : kStallColumns) os << ',' << col;
@@ -183,7 +190,7 @@ void ResultTable::write_csv(std::ostream& os) const {
     const auto& p = row.point;
     os << p.index << ',' << csv_field(p.name()) << ',' << workload::variant_name(p.variant)
        << ',' << p.config.n << ',' << p.config.block << ',' << p.config.seed << ','
-       << p.config.cores << ','
+       << p.config.cores << ',' << p.config.tile << ','
        << csv_field(p.params_label) << ',' << (row.run.verified ? 1 : 0) << ','
        << row.run.result.cycles
        << ',' << row.run.region.cycles << ',' << row.run.region.int_retired << ','
@@ -214,7 +221,8 @@ void ResultTable::write_json(std::ostream& os) const {
     os << ",\"variant\":\"" << workload::variant_name(p.variant)
        << "\",\"n\":" << p.config.n
        << ",\"block\":" << p.config.block << ",\"seed\":" << p.config.seed
-       << ",\"cores\":" << p.config.cores << ",\"params\":";
+       << ",\"cores\":" << p.config.cores << ",\"tile\":" << p.config.tile
+       << ",\"params\":";
     write_json_string(os, p.params_label);
     os << ",\"verified\":" << (row.run.verified ? "true" : "false")
        << ",\"cycles\":" << row.run.result.cycles
@@ -332,6 +340,18 @@ Experiment& Experiment::sweep_cores(std::span<const std::uint32_t> cores) {
 }
 Experiment& Experiment::sweep_cores(std::initializer_list<std::uint32_t> cores) {
   grid_.cores.assign(cores.begin(), cores.end());
+  return *this;
+}
+Experiment& Experiment::tile(std::uint32_t tile) {
+  grid_.tiles.assign(1, tile);
+  return *this;
+}
+Experiment& Experiment::sweep_tiles(std::span<const std::uint32_t> tiles) {
+  grid_.tiles.assign(tiles.begin(), tiles.end());
+  return *this;
+}
+Experiment& Experiment::sweep_tiles(std::initializer_list<std::uint32_t> tiles) {
+  grid_.tiles.assign(tiles.begin(), tiles.end());
   return *this;
 }
 

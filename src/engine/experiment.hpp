@@ -52,8 +52,8 @@ class ProgramCache {
   [[nodiscard]] std::uint64_t hits() const;
 
  private:
-  using Key =
-      std::tuple<std::string, int, std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t>;
+  using Key = std::tuple<std::string, int, std::uint32_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t, std::uint32_t>;
   mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<const rvasm::Program>> programs_;
   std::uint64_t hits_ = 0;
@@ -92,13 +92,16 @@ class ParamGrid {
   std::vector<std::uint32_t> ns{1024};
   std::vector<std::uint32_t> blocks{32};
   std::vector<std::uint32_t> cores{1};
+  /// DMA tile sizes (0 = untiled TCDM-resident codegen; > 0 places the
+  /// workload's arrays in DRAM behind the double-buffered tile loop).
+  std::vector<std::uint32_t> tiles{0};
   std::vector<std::uint32_t> seeds{42};
   std::vector<ParamsVariant> params{ParamsVariant{}};
 
   [[nodiscard]] std::size_t size() const noexcept;
   /// Resolve the i-th point (row-major over workloads, variants, ns, blocks,
-  /// cores, seeds, params — last axis fastest). The point's cores value
-  /// lands in both config.cores and params.num_cores. Throws on
+  /// cores, tiles, seeds, params — last axis fastest). The point's cores
+  /// value lands in both config.cores and params.num_cores. Throws on
   /// out-of-range or an unregistered workload name.
   [[nodiscard]] GridPoint point(std::size_t index) const;
 };
@@ -131,15 +134,17 @@ class ResultTable {
 
   /// First row matching the given coordinates; 0 means "any" for n, block
   /// and cores (cores is always >= 1 in a materialized grid), and an empty
-  /// optional means "any" seed (0 is a legal seed value). Tables produced by
-  /// cores or seed sweeps hold several rows per (workload, variant) pair —
-  /// pass the cores/seed filters there or the first row of the wrong
-  /// configuration comes back. Returns nullptr when no row matches.
+  /// optional means "any" seed or tile (0 is a legal seed value and the
+  /// untiled tile value). Tables produced by cores, tile or seed sweeps hold
+  /// several rows per (workload, variant) pair — pass the cores/tile/seed
+  /// filters there or the first row of the wrong configuration comes back.
+  /// Returns nullptr when no row matches.
   [[nodiscard]] const ResultRow* find(std::string_view workload, Variant variant,
                                       std::uint32_t n = 0, std::uint32_t block = 0,
                                       const std::string& params_label = {},
                                       std::uint32_t cores = 0,
-                                      std::optional<std::uint32_t> seed = std::nullopt) const;
+                                      std::optional<std::uint32_t> seed = std::nullopt,
+                                      std::optional<std::uint32_t> tile = std::nullopt) const;
 
   void write_csv(std::ostream& os) const;
   void write_json(std::ostream& os) const;
@@ -175,12 +180,17 @@ class Experiment {
   /// core complexes; the workload must be multi-hart capable for values > 1).
   Experiment& sweep_cores(std::span<const std::uint32_t> cores);
   Experiment& sweep_cores(std::initializer_list<std::uint32_t> cores);
+  /// Sweep the DMA tile size (0 = untiled; > 0 needs a tiled-capable
+  /// workload — the arrays move to DRAM behind double-buffered DMA).
+  Experiment& sweep_tiles(std::span<const std::uint32_t> tiles);
+  Experiment& sweep_tiles(std::initializer_list<std::uint32_t> tiles);
 
   /// Fix single values without sweeping.
   Experiment& n(std::uint32_t n);
   Experiment& block(std::uint32_t block);
   Experiment& seed(std::uint32_t seed);
   Experiment& cores(std::uint32_t cores);
+  Experiment& tile(std::uint32_t tile);
 
   // --- simulator / energy configuration -----------------------------------
   /// Add a named SimParams variant to the params axis. The first call

@@ -57,6 +57,7 @@ enum class Mnemonic : std::uint16_t {
   kDmdst,   // dmdst rs1          : set DMA destination address
   kDmcpy,   // dmcpy rd, rs1      : start copy of rs1 bytes, rd <- txn id
   kDmstat,  // dmstat rd          : rd <- number of pending DMA transfers
+  kDmwait,  // dmwait             : stall until all pending DMA transfers finish
   // ---- Xcopift (paper Section II-B, custom-1 opcode space) ----
   kFcvtWDCop,   // fcvt.w.d.cop  fd, fs  : double -> int32, result in FP RF
   kFcvtWuDCop,  // fcvt.wu.d.cop fd, fs

@@ -16,6 +16,7 @@
 #include "kernels/glibc_math.hpp"
 #include "kernels/kernel_internal.hpp"
 #include "workload/hart_slice.hpp"
+#include "workload/tiled_buffer.hpp"
 
 namespace copift::kernels {
 
@@ -24,6 +25,13 @@ namespace {
 using workload::HartSlice;
 
 constexpr unsigned kUnroll = 4;
+
+/// Tiled (tile > 0) runs stream x/y between DRAM and TCDM double buffers;
+/// the table, constants and arena/spill rows stay TCDM-resident.
+workload::TiledBuffer make_exp_tiled(const KernelConfig& cfg) {
+  return workload::TiledBuffer(cfg, {{"xarr", workload::TiledBuffer::kIn, 8},
+                                     {"yarr", workload::TiledBuffer::kOut, 8}});
+}
 
 // Per-slot integer working registers for the table-lookup phase.
 const char* b0(unsigned u) {
@@ -39,7 +47,8 @@ const char* b2(unsigned u) {
   return kRegs[u];
 }
 
-void emit_exp_data(AsmBuilder& b, const KernelConfig& cfg, bool copift) {
+void emit_exp_data(AsmBuilder& b, const KernelConfig& cfg, bool copift,
+                   const workload::TiledBuffer& tiled) {
   const ExpConstants cst = exp_constants();
   b.raw(".data\n");
   b.l(".align 3");
@@ -63,6 +72,12 @@ void emit_exp_data(AsmBuilder& b, const KernelConfig& cfg, bool copift) {
     b.l(cat(".space ", kUnroll * 8 * cfg.cores));
     b.label("t_buf");
     b.l(cat(".space ", kUnroll * 8 * cfg.cores));
+  }
+  if (tiled.enabled()) {
+    // Real DRAM traffic: x/y live in DRAM, staged through double buffers.
+    // The artificial dram_in/dram_out staging stream is superseded.
+    tiled.emit_data(b);
+    return;
   }
   b.label("xarr");
   b.l(cat(".space ", cfg.n * 8));
@@ -109,26 +124,10 @@ void emit_int_lookup4(AsmBuilder& b, const std::string& rp, const std::string& w
   for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("sw ", b0(u), ", ", u * 8 + 4, "(", wp, ")"));
 }
 
-std::string generate_baseline(const KernelConfig& cfg) {
-  if (cfg.n % kUnroll != 0) throw Error(cat("exp/baseline: n=", cfg.n, " must be a multiple of 4"));
-  const HartSlice slice(cfg);
-  AsmBuilder b;
-  emit_exp_data(b, cfg, /*copift=*/false);
-  b.label("_start");
-  b.l("la a3, xarr");
-  b.l("la a4, yarr");
-  b.l("la t0, exp_tab");
-  b.l("la t1, ki_buf");
-  b.l("la t2, t_buf");
-  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and spill-buffer row");
-  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t6", "a0");
-  slice.offset_by_rows(b, "t5", kUnroll * 8, {"t1", "t2"}, "t6", "a0");
-  b.l(cat("li t3, ", slice.chunk() / kUnroll));
-  emit_load_constants(b);
-  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
-  emit_dma_stream(b, cfg.n * 8);
-  slice.end_hart0_only(b, "dma_done");
-  b.l("csrwi region, 1");
+/// The Fig. 1b loop over one run of elements: x at a3, y at a4, spill rows at
+/// t1/t2, exp_tab at t0, iteration count preloaded in t3 (shared by the
+/// untiled program and each tile of the tiled one).
+void emit_baseline_loop(AsmBuilder& b) {
   b.label("body_begin");
   b.c("FP front (Fig. 1b inst. 1-4), op-major over 4 elements");
   for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fld fa", u, ", ", u * 8, "(a3)"));
@@ -154,6 +153,52 @@ std::string generate_baseline(const KernelConfig& cfg) {
   b.l("addi t3, t3, -1");
   b.l("bnez t3, body_begin");
   b.label("body_end");
+}
+
+std::string generate_baseline(const KernelConfig& cfg) {
+  if (cfg.n % kUnroll != 0) throw Error(cat("exp/baseline: n=", cfg.n, " must be a multiple of 4"));
+  const HartSlice slice(cfg);
+  workload::TiledBuffer tiled = make_exp_tiled(cfg);
+  AsmBuilder b;
+  emit_exp_data(b, cfg, /*copift=*/false, tiled);
+  b.label("_start");
+  if (tiled.enabled()) {
+    b.l("la t0, exp_tab");
+    b.l("la t1, ki_buf");
+    b.l("la t2, t_buf");
+    slice.read_hartid(b, "t5", "partition: this hart's tile slice and spill-buffer row");
+    slice.offset_by_rows(b, "t5", kUnroll * 8, {"t1", "t2"}, "t6", "a0");
+    emit_load_constants(b);
+    tiled.prologue(b, slice);
+    b.l("csrwi region, 1");
+    b.label("tile_loop");
+    tiled.hart0_stage(b, slice);
+    tiled.compute_base(b, "a3", 0, "t5", "t6", "a0");
+    tiled.compute_base(b, "a4", 1, "t5", "t6", "a0");
+    b.l(cat("li t3, ", tiled.chunk() / kUnroll));
+    emit_baseline_loop(b);
+    b.l("csrr t6, fpss");  // land the offloaded fsd stores (t0 keeps exp_tab)
+    tiled.tile_epilogue(b, slice, "tile_loop");
+    b.l("csrwi region, 2");
+    tiled.final_store(b, slice);
+    slice.epilogue(b);
+    return b.str();
+  }
+  b.l("la a3, xarr");
+  b.l("la a4, yarr");
+  b.l("la t0, exp_tab");
+  b.l("la t1, ki_buf");
+  b.l("la t2, t_buf");
+  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and spill-buffer row");
+  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t6", "a0");
+  slice.offset_by_rows(b, "t5", kUnroll * 8, {"t1", "t2"}, "t6", "a0");
+  b.l(cat("li t3, ", slice.chunk() / kUnroll));
+  emit_load_constants(b);
+  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
+  emit_dma_stream(b, cfg.n * 8);
+  slice.end_hart0_only(b, "dma_done");
+  b.l("csrwi region, 1");
+  emit_baseline_loop(b);
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");
   slice.epilogue(b);
@@ -233,29 +278,10 @@ void emit_rotate(AsmBuilder& b) {
   b.l("mv s4, t6");
 }
 
-std::string generate_copift(const KernelConfig& cfg) {
-  const std::uint32_t block = cfg.block;
-  if (block % kUnroll != 0) throw Error(cat("exp/copift: block=", block, " must be a multiple of 4"));
-  if (cfg.n % block != 0) throw Error(cat("exp/copift: block=", block, " does not divide n=", cfg.n));
-  const HartSlice slice(cfg);
-  const std::uint32_t nb = slice.chunk() / block;  // blocks per hart
-  if (nb < 2) throw Error(cat("exp/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks per hart"));
-
-  AsmBuilder b;
-  emit_exp_data(b, cfg, /*copift=*/true);
-  b.label("_start");
-  b.l("la a3, xarr");
-  b.l("la a4, yarr");
-  b.l("la t0, exp_tab");
-  b.l(cat("li t4, ", block / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
-  b.l("la s2, arena");             // p_kiw = slot(0)
-  b.l(cat("la s3, arena + ", 2 * 3 * block * 8));  // p_int = slot(2)
-  b.l(cat("la s4, arena + ", 3 * block * 8));      // p_wt  = slot(1)
-  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and arena row");
-  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
-  slice.offset_by_rows(b, "t5", 3 * 3 * block * 8, {"s2", "s3", "s4"}, "t1", "t2");
-  emit_load_constants(b);
-  b.l("csrsi ssr, 1");
+/// The SSR lane shapes shared by every block (and, tiled, every tile):
+/// geometry depends only on the block size, so it is configured once.
+/// Leaves the constants s0 = 1 and s11 = B-1 live. Clobbers t6.
+void emit_ssr_shapes(AsmBuilder& b, std::uint32_t block) {
   b.c("static SSR shapes: lane0 1-D (B) for x reads / y writes; lane1 is a");
   b.c("3-D pair/field/group write (frep A) or a 1-D t read (frep B) — its");
   b.c("bound0 toggles per arm; lane2 is a 1-D w read");
@@ -279,12 +305,13 @@ std::string generate_copift(const KernelConfig& cfg) {
   b.l("scfgwi s11, 65");                // bound0 = B-1
   b.l("li t6, 8");
   b.l("scfgwi t6, 69");                 // stride0 = 8
-  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
-  emit_dma_stream(b, cfg.n * 8);
-  slice.end_hart0_only(b, "dma_done");
-  b.l(cat("li t3, ", nb - 2));  // steady-state iterations (per hart)
-  b.l("csrwi region, 1");
+}
 
+/// The three-phase software pipeline over one run of nb blocks (x at a3, y
+/// at a4, arena slots in s2/s3/s4, steady count nb-2 preloaded in t3):
+/// prologue (2 blocks), steady loop, epilogue (2 blocks). Shared by the
+/// untiled program and each tile of the tiled one.
+void emit_copift_pipeline(AsmBuilder& b, std::uint32_t block) {
   b.c("prologue j'=0: phase 0 of block 0");
   emit_frep_a(b, block);
   emit_rotate(b);
@@ -312,6 +339,68 @@ std::string generate_copift(const KernelConfig& cfg) {
   emit_rotate(b);
   b.c("epilogue j'=NB+1: phase 2 of the last block");
   emit_frep_b(b, block);
+}
+
+std::string generate_copift(const KernelConfig& cfg) {
+  const std::uint32_t block = cfg.block;
+  if (block % kUnroll != 0) throw Error(cat("exp/copift: block=", block, " must be a multiple of 4"));
+  if (cfg.n % block != 0) throw Error(cat("exp/copift: block=", block, " does not divide n=", cfg.n));
+  const HartSlice slice(cfg);
+  workload::TiledBuffer tiled = make_exp_tiled(cfg);
+  // Blocks per pipelined run: one tile's per-hart chunk, or the whole chunk.
+  const std::uint32_t nb = (tiled.enabled() ? tiled.chunk() : slice.chunk()) / block;
+  if (nb < 2) throw Error(cat("exp/copift: n=", cfg.n, " with block=", block, " needs at least 2 blocks per hart"));
+
+  AsmBuilder b;
+  emit_exp_data(b, cfg, /*copift=*/true, tiled);
+  b.label("_start");
+  if (tiled.enabled()) {
+    b.l("la t0, exp_tab");
+    b.l(cat("li t4, ", block / 2 - 1));  // FREP repetitions - 1
+    b.l("la s2, arena");             // p_kiw = slot(0)
+    b.l(cat("la s3, arena + ", 2 * 3 * block * 8));  // p_int = slot(2)
+    b.l(cat("la s4, arena + ", 3 * block * 8));      // p_wt  = slot(1)
+    slice.read_hartid(b, "t5", "partition: this hart's tile slice and arena row");
+    slice.offset_by_rows(b, "t5", 3 * 3 * block * 8, {"s2", "s3", "s4"}, "t1", "t2");
+    emit_load_constants(b);
+    emit_ssr_shapes(b, block);
+    tiled.prologue(b, slice);
+    b.l("csrwi region, 1");
+    b.label("tile_loop");
+    tiled.hart0_stage(b, slice);
+    slice.read_hartid(b, "t5");  // the integer phase clobbered t5 last tile
+    tiled.compute_base(b, "a3", 0, "t5", "t1", "t2");
+    tiled.compute_base(b, "a4", 1, "t5", "t1", "t2");
+    b.l("csrsi ssr, 1");
+    b.l(cat("li t3, ", nb - 2));  // steady-state iterations (per hart per tile)
+    emit_copift_pipeline(b, block);
+    b.l("csrr t3, fpss");  // drain (t0 keeps exp_tab; t3 is spent)
+    b.l("csrci ssr, 1");   // release ft0-2 before the tile barrier
+    tiled.tile_epilogue(b, slice, "tile_loop");
+    b.l("csrwi region, 2");
+    tiled.final_store(b, slice);
+    slice.epilogue(b);
+    return b.str();
+  }
+  b.l("la a3, xarr");
+  b.l("la a4, yarr");
+  b.l("la t0, exp_tab");
+  b.l(cat("li t4, ", block / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
+  b.l("la s2, arena");             // p_kiw = slot(0)
+  b.l(cat("la s3, arena + ", 2 * 3 * block * 8));  // p_int = slot(2)
+  b.l(cat("la s4, arena + ", 3 * block * 8));      // p_wt  = slot(1)
+  slice.read_hartid(b, "t5", "partition: this hart's x/y chunk and arena row");
+  slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
+  slice.offset_by_rows(b, "t5", 3 * 3 * block * 8, {"s2", "s3", "s4"}, "t1", "t2");
+  emit_load_constants(b);
+  b.l("csrsi ssr, 1");
+  emit_ssr_shapes(b, block);
+  slice.begin_hart0_only(b, "t5", "dma_done");  // the DMA engine is shared
+  emit_dma_stream(b, cfg.n * 8);
+  slice.end_hart0_only(b, "dma_done");
+  b.l(cat("li t3, ", nb - 2));  // steady-state iterations (per hart)
+  b.l("csrwi region, 1");
+  emit_copift_pipeline(b, block);
   b.l("csrr t0, fpss");  // drain
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");

@@ -14,6 +14,7 @@
 #include "kernels/runner.hpp"
 #include "sim/cluster.hpp"
 #include "workload/hart_slice.hpp"
+#include "workload/tiled_buffer.hpp"
 #include "workload/workload.hpp"
 
 namespace copift::kernels {
@@ -90,12 +91,22 @@ class PaperWorkload : public workload::Workload {
   void validate(Variant variant, const WorkloadConfig& config) const override {
     Workload::validate(variant, config);
     validate_blocked(name(), variant, config, unroll());
+    if (config.tile != 0) {
+      // Tiled runs stream DRAM-resident data; the per-hart-per-tile chunk
+      // takes over the structural role of the per-hart chunk.
+      validate_tiled(variant, config);
+      return;
+    }
     validate_harts(name(), variant, config, unroll());
   }
 
  protected:
   /// Elements (exp/log) or samples (MC) per unrolled loop iteration.
   [[nodiscard]] virtual std::uint32_t unroll() const = 0;
+
+  /// Tiled-structure checks; only reachable for workloads whose
+  /// tiled_capable() returns true (Workload::validate rejects the rest).
+  virtual void validate_tiled(Variant, const WorkloadConfig&) const {}
 };
 
 // --- exp / log (transcendental vector kernels) ------------------------------
@@ -106,6 +117,8 @@ class ExpWorkload final : public PaperWorkload {
   [[nodiscard]] std::string description() const override {
     return "y[i] = exp(x[i]), glibc-style table+poly over doubles (paper Fig. 1)";
   }
+
+  [[nodiscard]] bool tiled_capable(Variant) const override { return true; }
 
   [[nodiscard]] std::string generate(Variant variant,
                                      const WorkloadConfig& config) const override {
@@ -129,6 +142,22 @@ class ExpWorkload final : public PaperWorkload {
 
  protected:
   [[nodiscard]] std::uint32_t unroll() const override { return 4; }
+
+  void validate_tiled(Variant variant, const WorkloadConfig& cfg) const override {
+    // x + y are 16 bytes per element; exp_tab + exp_const + per-hart rows
+    // stay TCDM-resident alongside the double buffers.
+    if (variant == Variant::kCopift) {
+      const std::uint32_t arena = 3 * 3 * cfg.block * 8 * cfg.cores;
+      // The steady-state do-while needs prologue, steady and epilogue
+      // blocks, i.e. at least 3 blocks per hart per tile.
+      workload::TiledBuffer::validate(name(), variant, cfg, cfg.block, "the block size",
+                                      3, 16, arena + 4096);
+    } else {
+      const std::uint32_t spill = 2 * 4 * 8 * cfg.cores;
+      workload::TiledBuffer::validate(name(), variant, cfg, 4, "the unroll factor",
+                                      1, 16, spill + 4096);
+    }
+  }
 };
 
 class LogWorkload final : public PaperWorkload {

@@ -5,12 +5,21 @@
 // The engine's contribution to the power model is its busy/idle cycle split
 // (the paper notes the Monte Carlo kernels draw less power partly because
 // the DMA is inactive).
+//
+// With a DramModel attached, transfers touching the DRAM window are issued
+// as row-buffer bursts: each `burst_bytes` slice pays the open-row hit or
+// miss latency up front (no bytes move), then streams at
+// min(bytes_per_cycle, dram bandwidth). All burst state is kept as relative
+// countdowns inside the front Transfer, so advance(n) == n tick()s exactly
+// and skip-ahead stays chunk-exact. Transfers entirely inside TCDM keep the
+// flat path bit-for-bit, DramModel attached or not.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 
 #include "mem/address_space.hpp"
+#include "mem/dram.hpp"
 
 namespace copift::mem {
 
@@ -18,6 +27,14 @@ class DmaEngine {
  public:
   explicit DmaEngine(AddressSpace& memory, unsigned bytes_per_cycle = 64)
       : memory_(&memory), bytes_per_cycle_(bytes_per_cycle) {}
+
+  /// Attach the DRAM timing model; transfers with a src or dst in the DRAM
+  /// window go through it. `burst_bytes` must be a multiple of
+  /// bytes_per_cycle (SimParams::validate enforces it).
+  void attach_dram(DramModel& dram, unsigned burst_bytes) noexcept {
+    dram_ = &dram;
+    burst_bytes_ = burst_bytes;
+  }
 
   void set_src(std::uint32_t addr) noexcept { src_ = addr; }
   void set_dst(std::uint32_t addr) noexcept { dst_ = addr; }
@@ -31,6 +48,11 @@ class DmaEngine {
     return static_cast<std::uint32_t>(queue_.size());
   }
 
+  /// Pending transfers that touch the DRAM window (0 when no DramModel is
+  /// attached). Drives the dmwait stall-cause split: waiting on DRAM traffic
+  /// is attributed separately from waiting on TCDM-local copies.
+  [[nodiscard]] std::uint32_t dram_pending() const noexcept { return dram_pending_; }
+
   /// Advance one cycle.
   void tick();
 
@@ -39,6 +61,18 @@ class DmaEngine {
   void advance(std::uint64_t n) {
     while (n-- > 0 && !queue_.empty()) tick();
   }
+
+  /// Lower bound on the busy cycles left until the queue drains, for the
+  /// skip-ahead probe. Exact on the flat path (sum of per-chunk cycles);
+  /// with DRAM attached the real drain only grows (row latencies, narrower
+  /// bandwidth), so sleeping this many cycles never overshoots the wake.
+  [[nodiscard]] std::uint64_t drain_cycles_lower_bound() const noexcept;
+
+  /// Same bound, summed only through the *last* DRAM-touching transfer in
+  /// the queue: for at least this many busy cycles dram_pending() stays
+  /// nonzero, so a dmwait sleep attributed to the DRAM cause is safe for
+  /// this window. 0 when nothing pending touches DRAM.
+  [[nodiscard]] std::uint64_t dram_drain_cycles_lower_bound() const noexcept;
 
   [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
   [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
@@ -50,13 +84,24 @@ class DmaEngine {
     std::uint32_t dst;
     std::uint32_t bytes;
     std::uint32_t progress = 0;
+    // DRAM burst state, all relative countdowns (no absolute clock: this is
+    // what keeps advance(n) == n ticks under skip-ahead).
+    bool touches_dram = false;
+    bool burst_open = false;
+    unsigned latency_left = 0;   // row hit/miss cycles before bytes flow
+    std::uint32_t burst_left = 0;  // bytes remaining in the open burst
   };
+
+  void open_burst(Transfer& t);
 
   AddressSpace* memory_;
   unsigned bytes_per_cycle_;
+  DramModel* dram_ = nullptr;
+  unsigned burst_bytes_ = 256;
   std::uint32_t src_ = 0;
   std::uint32_t dst_ = 0;
   std::uint32_t next_id_ = 0;
+  std::uint32_t dram_pending_ = 0;
   std::deque<Transfer> queue_;
   std::uint64_t busy_cycles_ = 0;
   std::uint64_t bytes_moved_ = 0;

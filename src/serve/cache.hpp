@@ -26,7 +26,7 @@
 namespace copift::serve {
 
 /// Cache coordinates of one simulated grid point. Mirrors ProgramCache's
-/// (name, variant, n, block, seed, cores) key, plus the simulator
+/// (name, variant, n, block, seed, cores, tile) key, plus the simulator
 /// configuration (fingerprinted field-by-field) and whether golden-reference
 /// verification ran — two runs that differ in either are different results.
 struct ResultKey {
@@ -36,6 +36,7 @@ struct ResultKey {
   std::uint32_t block = 0;
   std::uint32_t seed = 0;
   std::uint32_t cores = 0;
+  std::uint32_t tile = 0;
   std::string params_fingerprint;
   bool verify = true;
 

@@ -514,8 +514,8 @@ Request parse_request(std::string_view line, std::size_t max_points) {
   }
 
   static constexpr const char* kKnownKeys[] = {"id",    "type",  "workloads", "variants",
-                                               "n",     "block", "cores",     "seeds",
-                                               "verify", "progress"};
+                                               "n",     "block", "cores",     "tile",
+                                               "seeds", "verify", "progress"};
   for (const auto& [key, value] : doc.as_object()) {
     bool known = false;
     for (const char* k : kKnownKeys) known = known || key == k;
@@ -571,6 +571,7 @@ Request parse_request(std::string_view line, std::size_t max_points) {
   req.ns = axis_values(doc, "n", false);
   req.blocks = axis_values(doc, "block", false);
   req.cores = axis_values(doc, "cores", false);
+  req.tiles = axis_values(doc, "tile", true);  // 0 = untiled
   req.seeds = axis_values(doc, "seeds", true);  // 0 is a legal seed
   if (const Json* verify = doc.find("verify")) req.verify = verify->as_bool();
   if (const Json* progress = doc.find("progress")) req.progress = progress->as_bool();
@@ -597,11 +598,14 @@ Request parse_request(std::string_view line, std::size_t max_points) {
         req.blocks.empty() ? std::vector<std::uint32_t>{defaults.block} : req.blocks;
     const auto cores =
         req.cores.empty() ? std::vector<std::uint32_t>{defaults.cores} : req.cores;
+    const auto tiles =
+        req.tiles.empty() ? std::vector<std::uint32_t>{defaults.tile} : req.tiles;
     const auto seeds = req.seeds.empty() ? std::vector<std::uint32_t>{defaults.seed} : req.seeds;
 
     std::size_t count = 1;
     for (const std::size_t axis :
-         {variants.size(), ns.size(), blocks.size(), cores.size(), seeds.size()}) {
+         {variants.size(), ns.size(), blocks.size(), cores.size(), tiles.size(),
+          seeds.size()}) {
       count = count > kSaturated / axis ? kSaturated : count * axis;
     }
     points = count > kSaturated - points ? kSaturated : points + count;
@@ -618,16 +622,19 @@ Request parse_request(std::string_view line, std::size_t max_points) {
       for (const auto n : ns) {
         for (const auto block : blocks) {
           for (const auto core_count : cores) {
-            for (const auto seed : seeds) {
-              workload::WorkloadConfig cfg;
-              cfg.n = n;
-              cfg.block = block;
-              cfg.seed = seed;
-              cfg.cores = core_count;
-              try {
-                wl->validate(variant, cfg);
-              } catch (const Error& e) {
-                throw ProtocolError(std::string("invalid grid point: ") + e.what());
+            for (const auto tile : tiles) {
+              for (const auto seed : seeds) {
+                workload::WorkloadConfig cfg;
+                cfg.n = n;
+                cfg.block = block;
+                cfg.seed = seed;
+                cfg.cores = core_count;
+                cfg.tile = tile;
+                try {
+                  wl->validate(variant, cfg);
+                } catch (const Error& e) {
+                  throw ProtocolError(std::string("invalid grid point: ") + e.what());
+                }
               }
             }
           }

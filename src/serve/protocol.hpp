@@ -128,6 +128,7 @@ struct Request {
   std::vector<std::uint32_t> ns;
   std::vector<std::uint32_t> blocks;
   std::vector<std::uint32_t> cores;
+  std::vector<std::uint32_t> tiles;  // 0 = untiled (TCDM-resident arrays)
   std::vector<std::uint32_t> seeds;
   bool verify = true;
   bool progress = true;  // emit per-point progress events for this request

@@ -38,7 +38,8 @@ std::uint64_t peek_id(const std::string& line) {
 std::string describe(const ResultKey& key) {
   return key.workload + "/" + workload::variant_name(static_cast<workload::Variant>(key.variant)) +
          " n=" + std::to_string(key.n) + " block=" + std::to_string(key.block) +
-         " cores=" + std::to_string(key.cores) + " seed=" + std::to_string(key.seed);
+         " cores=" + std::to_string(key.cores) + " tile=" + std::to_string(key.tile) +
+         " seed=" + std::to_string(key.seed);
 }
 
 }  // namespace
@@ -194,8 +195,8 @@ bool Server::handle_line(const std::shared_ptr<Client>& client, const std::strin
 
 std::vector<Server::PointSpec> Server::expand(const Request& request) {
   // Axis nesting mirrors ParamGrid's row-major order (workloads, variants,
-  // n, block, cores, seeds — last fastest) so a response table is ordered
-  // exactly like the equivalent batch-mode Experiment's.
+  // n, block, cores, tiles, seeds — last fastest) so a response table is
+  // ordered exactly like the equivalent batch-mode Experiment's.
   std::vector<PointSpec> points;
   const auto& registry = workload::WorkloadRegistry::instance();
   for (const auto& name : request.workloads) {
@@ -209,21 +210,26 @@ std::vector<Server::PointSpec> Server::expand(const Request& request) {
         request.blocks.empty() ? std::vector<std::uint32_t>{defaults.block} : request.blocks;
     const auto cores =
         request.cores.empty() ? std::vector<std::uint32_t>{defaults.cores} : request.cores;
+    const auto tiles =
+        request.tiles.empty() ? std::vector<std::uint32_t>{defaults.tile} : request.tiles;
     const auto seeds =
         request.seeds.empty() ? std::vector<std::uint32_t>{defaults.seed} : request.seeds;
     for (const auto variant : variants) {
       for (const auto n : ns) {
         for (const auto block : blocks) {
           for (const auto core_count : cores) {
-            for (const auto seed : seeds) {
-              PointSpec spec;
-              spec.workload = name;
-              spec.variant = variant;
-              spec.config.n = n;
-              spec.config.block = block;
-              spec.config.seed = seed;
-              spec.config.cores = core_count;
-              points.push_back(std::move(spec));
+            for (const auto tile : tiles) {
+              for (const auto seed : seeds) {
+                PointSpec spec;
+                spec.workload = name;
+                spec.variant = variant;
+                spec.config.n = n;
+                spec.config.block = block;
+                spec.config.seed = seed;
+                spec.config.cores = core_count;
+                spec.config.tile = tile;
+                points.push_back(std::move(spec));
+              }
             }
           }
         }
@@ -307,6 +313,7 @@ void Server::run_epoch(std::vector<PendingRequest> epoch) {
       key.block = spec.config.block;
       key.seed = spec.config.seed;
       key.cores = spec.config.cores;
+      key.tile = spec.config.tile;
       // All server runs use default SimParams with num_cores = the point's
       // cores value; that value is already the `cores` component, so the
       // base fingerprint is shared.

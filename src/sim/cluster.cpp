@@ -21,6 +21,18 @@ Cluster::Cluster(std::shared_ptr<const rvasm::Program> program, ClusterTopology 
       arbiter_(topo_.shared().num_tcdm_banks, topo_.num_cores()),
       dma_(memory_, topo_.shared().dma_bytes_per_cycle),
       barrier_(topo_.num_cores()) {
+  const SimParams& shared = topo_.shared();
+  if (shared.dram_enabled) {
+    mem::DramTiming timing;
+    timing.t_row_hit = shared.dram_t_row_hit;
+    timing.t_row_miss = shared.dram_t_row_miss;
+    timing.row_bytes = shared.dram_row_bytes;
+    timing.bytes_per_cycle = shared.dram_bytes_per_cycle;
+    timing.channels = shared.dram_channels;
+    timing.max_inflight = shared.dram_max_inflight;
+    dram_ = std::make_unique<mem::DramModel>(timing);
+    dma_.attach_dram(*dram_, shared.dram_burst_bytes);
+  }
   complexes_.reserve(topo_.num_cores());
   for (unsigned h = 0; h < topo_.num_cores(); ++h) {
     complexes_.push_back(std::make_unique<CoreComplex>(h, topo_.num_cores(), topo_.complex(h),
@@ -153,6 +165,10 @@ void Cluster::tick() {
   // thereby to the aggregate view).
   complexes_.front()->counters().dma_busy_cycles = dma_.busy_cycles();
   complexes_.front()->counters().dma_bytes = dma_.bytes_moved();
+  if (dram_) {
+    complexes_.front()->counters().dram_row_hits = dram_->row_hits();
+    complexes_.front()->counters().dram_row_misses = dram_->row_misses();
+  }
   ++cycle_;
   for (auto& cx : complexes_) cx->counters().cycles = cycle_;
 }
@@ -196,6 +212,10 @@ bool Cluster::try_skip() {
   dma_.advance(n);
   complexes_.front()->counters().dma_busy_cycles = dma_.busy_cycles();
   complexes_.front()->counters().dma_bytes = dma_.bytes_moved();
+  if (dram_) {
+    complexes_.front()->counters().dram_row_hits = dram_->row_hits();
+    complexes_.front()->counters().dram_row_misses = dram_->row_misses();
+  }
   cycle_ = window;
   for (auto& cx : complexes_) cx->counters().cycles = cycle_;
   ++skip_jumps_;

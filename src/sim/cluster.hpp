@@ -21,6 +21,7 @@
 
 #include "mem/address_space.hpp"
 #include "mem/dma.hpp"
+#include "mem/dram.hpp"
 #include "mem/tcdm.hpp"
 #include "rvasm/program.hpp"
 #include "sim/core_complex.hpp"
@@ -113,6 +114,8 @@ class Cluster {
   [[nodiscard]] const ssr::SsrUnit& ssr() const noexcept { return complexes_.front()->ssr(); }
   [[nodiscard]] mem::DmaEngine& dma() noexcept { return dma_; }
   [[nodiscard]] const mem::DmaEngine& dma() const noexcept { return dma_; }
+  /// DRAM timing model, or nullptr when SimParams::dram_enabled is false.
+  [[nodiscard]] const mem::DramModel* dram() const noexcept { return dram_.get(); }
   /// Hart 0's instruction + stall tracer (disabled by default). Use
   /// set_tracing() to switch every hart's tracer at once.
   [[nodiscard]] Tracer& tracer() noexcept { return complexes_.front()->tracer(); }
@@ -140,6 +143,10 @@ class Cluster {
   ClusterTopology topo_;
   mem::AddressSpace memory_;
   mem::TcdmArbiter arbiter_;
+  // Heap-allocated so the DmaEngine's pointer into it stays stable; null
+  // when the shared params leave DRAM timing disabled (the default, which
+  // keeps every pinned paper cycle count byte-identical).
+  std::unique_ptr<mem::DramModel> dram_;
   mem::DmaEngine dma_;
   HwBarrier barrier_;
   // unique_ptr: complexes hold pointers into the shared members above and

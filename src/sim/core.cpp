@@ -60,6 +60,8 @@ void IntCore::add_stall(StallCause cause, std::uint64_t n) {
     case StallCause::kIntMemOrder: counters_->stall_mem_order += n; break;
     case StallCause::kIntBarrier: counters_->stall_barrier += n; break;
     case StallCause::kIntHwBarrier: counters_->stall_hw_barrier += n; break;
+    case StallCause::kIntDmaWait: counters_->stall_dma_wait += n; break;
+    case StallCause::kIntDmaDram: counters_->stall_dma_dram += n; break;
     case StallCause::kIntOffload: counters_->int_offloads += n; break;
     case StallCause::kIntHalted: counters_->int_halt_cycles += n; break;
     default: throw SimError("FPSS stall cause attributed to the integer core");
@@ -463,6 +465,19 @@ std::optional<mem::TcdmRequest> IntCore::prepare(std::uint64_t now) {
       return std::nullopt;
     }
     case ExecUnit::kDma: {
+      if (op.mnemonic == Mnemonic::kDmwait) {
+        // The cluster ticks the DMA engine before core prepare, so this
+        // observes the post-tick queue: dmwait retires the same cycle the
+        // last queued transfer completes.
+        if (dma_->pending() > 0) {
+          account(now, dma_->dram_pending() > 0 ? StallCause::kIntDmaDram
+                                                : StallCause::kIntDmaWait);
+          return std::nullopt;
+        }
+        ++counters_->dma_cmds;
+        retire_and_advance(pc_ + 4, now);
+        return std::nullopt;
+      }
       if (op.rd != 0 && !wb_free(now + 1)) {
         account(now, StallCause::kIntWbPort);
         return std::nullopt;
@@ -643,6 +658,24 @@ WakeInfo IntCore::probe(std::uint64_t now) const {
     case ExecUnit::kCsr:
       return probe_csr(op, now);
     case ExecUnit::kDma:
+      if (op.mnemonic == Mnemonic::kDmwait) {
+        if (dma_->pending() == 0) return WakeInfo::progress();
+        // The probe runs before this cycle's DMA tick. If the queue needs K
+        // more ticks, prepare() (which observes post-tick state) retires at
+        // now + K - 1; the cycles before that stall with a constant cause.
+        // A bound of <= 1 means this very cycle may retire: report progress.
+        // While a DRAM-touching transfer is in flight the cause is
+        // kIntDmaDram; dram_drain_cycles_lower_bound() bounds the window
+        // over which that stays true.
+        if (dma_->dram_pending() > 0) {
+          const std::uint64_t k = dma_->dram_drain_cycles_lower_bound();
+          if (k <= 1) return WakeInfo::progress();
+          return WakeInfo::sleep(now + k - 1, StallCause::kIntDmaDram);
+        }
+        const std::uint64_t k = dma_->drain_cycles_lower_bound();
+        if (k <= 1) return WakeInfo::progress();
+        return WakeInfo::sleep(now + k - 1, StallCause::kIntDmaWait);
+      }
       if (op.rd != 0 && !wb_free(now + 1)) {
         return WakeInfo::sleep(now + 1, StallCause::kIntWbPort);
       }

@@ -50,6 +50,8 @@ constexpr std::uint64_t ActivityCounters::* kEventFields[] = {
     &ActivityCounters::l0_refills,
     &ActivityCounters::dma_busy_cycles,
     &ActivityCounters::dma_bytes,
+    &ActivityCounters::dram_row_hits,
+    &ActivityCounters::dram_row_misses,
     &ActivityCounters::stall_raw,
     &ActivityCounters::stall_wb_port,
     &ActivityCounters::stall_offload_full,
@@ -60,6 +62,8 @@ constexpr std::uint64_t ActivityCounters::* kEventFields[] = {
     &ActivityCounters::stall_branch,
     &ActivityCounters::stall_div_busy,
     &ActivityCounters::stall_mem_order,
+    &ActivityCounters::stall_dma_wait,
+    &ActivityCounters::stall_dma_dram,
     &ActivityCounters::fpss_stall_ssr,
     &ActivityCounters::fpss_stall_raw,
     &ActivityCounters::fpss_stall_struct,

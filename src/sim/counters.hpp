@@ -80,6 +80,8 @@ struct ActivityCounters {
   std::uint64_t l0_refills = 0;
   std::uint64_t dma_busy_cycles = 0;
   std::uint64_t dma_bytes = 0;
+  std::uint64_t dram_row_hits = 0;    // DRAM bursts that found their row open
+  std::uint64_t dram_row_misses = 0;  // DRAM bursts that paid precharge+activate
 
   // Integer-core stall cycles by primary cause.
   std::uint64_t stall_raw = 0;
@@ -92,6 +94,8 @@ struct ActivityCounters {
   std::uint64_t stall_branch = 0;
   std::uint64_t stall_div_busy = 0;
   std::uint64_t stall_mem_order = 0;  // int load held back by a queued FP store
+  std::uint64_t stall_dma_wait = 0;   // dmwait: TCDM-local DMA transfers draining
+  std::uint64_t stall_dma_dram = 0;   // dmwait: DRAM-touching DMA transfer in flight
 
   // FPSS stall/idle cycles.
   std::uint64_t fpss_stall_ssr = 0;
@@ -111,7 +115,8 @@ struct ActivityCounters {
   }
   [[nodiscard]] std::uint64_t int_stall_cycles() const noexcept {
     return stall_raw + stall_wb_port + stall_offload_full + stall_icache + stall_tcdm +
-           stall_barrier + stall_hw_barrier + stall_branch + stall_div_busy + stall_mem_order;
+           stall_barrier + stall_hw_barrier + stall_branch + stall_div_busy + stall_mem_order +
+           stall_dma_wait + stall_dma_dram;
   }
   [[nodiscard]] std::uint64_t fpss_issue_cycles() const noexcept {
     return fp_retired + fpss_cfg_cycles;

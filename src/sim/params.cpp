@@ -26,6 +26,25 @@ void SimParams::validate() const {
          " must be a non-zero power of two");
   }
   if (dma_bytes_per_cycle == 0) fail("dma_bytes_per_cycle must be >= 1 (the DMA would hang)");
+  if (dram_enabled) {
+    if (!copift::is_pow2(dram_row_bytes)) {
+      fail("dram_row_bytes=" + std::to_string(dram_row_bytes) +
+           " must be a non-zero power of two");
+    }
+    if (dram_bytes_per_cycle == 0) fail("dram_bytes_per_cycle must be >= 1");
+    if (dram_channels == 0) fail("dram_channels must be >= 1");
+    if (dram_max_inflight == 0) fail("dram_max_inflight must be >= 1");
+    if (dram_burst_bytes == 0) fail("dram_burst_bytes must be >= 1");
+    // Bursts must cut the transfer at engine-chunk boundaries, or the
+    // per-cycle byte flow would diverge from the flat path even with zero
+    // row latency — breaking the present-but-unused == absent equivalence
+    // the differential tests pin.
+    if (dram_burst_bytes % dma_bytes_per_cycle != 0) {
+      fail("dram_burst_bytes=" + std::to_string(dram_burst_bytes) +
+           " must be a multiple of dma_bytes_per_cycle=" +
+           std::to_string(dma_bytes_per_cycle));
+    }
+  }
   if (max_cycles == 0) fail("max_cycles must be >= 1");
 }
 

@@ -49,6 +49,24 @@ struct SimParams {
   unsigned ssr_fifo_depth = 4;
   unsigned dma_bytes_per_cycle = 64;
 
+  // Main-memory (DRAM) level behind the DMA engine. Off by default: every
+  // paper measurement fits in TCDM, and the pinned cycle counts must stay
+  // byte-identical with the level absent. When enabled, DMA transfers whose
+  // source or destination lies in the kDramBase window are split into
+  // dram_burst_bytes bursts; each burst pays the open-row hit or miss
+  // latency before streaming at min(dma_bytes_per_cycle,
+  // dram_bytes_per_cycle). Rows interleave across dram_channels at
+  // dram_row_bytes granularity, and at most dram_max_inflight requests can
+  // be outstanding in the closed-form request model (mem::DramModel).
+  bool dram_enabled = false;
+  unsigned dram_t_row_hit = 4;
+  unsigned dram_t_row_miss = 30;
+  unsigned dram_row_bytes = 2048;
+  unsigned dram_bytes_per_cycle = 32;
+  unsigned dram_burst_bytes = 256;
+  unsigned dram_channels = 2;
+  unsigned dram_max_inflight = 8;
+
   std::uint64_t max_cycles = 1'000'000'000;
 
   /// Event-driven clock: when every hart is in a provable known-duration

@@ -40,6 +40,10 @@ const CauseInfo& cause_info(StallCause cause) noexcept {
        "copift.barrier or SSR/FPSS drain wait"},
       {"int/hw-barrier", "stall_hw_barrier", &ActivityCounters::stall_hw_barrier,
        SlotKind::kStall, "waiting for the other harts at the inter-hart barrier CSR"},
+      {"int/dma-wait", "stall_dma_wait", &ActivityCounters::stall_dma_wait, SlotKind::kStall,
+       "dmwait: queued DMA transfers still draining (TCDM-local traffic)"},
+      {"int/dma-dram", "stall_dma_dram", &ActivityCounters::stall_dma_dram, SlotKind::kStall,
+       "dmwait: DMA transfer in flight against the DRAM row/bandwidth model"},
       {"int/offload", "int_offloads", &ActivityCounters::int_offloads, SlotKind::kIssue,
        "issue slot used to hand an instruction to the FPSS FIFO (retires FP-side)"},
       {"int/halted", "int_halt_cycles", &ActivityCounters::int_halt_cycles, SlotKind::kIdle,

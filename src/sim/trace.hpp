@@ -42,6 +42,8 @@ enum class StallCause : std::uint8_t {
   kIntMemOrder,     // load held back by an overlapping queued FP store
   kIntBarrier,      // copift.barrier / FPSS or SSR drain wait
   kIntHwBarrier,    // waiting for the other harts at the hardware barrier CSR
+  kIntDmaWait,      // dmwait: queued DMA transfers still draining (TCDM-local)
+  kIntDmaDram,      // dmwait: DMA transfer in flight against the DRAM model
   kIntOffload,      // occupied: instruction handed to the FPSS FIFO this cycle
   kIntHalted,       // idle: post-ecall, waiting for FP work to drain
   // FPSS.

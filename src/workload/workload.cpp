@@ -59,6 +59,11 @@ void Workload::validate(Variant variant, const WorkloadConfig& config) const {
                       "cores=" + std::to_string(config.cores) + " exceeds the cluster maximum of " +
                           std::to_string(sim::kMaxHarts) + " harts");
   }
+  if (config.tile != 0 && !tiled_capable(variant)) {
+    throw ConfigError(name(), variant,
+                      "tile=" + std::to_string(config.tile) +
+                          " requested but this workload has no tiled (DRAM/DMA) variant");
+  }
 }
 
 void Workload::populate_inputs(sim::Cluster&, const WorkloadConfig&) const {}

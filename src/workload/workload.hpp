@@ -55,6 +55,13 @@ struct WorkloadConfig {
   /// that override Workload::multi_hart_capable emit mhartid-partitioned
   /// code for cores > 1. 1 (the default) is the single-core paper setup.
   std::uint32_t cores = 1;
+  /// Elements per DMA tile for workloads that support DRAM-resident data
+  /// (Workload::tiled_capable). 0 (the default) keeps the historical
+  /// TCDM-resident codegen byte-identical; a positive value places the
+  /// arrays in DRAM and generates a double-buffered tile loop that DMAs
+  /// tile k+1 in while computing tile k (workload/tiled_buffer.hpp), so n
+  /// may exceed the TCDM capacity by orders of magnitude.
+  std::uint32_t tile = 0;
 };
 
 /// Raised by Workload::validate on unusable configurations. The message
@@ -110,6 +117,11 @@ class Workload : public std::enable_shared_from_this<Workload> {
   /// harts (emit `mhartid`-based slicing + `barrier` synchronization) for
   /// the given variant. The base validate() rejects cores > 1 when false.
   [[nodiscard]] virtual bool multi_hart_capable(Variant) const { return false; }
+
+  /// Whether this workload's generator can emit the DMA double-buffered
+  /// tile loop over DRAM-resident arrays (WorkloadConfig::tile > 0). The
+  /// base validate() rejects tile > 0 when false.
+  [[nodiscard]] virtual bool tiled_capable(Variant) const { return false; }
 
   /// Throw ConfigError when the configuration cannot be generated. The base
   /// implementation rejects unsupported variants; overrides should call it

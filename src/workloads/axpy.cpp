@@ -29,6 +29,7 @@
 #include "kernels/prng.hpp"
 #include "sim/cluster.hpp"
 #include "workload/hart_slice.hpp"
+#include "workload/tiled_buffer.hpp"
 #include "workload/workload.hpp"
 
 namespace copift::workloads {
@@ -66,11 +67,24 @@ std::vector<double> axpy_y(std::uint32_t n, std::uint32_t seed) {
   return y;
 }
 
-void emit_data(AsmBuilder& b, const WorkloadConfig& cfg) {
+/// The workload's two streamed arrays; in tiled mode TiledBuffer places them
+/// in DRAM and stages `<name>_buf` double buffers in TCDM.
+workload::TiledBuffer make_tiled(const WorkloadConfig& cfg) {
+  return workload::TiledBuffer(
+      cfg, {{"xarr", workload::TiledBuffer::kIn, 8},
+            {"yarr", workload::TiledBuffer::kInOut, 8}});
+}
+
+void emit_data(AsmBuilder& b, const WorkloadConfig& cfg,
+               const workload::TiledBuffer& tiled) {
   b.raw(".data\n");
   b.l(".align 3");
   b.label("axpy_const");
   b.l(dword_of(axpy_a(cfg.seed)));
+  if (tiled.enabled()) {
+    tiled.emit_data(b);
+    return;
+  }
   b.label("xarr");
   b.l(cat(".space ", cfg.n * 8));
   b.label("yarr");
@@ -85,19 +99,9 @@ void emit_hart_slice(AsmBuilder& b, const workload::HartSlice& slice) {
   slice.offset_by_elements(b, "t5", 8, {"a3", "a4"}, "t1", "t2");
 }
 
-std::string generate_baseline(const WorkloadConfig& cfg) {
-  const workload::HartSlice slice(cfg);
-  const std::uint32_t chunk = slice.chunk();
-  AsmBuilder b;
-  emit_data(b, cfg);
-  b.label("_start");
-  b.l("la a3, xarr");
-  b.l("la a4, yarr");
-  b.l("la s0, axpy_const");
-  b.l("fld fs0, 0(s0)");  // a
-  emit_hart_slice(b, slice);
-  b.l(cat("li t3, ", chunk / kUnroll));
-  b.l("csrwi region, 1");
+/// The 4x-unrolled scalar loop with x in a3, y in a4 and the iteration count
+/// preloaded in t3 (shared by the untiled program and each tile).
+void emit_baseline_body(AsmBuilder& b) {
   b.label("body_begin");
   b.c("op-major over 4 independent elements");
   for (unsigned u = 0; u < kUnroll; ++u) b.l(cat("fld fa", u, ", ", u * 8, "(a3)"));
@@ -111,28 +115,54 @@ std::string generate_baseline(const WorkloadConfig& cfg) {
   b.l("addi t3, t3, -1");
   b.l("bnez t3, body_begin");
   b.label("body_end");
+}
+
+std::string generate_baseline(const WorkloadConfig& cfg) {
+  const workload::HartSlice slice(cfg);
+  const std::uint32_t chunk = slice.chunk();
+  workload::TiledBuffer tiled = make_tiled(cfg);
+  AsmBuilder b;
+  emit_data(b, cfg, tiled);
+  b.label("_start");
+  if (tiled.enabled()) {
+    b.l("la s0, axpy_const");
+    b.l("fld fs0, 0(s0)");  // a
+    slice.read_hartid(b, "t5", "partition: this hart's slice of every tile");
+    tiled.prologue(b, slice);
+    b.l("csrwi region, 1");
+    b.label("tile_loop");
+    tiled.hart0_stage(b, slice);
+    tiled.compute_base(b, "a3", 0, "t5", "t1", "t2");
+    tiled.compute_base(b, "a4", 1, "t5", "t1", "t2");
+    b.l(cat("li t3, ", tiled.chunk() / kUnroll));
+    emit_baseline_body(b);
+    b.l("csrr t0, fpss");  // land the offloaded fsd stores before the DMA-out
+    tiled.tile_epilogue(b, slice, "tile_loop");
+    b.l("csrwi region, 2");
+    tiled.final_store(b, slice);
+    slice.epilogue(b);
+    return b.str();
+  }
+  b.l("la a3, xarr");
+  b.l("la a4, yarr");
+  b.l("la s0, axpy_const");
+  b.l("fld fs0, 0(s0)");  // a
+  emit_hart_slice(b, slice);
+  b.l(cat("li t3, ", chunk / kUnroll));
+  b.l("csrwi region, 1");
+  emit_baseline_body(b);
   b.l("csrwi region, 2");
   b.l("csrr t0, fpss");  // drain offloaded stores before halting
   slice.epilogue(b);  // harts leave together; barrier-wait counters expose imbalance
   return b.str();
 }
 
-std::string generate_copift(const WorkloadConfig& cfg) {
-  const workload::HartSlice slice(cfg);
-  const std::uint32_t chunk = slice.chunk();
-  AsmBuilder b;
-  emit_data(b, cfg);
-  b.label("_start");
-  b.l("la a3, xarr");
-  b.l("la a4, yarr");
-  b.l("la s0, axpy_const");
-  b.l("fld fs0, 0(s0)");  // a
-  emit_hart_slice(b, slice);
-  b.l(cat("li t4, ", chunk / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
-  b.l("csrsi ssr, 1");
+/// Bounds/strides for the three SSR lanes over `count` contiguous doubles
+/// (lane0 reads x, lane1 reads y, lane2 writes y). Clobbers t6.
+void emit_ssr_geometry(AsmBuilder& b, std::uint32_t count) {
   b.c("lane0 reads x (ft0), lane1 reads y (ft1), lane2 writes y (ft2);");
   b.c("all three are 1-D streams of this hart's contiguous doubles");
-  b.l(cat("li t6, ", chunk - 1));
+  b.l(cat("li t6, ", count - 1));
   b.l("scfgwi t6, 1");    // lane0 bound0 = n-1
   b.l("scfgwi t6, 33");   // lane1 bound0
   b.l("scfgwi t6, 65");   // lane2 bound0
@@ -140,7 +170,11 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("scfgwi t6, 5");    // lane0 stride0 = 8
   b.l("scfgwi t6, 37");   // lane1 stride0
   b.l("scfgwi t6, 69");   // lane2 stride0
-  b.l("csrwi region, 1");
+}
+
+/// Arm the lane pointers at a3/a4 and run one FREP burst over them. The
+/// trailing `csrr t0, fpss` lands the lane-2 writes in TCDM.
+void emit_copift_body(AsmBuilder& b) {
   b.l("scfgwi a3, 24");   // lane0 RPTR0 <- x (arms the read stream)
   b.l("scfgwi a4, 56");   // lane1 RPTR0 <- y
   b.l("scfgwi a4, 92");   // lane2 WPTR0 <- y (arms the write stream)
@@ -150,6 +184,47 @@ std::string generate_copift(const WorkloadConfig& cfg) {
   b.l("fmadd.d ft2, fs0, ft0, ft1");
   b.label("body_end");
   b.l("csrr t0, fpss");  // drain the FPSS and the lane-2 write stream
+}
+
+std::string generate_copift(const WorkloadConfig& cfg) {
+  const workload::HartSlice slice(cfg);
+  const std::uint32_t chunk = slice.chunk();
+  workload::TiledBuffer tiled = make_tiled(cfg);
+  AsmBuilder b;
+  emit_data(b, cfg, tiled);
+  b.label("_start");
+  if (tiled.enabled()) {
+    b.l("la s0, axpy_const");
+    b.l("fld fs0, 0(s0)");  // a
+    slice.read_hartid(b, "t5", "partition: this hart's slice of every tile");
+    tiled.prologue(b, slice);
+    b.c("stream geometry is per-tile-constant; only the pointers re-arm");
+    emit_ssr_geometry(b, tiled.chunk());
+    b.l(cat("li t4, ", tiled.chunk() / 2 - 1));  // FREP repetitions - 1
+    b.l("csrwi region, 1");
+    b.label("tile_loop");
+    tiled.hart0_stage(b, slice);
+    tiled.compute_base(b, "a3", 0, "t5", "t1", "t2");
+    tiled.compute_base(b, "a4", 1, "t5", "t1", "t2");
+    b.l("csrsi ssr, 1");
+    emit_copift_body(b);
+    b.l("csrci ssr, 1");  // release ft0-2 before the tile barrier
+    tiled.tile_epilogue(b, slice, "tile_loop");
+    b.l("csrwi region, 2");
+    tiled.final_store(b, slice);
+    slice.epilogue(b);
+    return b.str();
+  }
+  b.l("la a3, xarr");
+  b.l("la a4, yarr");
+  b.l("la s0, axpy_const");
+  b.l("fld fs0, 0(s0)");  // a
+  emit_hart_slice(b, slice);
+  b.l(cat("li t4, ", chunk / 2 - 1));  // FREP repetitions - 1 (2x unrolled body)
+  b.l("csrsi ssr, 1");
+  emit_ssr_geometry(b, chunk);
+  b.l("csrwi region, 1");
+  emit_copift_body(b);
   b.l("csrci ssr, 1");
   b.l("csrwi region, 2");
   slice.epilogue(b);
@@ -164,12 +239,19 @@ class AxpyWorkload final : public workload::Workload {
   }
 
   [[nodiscard]] bool multi_hart_capable(Variant) const override { return true; }
+  [[nodiscard]] bool tiled_capable(Variant) const override { return true; }
 
   void validate(Variant variant, const WorkloadConfig& config) const override {
     Workload::validate(variant, config);
     if (config.n % kUnroll != 0) {
       throw ConfigError(name(), variant, "n=" + std::to_string(config.n) +
                                              " must be a multiple of the unroll factor 4");
+    }
+    if (config.tile != 0) {
+      // Two arrays of doubles; reserve a little TCDM for axpy_const.
+      workload::TiledBuffer::validate(name(), variant, config, kUnroll,
+                                      "the unroll factor", 1, 16, 256);
+      return;
     }
     workload::HartSlice::validate(name(), variant, config, kUnroll, "the unroll factor");
   }

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -64,6 +65,12 @@ void print_usage(std::FILE* out) {
                "  --cores N              run on N core complexes (multi-hart workloads\n"
                "                         partition via mhartid; assembly files must\n"
                "                         handle mhartid/barrier themselves)\n"
+               "  --tile T               DMA tile size in elements: place the workload's\n"
+               "                         arrays in DRAM behind the double-buffered tile\n"
+               "                         loop so n can exceed TCDM (0 = untiled;\n"
+               "                         tiled-capable workloads only)\n"
+               "  --dram                 enable the DRAM timing model (row-buffer +\n"
+               "                         bandwidth); off = DMA at TCDM speed\n"
                "  --list                 print registered workloads and exit\n"
                "\n"
                "introspection (single-run mode):\n"
@@ -72,11 +79,13 @@ void print_usage(std::FILE* out) {
                "                         (load it at https://ui.perfetto.dev); implies tracing\n"
                "  --report               print the top-down pipeline report: issue-slot\n"
                "                         occupancy, stall-cause histogram, dual-issue rate,\n"
-               "                         hottest PCs, per-hart issue slots and barrier-wait\n"
-               "                         cycles, and the stall taxonomy legend\n"
+               "                         hottest PCs, per-hart issue slots, barrier-wait\n"
+               "                         cycles, the DMA/memory section (DMA busy%%, DRAM\n"
+               "                         row hit rate, bytes moved) and the stall legend\n"
                "\n"
                "batch mode:\n"
-               "  --sweep axis=v1,v2,... sweep an axis (block, n, seed, cores); repeatable\n"
+               "  --sweep axis=v1,v2,... sweep an axis (block, n, seed, cores, tile);\n"
+               "                         repeatable\n"
                "  --threads N            engine worker threads (0 = all cores)\n"
                "  --json                 emit the sweep result table as JSON, not CSV\n"
                "  --no-verify            skip golden-reference output verification\n"
@@ -165,7 +174,8 @@ void print_summary(sim::Cluster& cluster) {
               static_cast<unsigned long long>(c.frep_replays));
   std::printf("IPC:           %.3f\n", c.ipc());
   std::printf("stalls:        raw %llu, wb-port %llu, offload %llu, tcdm %llu, "
-              "barrier %llu, hw-barrier %llu, icache %llu, branch %llu, mem-order %llu\n",
+              "barrier %llu, hw-barrier %llu, icache %llu, branch %llu, mem-order %llu, "
+              "dma-wait %llu, dma-dram %llu\n",
               static_cast<unsigned long long>(c.stall_raw),
               static_cast<unsigned long long>(c.stall_wb_port),
               static_cast<unsigned long long>(c.stall_offload_full),
@@ -174,13 +184,31 @@ void print_summary(sim::Cluster& cluster) {
               static_cast<unsigned long long>(c.stall_hw_barrier),
               static_cast<unsigned long long>(c.stall_icache),
               static_cast<unsigned long long>(c.stall_branch),
-              static_cast<unsigned long long>(c.stall_mem_order));
+              static_cast<unsigned long long>(c.stall_mem_order),
+              static_cast<unsigned long long>(c.stall_dma_wait),
+              static_cast<unsigned long long>(c.stall_dma_dram));
   std::printf("memory:        tcdm reads %llu, writes %llu, conflicts %llu, "
               "ssr elements %llu\n",
               static_cast<unsigned long long>(c.tcdm_reads),
               static_cast<unsigned long long>(c.tcdm_writes),
               static_cast<unsigned long long>(c.tcdm_conflicts),
               static_cast<unsigned long long>(c.ssr_elements));
+  if (c.dma_bytes > 0 || c.dma_busy_cycles > 0) {
+    const std::uint64_t bursts = c.dram_row_hits + c.dram_row_misses;
+    std::printf("dma/dram:      %llu bytes moved, dma busy %.1f%% of %llu cycles",
+                static_cast<unsigned long long>(c.dma_bytes),
+                c.cycles > 0 ? 100.0 * static_cast<double>(c.dma_busy_cycles) /
+                                   static_cast<double>(c.cycles)
+                             : 0.0,
+                static_cast<unsigned long long>(c.cycles));
+    if (bursts > 0) {
+      std::printf(", dram row hits %llu/%llu (%.1f%%)",
+                  static_cast<unsigned long long>(c.dram_row_hits),
+                  static_cast<unsigned long long>(bursts),
+                  100.0 * static_cast<double>(c.dram_row_hits) / static_cast<double>(bursts));
+    }
+    std::printf("\n");
+  }
   // Per-complex energy: hart 0 carries the cluster constants, each further
   // hart its complex constant — the same model the engine sweeps use, so
   // single runs and sweep rows agree for any core count (for one core this
@@ -219,6 +247,33 @@ void print_summary(sim::Cluster& cluster) {
   }
 }
 
+/// --report section for the beyond-TCDM path: how busy the DMA engine was,
+/// how well the access pattern exploited the DRAM row buffer, and how much
+/// data crossed the cluster boundary. All zeros for TCDM-resident workloads.
+std::string render_dma_report(const sim::Cluster& cluster) {
+  const auto& c = cluster.counters();
+  std::ostringstream os;
+  os << "--- dma / memory hierarchy ---\n";
+  const double busy_pct = c.cycles > 0 ? 100.0 * static_cast<double>(c.dma_busy_cycles) /
+                                             static_cast<double>(c.cycles)
+                                       : 0.0;
+  os << "dma busy:      " << c.dma_busy_cycles << " of " << c.cycles << " cycles ("
+     << std::fixed << std::setprecision(1) << busy_pct << "%)\n";
+  os << "bytes moved:   " << c.dma_bytes << " (" << c.dma_cmds << " dmcpy commands)\n";
+  const std::uint64_t bursts = c.dram_row_hits + c.dram_row_misses;
+  if (bursts > 0) {
+    os << "dram bursts:   " << bursts << ", row hits " << c.dram_row_hits << " ("
+       << std::setprecision(1)
+       << 100.0 * static_cast<double>(c.dram_row_hits) / static_cast<double>(bursts)
+       << "%), row misses " << c.dram_row_misses << "\n";
+  } else {
+    os << "dram bursts:   0 (no DRAM traffic, or dram timing disabled)\n";
+  }
+  os << "dma stalls:    dmwait on TCDM-side drain " << c.stall_dma_wait
+     << " cycles, on DRAM bursts " << c.stall_dma_dram << " cycles\n";
+  return os.str();
+}
+
 /// One `--sweep axis=v1,v2,...` specification.
 struct SweepSpec {
   std::string axis;
@@ -229,7 +284,8 @@ bool parse_sweep(const std::string& arg, SweepSpec& out) {
   const auto eq = arg.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) return false;
   out.axis = arg.substr(0, eq);
-  if (out.axis != "block" && out.axis != "n" && out.axis != "seed" && out.axis != "cores") {
+  if (out.axis != "block" && out.axis != "n" && out.axis != "seed" && out.axis != "cores" &&
+      out.axis != "tile") {
     return false;
   }
   out.values.clear();
@@ -262,6 +318,8 @@ int main(int argc, char** argv) {
   std::int64_t block = -1;
   std::int64_t seed = -1;
   std::int64_t cores = -1;
+  std::int64_t tile = -1;
+  bool dram = false;
   unsigned threads = 0;
   std::vector<SweepSpec> sweeps;
   try {
@@ -297,6 +355,8 @@ int main(int argc, char** argv) {
     else if (arg == "--block") block = parse_u32_flag("--block", value_of(arg));
     else if (arg == "--seed") seed = parse_u32_flag("--seed", value_of(arg));
     else if (arg == "--cores") cores = parse_u32_flag("--cores", value_of(arg));
+    else if (arg == "--tile") tile = parse_u32_flag("--tile", value_of(arg));
+    else if (arg == "--dram") dram = true;
     // (numeric flag values are parsed as uint32 and stored widened, so -1
     // never collides with a user-supplied value)
     else if (arg == "--max-cycles") max_cycles = parse_u64_flag("--max-cycles", value_of(arg));
@@ -335,6 +395,7 @@ int main(int argc, char** argv) {
     if (max_cycles > 0) params.max_cycles = max_cycles;
     if (cores >= 0) params.num_cores = static_cast<unsigned>(cores);
     params.skip_ahead = skip_ahead;
+    params.dram_enabled = dram;
 
     std::shared_ptr<const workload::Workload> wl;
     std::vector<workload::Variant> run_variants;
@@ -347,6 +408,7 @@ int main(int argc, char** argv) {
       if (block >= 0) cfg.block = static_cast<std::uint32_t>(block);
       if (seed >= 0) cfg.seed = static_cast<std::uint32_t>(seed);
       if (cores >= 0) cfg.cores = static_cast<std::uint32_t>(cores);
+      if (tile >= 0) cfg.tile = static_cast<std::uint32_t>(tile);
       if (variant == "both") {
         run_variants = {workload::Variant::kBaseline, workload::Variant::kCopift};
       } else if (!variant.empty()) {
@@ -369,14 +431,15 @@ int main(int argc, char** argv) {
       // Batch mode: expand the sweep axes into one engine experiment.
       engine::Experiment experiment;
       experiment.over(kernel).n(cfg.n).block(cfg.block).seed(cfg.seed).cores(cfg.cores)
-          .verify(verify);
+          .tile(cfg.tile).verify(verify);
       experiment.over(std::span<const workload::Variant>(run_variants));
-      if (max_cycles > 0) experiment.with_params("default", params);
+      if (max_cycles > 0 || dram) experiment.with_params("default", params);
       for (const auto& spec : sweeps) {
         const std::span<const std::uint32_t> values(spec.values);
         if (spec.axis == "block") experiment.sweep(values);
         else if (spec.axis == "n") experiment.sweep_n(values);
         else if (spec.axis == "cores") experiment.sweep_cores(values);
+        else if (spec.axis == "tile") experiment.sweep_tiles(values);
         else experiment.sweep_seeds(values);
       }
       engine::SimEngine pool(threads);
@@ -407,9 +470,9 @@ int main(int argc, char** argv) {
       source = generated.source;
       have_kernel = true;
       params.num_cores = cfg.cores;  // topology follows the workload config
-      std::printf("workload %s (%s), n=%u, block=%u, seed=%u, cores=%u\n", kernel.c_str(),
-                  workload::variant_name(generated.variant), cfg.n, cfg.block, cfg.seed,
-                  cfg.cores);
+      std::printf("workload %s (%s), n=%u, block=%u, seed=%u, cores=%u, tile=%u%s\n",
+                  kernel.c_str(), workload::variant_name(generated.variant), cfg.n, cfg.block,
+                  cfg.seed, cfg.cores, cfg.tile, dram ? " (dram timing on)" : "");
     } else {
       std::ifstream in(file);
       if (!in) {
@@ -472,11 +535,12 @@ int main(int argc, char** argv) {
       std::printf("trace:         %s (load at https://ui.perfetto.dev)\n", trace_json.c_str());
     }
     if (report) {
-      std::printf("\n%s\n%s\n%s",
+      std::printf("\n%s\n%s\n%s\n%s",
                   sim::render_report(cluster.tracer(), cluster.counters(), 10,
                                      cluster.num_cores())
                       .c_str(),
                   sim::render_hart_summary(cluster).c_str(),
+                  render_dma_report(cluster).c_str(),
                   sim::stall_taxonomy_legend().c_str());
     }
     if (trace) {
