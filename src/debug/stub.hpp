@@ -1,0 +1,86 @@
+// Loopback TCP GDB stub for the simulated cluster.
+//
+// Listens on 127.0.0.1 (port 0 = ephemeral, port() reports the bound one),
+// blocks until one RSP client attaches — so the program is inspectable from
+// cycle 0 — then serves the session synchronously: the stub owns the
+// simulation loop, and the cluster only advances inside continue/step
+// requests. Threads map to harts (RSP thread id = hart + 1). Detach (`D`)
+// and kill (`k`) both free-run the simulation to completion so the driver
+// still gets its summary and output verification.
+//
+// Protocol surface: g/G/p/P (GPRs, FPRs, PC), m/M (TCDM + DRAM window),
+// Z0/Z1 + Z2-4 (PC breakpoints, memory watchpoints), s/i/c, H/T/qC/
+// qfThreadInfo/qThreadExtraInfo, qXfer:features:read (RISC-V target.xml so
+// stock gdb picks up the FP registers), Ctrl-C interrupt, and qRcmd monitor
+// commands exposing stall attribution, DMA/DRAM state, energy and nearest
+// rvasm labels (see docs/debugging.md for the full reference).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "debug/hub.hpp"
+#include "debug/rsp.hpp"
+#include "serve/net.hpp"
+#include "sim/cluster.hpp"
+
+namespace copift::debug {
+
+struct StubOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  bool verbose = false;    // log every packet to stderr
+};
+
+class GdbStub {
+ public:
+  GdbStub(sim::Cluster& cluster, StubOptions options);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Block until a client attaches, serve the session, and return once the
+  /// simulation completed (or the client detached and the free-run
+  /// finished). Throws SimError when max_cycles elapse, exactly like
+  /// Cluster::run().
+  sim::RunResult serve();
+
+ private:
+  bool pump(int timeout_ms);  // read bytes into inbox_; false when closed
+  bool take_interrupt();      // remove a queued Ctrl-C from inbox_
+  void handle_event(const rsp::PacketReader::Event& event);
+  void reply(std::string_view payload);
+  std::string dispatch(std::string_view packet);
+
+  std::string handle_query(std::string_view packet);
+  std::string handle_registers_read();
+  std::string handle_registers_write(std::string_view packet);
+  std::string handle_reg_read(std::string_view packet);
+  std::string handle_reg_write(std::string_view packet);
+  std::string handle_mem_read(std::string_view packet);
+  std::string handle_mem_write(std::string_view packet);
+  std::string handle_breakpoint(std::string_view packet, bool insert);
+  std::string handle_thread_op(std::string_view packet);
+  std::string handle_step(std::string_view packet, bool cycle_step);
+  std::string handle_continue(std::string_view packet);
+  std::string handle_monitor(std::string_view hex_command);
+  std::string stop_reply(const Stop& stop);
+  std::string monitor_text(const std::string& command);
+  [[nodiscard]] std::string target_xml() const;
+  [[nodiscard]] unsigned cont_hart() const;
+
+  DebugHub hub_;
+  StubOptions options_;
+  serve::Listener listener_;
+  std::unique_ptr<serve::Connection> conn_;
+  rsp::PacketReader reader_;
+  std::deque<rsp::PacketReader::Event> inbox_;
+  std::string last_frame_;  // retransmitted on NACK
+  int cont_hart_ = -1;      // RSP `Hc`: -1 = all/any
+  Stop last_stop_{};
+  bool have_stop_ = false;
+  bool detached_ = false;
+  bool timed_out_ = false;
+};
+
+}  // namespace copift::debug

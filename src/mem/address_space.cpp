@@ -42,37 +42,49 @@ void AddressSpace::grow_dram(std::uint32_t required) {
   dram_.resize(dram_used_);  // value-initialization zero-fills the new bytes
 }
 
-std::uint8_t AddressSpace::load8(std::uint32_t addr) const { return *at(addr, 1); }
+std::uint8_t AddressSpace::load8(std::uint32_t addr) const {
+  if (watcher_) watcher_->on_load(addr, 1);
+  return *at(addr, 1);
+}
 
 std::uint16_t AddressSpace::load16(std::uint32_t addr) const {
+  if (watcher_) watcher_->on_load(addr, 2);
   std::uint16_t v;
   std::memcpy(&v, at(addr, 2), 2);
   return v;
 }
 
 std::uint32_t AddressSpace::load32(std::uint32_t addr) const {
+  if (watcher_) watcher_->on_load(addr, 4);
   std::uint32_t v;
   std::memcpy(&v, at(addr, 4), 4);
   return v;
 }
 
 std::uint64_t AddressSpace::load64(std::uint32_t addr) const {
+  if (watcher_) watcher_->on_load(addr, 8);
   std::uint64_t v;
   std::memcpy(&v, at(addr, 8), 8);
   return v;
 }
 
-void AddressSpace::store8(std::uint32_t addr, std::uint8_t value) { *at(addr, 1) = value; }
+void AddressSpace::store8(std::uint32_t addr, std::uint8_t value) {
+  if (watcher_) watcher_->on_store(addr, 1);
+  *at(addr, 1) = value;
+}
 
 void AddressSpace::store16(std::uint32_t addr, std::uint16_t value) {
+  if (watcher_) watcher_->on_store(addr, 2);
   std::memcpy(at(addr, 2), &value, 2);
 }
 
 void AddressSpace::store32(std::uint32_t addr, std::uint32_t value) {
+  if (watcher_) watcher_->on_store(addr, 4);
   std::memcpy(at(addr, 4), &value, 4);
 }
 
 void AddressSpace::store64(std::uint32_t addr, std::uint64_t value) {
+  if (watcher_) watcher_->on_store(addr, 8);
   std::memcpy(at(addr, 8), &value, 8);
 }
 
@@ -83,6 +95,10 @@ void AddressSpace::write_block(std::uint32_t addr, const std::vector<std::uint8_
 
 void AddressSpace::copy(std::uint32_t dst, std::uint32_t src, std::uint32_t bytes) {
   if (bytes == 0) return;
+  if (watcher_) {
+    watcher_->on_load(src, bytes);
+    watcher_->on_store(dst, bytes);
+  }
   // Resolve the source after the destination: either at() may grow the DRAM
   // backing store, which would invalidate a previously obtained pointer.
   std::uint8_t* d = at(dst, bytes);

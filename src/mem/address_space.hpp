@@ -11,9 +11,24 @@
 
 namespace copift::mem {
 
+/// Observer for functional memory traffic, used by the debug subsystem's
+/// watchpoints. Purely observational: implementations must not touch memory.
+/// The null default keeps the access paths a single pointer test, so runs
+/// without a debugger attached are bit-identical and effectively free.
+class MemWatcher {
+ public:
+  virtual ~MemWatcher() = default;
+  virtual void on_load(std::uint32_t addr, std::uint32_t size) = 0;
+  virtual void on_store(std::uint32_t addr, std::uint32_t size) = 0;
+};
+
 class AddressSpace {
  public:
   AddressSpace();
+
+  /// Install (or clear, with nullptr) the traffic observer. Bulk program
+  /// loading via write_block() is not reported — it happens before cycle 0.
+  void set_watcher(MemWatcher* watcher) noexcept { watcher_ = watcher; }
 
   /// Narrow loads return zero-extended values; the core sign-extends.
   [[nodiscard]] std::uint8_t load8(std::uint32_t addr) const;
@@ -40,6 +55,7 @@ class AddressSpace {
   // Extend the lazily-grown DRAM backing store to cover `required` bytes.
   void grow_dram(std::uint32_t required);
 
+  MemWatcher* watcher_ = nullptr;
   std::vector<std::uint8_t> tcdm_;
   // DRAM backing grows on demand to the touched high-water mark instead of
   // committing (and zeroing) all of kDramSize up front: constructing a

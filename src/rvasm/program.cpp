@@ -1,5 +1,7 @@
 #include "rvasm/program.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 
 namespace copift::rvasm {
@@ -20,6 +22,32 @@ std::size_t Program::text_index(std::uint32_t addr) const {
   }
   if ((addr & 3U) != 0) throw Error("misaligned text address");
   return (addr - text_base) / 4;
+}
+
+std::optional<Program::NearestLabel> Program::nearest_label(std::uint32_t addr) const {
+  if (addr < text_base || (addr - text_base) / 4 >= text.size()) return std::nullopt;
+  // Greatest text symbol <= addr. The symbol map is small (one entry per
+  // label) and sorted by name, not address, so scan it; symbolization is a
+  // reporting path, never the simulation hot path.
+  std::optional<NearestLabel> best;
+  for (const auto& [name, value] : symbols) {
+    if (value > addr) continue;
+    if (value < text_base || (value - text_base) / 4 >= text.size()) continue;
+    if (!best || value > addr - best->offset) best = NearestLabel{name, addr - value};
+  }
+  return best;
+}
+
+std::string Program::symbolize(std::uint32_t addr) const {
+  const auto label = nearest_label(addr);
+  if (!label) return {};
+  std::string out(label->name);
+  if (label->offset != 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "+0x%x", label->offset);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace copift::rvasm

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,20 @@ struct Program {
   /// Index into `text` for an address inside the text section; throws on
   /// out-of-range or misaligned addresses.
   [[nodiscard]] std::size_t text_index(std::uint32_t addr) const;
+
+  /// Nearest text label at or below `addr`: the greatest symbol whose value
+  /// is <= addr and inside the text section. Used to symbolize PCs as
+  /// `label+0xNN` in reports and the debug stub; nullopt when `addr` is
+  /// outside text or precedes every label.
+  struct NearestLabel {
+    std::string_view name;
+    std::uint32_t offset = 0;  // addr - label address
+  };
+  [[nodiscard]] std::optional<NearestLabel> nearest_label(std::uint32_t addr) const;
+
+  /// `label+0xNN` (or bare `label` at offset 0) for a text address, empty
+  /// string when no label qualifies.
+  [[nodiscard]] std::string symbolize(std::uint32_t addr) const;
 };
 
 }  // namespace copift::rvasm

@@ -14,6 +14,8 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <list>
 #include <map>
 #include <memory>
@@ -55,6 +57,7 @@ struct CacheStats {
   std::uint64_t coalesced = 0;   // attached to another caller's in-flight entry
   std::uint64_t evictions = 0;
   std::uint64_t failures = 0;    // entries dropped because computation threw
+  std::uint64_t reloaded = 0;    // entries restored from a persisted cache file
   std::size_t entries = 0;
   std::size_t capacity = 0;
 };
@@ -97,6 +100,28 @@ class ResultCache {
   void fail(const ResultKey& key, const EntryPtr& entry, const std::string& message);
 
   [[nodiscard]] CacheStats stats() const;
+
+  /// Maps a persisted workload name back to its registry handle; return
+  /// nullptr to skip the entry (e.g. an out-of-tree workload that is not
+  /// registered in this process).
+  using WorkloadResolver =
+      std::function<std::shared_ptr<const workload::Workload>(const std::string&)>;
+
+  /// Persist every completed (ready, non-failed) entry whose key matches the
+  /// canonical serving configuration (default SimParams at the point's core
+  /// count — the only configuration the daemon ever caches under) to a
+  /// version-stamped text stream, least-recently-used first so load()
+  /// restores the LRU order. In-flight entries are skipped. Returns the
+  /// number of entries written.
+  std::size_t save(std::ostream& os) const;
+
+  /// Reload entries written by save(). The header's version stamp and
+  /// counter-layout size must match this build exactly; throws copift::Error
+  /// otherwise (callers typically warn and start empty). Entries whose
+  /// workload the resolver cannot map are skipped; already-resident keys are
+  /// kept (the live entry wins). Each restored entry counts toward
+  /// CacheStats::reloaded. Returns the number of entries restored.
+  std::size_t load(std::istream& is, const WorkloadResolver& resolver);
 
  private:
   void touch_locked(const ResultKey& key);

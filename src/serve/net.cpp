@@ -139,17 +139,49 @@ Connection::ReadStatus Connection::read_line(std::string& out, int wake_fd,
   }
 }
 
+Connection::ReadStatus Connection::read_bytes(std::string& out, int wake_fd, int timeout_ms) {
+  if (!buffer_.empty()) {
+    out.append(buffer_);
+    buffer_.clear();
+    return ReadStatus::kLine;
+  }
+  while (true) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, timeout_ms);
+    if (rc == 0) return ReadStatus::kIdleTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kClosed;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return ReadStatus::kWake;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadStatus::kClosed;
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+    return ReadStatus::kLine;
+  }
+}
+
 bool Connection::send_line(std::string_view line) {
-  std::lock_guard lock(write_mutex_);
-  if (peer_gone_) return false;
   std::string framed;
   framed.reserve(line.size() + 1);
   framed.append(line);
   framed += '\n';
+  return send_bytes(framed);
+}
+
+bool Connection::send_bytes(std::string_view bytes) {
+  std::lock_guard lock(write_mutex_);
+  if (peer_gone_) return false;
   std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       peer_gone_ = true;

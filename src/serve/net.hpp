@@ -89,9 +89,19 @@ class Connection {
   ReadStatus read_line(std::string& out, int wake_fd, int idle_timeout_ms,
                        std::size_t max_line_bytes);
 
+  /// Raw-byte read for non-line protocols (the RSP debug stub): append
+  /// whatever is available to `out`. Drains internally buffered bytes first;
+  /// otherwise polls up to `timeout_ms` (< 0 waits forever, 0 is a pure
+  /// non-blocking check). Returns kLine when bytes were appended,
+  /// kIdleTimeout when the poll window expired with nothing to read.
+  ReadStatus read_bytes(std::string& out, int wake_fd, int timeout_ms);
+
   /// Append '\n' and write the whole message (looping over partial writes).
   /// Returns false once the peer is gone; errors never raise SIGPIPE.
   bool send_line(std::string_view line);
+
+  /// Write raw bytes without framing (the RSP stub frames its own packets).
+  bool send_bytes(std::string_view bytes);
 
   /// Shut down the socket for reading so a blocked reader thread returns;
   /// queued writes still flush.

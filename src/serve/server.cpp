@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unordered_map>
@@ -53,6 +55,7 @@ Server::~Server() {
 }
 
 void Server::start() {
+  load_cache_file();
   listener_ = std::make_unique<Listener>(config_.port);
   start_time_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -84,6 +87,9 @@ void Server::wait() {
     reader_threads_.clear();
   }
   if (scheduler_thread_.joinable()) scheduler_thread_.join();
+  // Every queued sweep has drained and published by now, so the snapshot is
+  // complete: a restart with the same --cache-file answers repeats instantly.
+  if (!cache_saved_.exchange(true)) save_cache_file();
 }
 
 // --- accept / read ----------------------------------------------------------
@@ -464,6 +470,53 @@ engine::ResultRow Server::simulate_point(const PointSpec& spec, bool verify,
 
 // --- stats ------------------------------------------------------------------
 
+void Server::load_cache_file() {
+  if (config_.cache_file.empty()) return;
+  std::ifstream in(config_.cache_file);
+  if (!in.is_open()) return;  // first run: nothing persisted yet
+  try {
+    const std::size_t restored = cache_.load(
+        in, [](const std::string& name) { return workload::WorkloadRegistry::instance().find(name); });
+    std::fprintf(stderr, "copift_serve: reloaded %zu cached result(s) from %s\n", restored,
+                 config_.cache_file.c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "copift_serve: ignoring cache file %s: %s\n", config_.cache_file.c_str(),
+                 e.what());
+  }
+}
+
+void Server::save_cache_file() {
+  if (config_.cache_file.empty()) return;
+  // A server that never started never loaded the previous snapshot; writing
+  // here would clobber it with an empty cache.
+  if (listener_ == nullptr) return;
+  // Write-then-rename so a crash mid-write never corrupts the previous
+  // snapshot (load() would reject a torn file, losing the whole cache).
+  const std::string tmp = config_.cache_file + ".tmp";
+  std::size_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "copift_serve: cannot write cache file %s\n", tmp.c_str());
+      return;
+    }
+    written = cache_.save(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "copift_serve: short write to cache file %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), config_.cache_file.c_str()) != 0) {
+    std::fprintf(stderr, "copift_serve: cannot rename %s into place\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return;
+  }
+  std::fprintf(stderr, "copift_serve: persisted %zu cached result(s) to %s\n", written,
+               config_.cache_file.c_str());
+}
+
 ServerStats Server::stats() const {
   ServerStats s;
   s.uptime_ms = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -505,6 +558,7 @@ std::string Server::stats_json(std::uint64_t id, const char* event) const {
          ",\"misses\":" + std::to_string(s.cache.misses) +
          ",\"coalesced\":" + std::to_string(s.cache.coalesced) +
          ",\"evictions\":" + std::to_string(s.cache.evictions) +
+         ",\"reloaded\":" + std::to_string(s.cache.reloaded) +
          ",\"entries\":" + std::to_string(s.cache.entries) +
          ",\"capacity\":" + std::to_string(s.cache.capacity) + ",\"hit_rate\":" + rate + "}}";
   return out;

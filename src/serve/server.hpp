@@ -52,6 +52,10 @@ struct ServerConfig {
   std::size_t max_grid_points = 65536;
   /// Reject request lines longer than this (protocol violation).
   std::size_t max_line_bytes = 1 << 20;
+  /// Persist the ResultCache here: reload at start(), write back after the
+  /// shutdown drain in wait(). Empty disables persistence. A missing file is
+  /// a fresh start; a stale or corrupt one logs a warning and starts empty.
+  std::string cache_file;
 };
 
 struct ServerStats {
@@ -127,6 +131,8 @@ class Server {
   [[nodiscard]] engine::ResultRow simulate_point(const PointSpec& spec, bool verify,
                                                  engine::ProgramCache& programs) const;
   [[nodiscard]] std::string stats_json(std::uint64_t id, const char* event) const;
+  void load_cache_file();
+  void save_cache_file();
 
   ServerConfig config_;
   engine::SimEngine engine_;
@@ -135,6 +141,7 @@ class Server {
   WakePipe wake_;
 
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> cache_saved_{false};  // wait() persists at most once
   engine::CancelToken cancel_;
   std::chrono::steady_clock::time_point start_time_{};
 

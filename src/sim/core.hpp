@@ -57,6 +57,18 @@ class IntCore {
   [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
   [[nodiscard]] unsigned hart_id() const noexcept { return hart_id_; }
 
+  /// Debugger write to the architectural PC (RSP `P` on regnum 32): repoints
+  /// the fetch stage between cycles. The cached micro-op and any in-progress
+  /// fetch/branch shadow are discarded, exactly as a taken redirect would.
+  /// Only call while the cluster is stopped (never between prepare/commit).
+  void debug_set_pc(std::uint32_t pc) noexcept {
+    pc_ = pc;
+    op_ = nullptr;
+    fetch_done_ = false;
+    fetch_stall_ = 0;
+    branch_stall_ = 0;
+  }
+
  private:
   static constexpr std::uint64_t kBusy = ~std::uint64_t{0};  // written by FPSS later
 

@@ -200,7 +200,8 @@ std::string render_hart_summary(const Cluster& cluster) {
 }
 
 std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
-                          unsigned top_pcs, unsigned num_harts) {
+                          unsigned top_pcs, unsigned num_harts,
+                          const rvasm::Program* program) {
   const ActivityCounters& c = counters;
   // Multi-hart aggregates sum slot-cycles over harts while `cycles` stays
   // the cluster cycle count; normalizing by cycles*harts keeps every
@@ -291,9 +292,13 @@ std::string render_report(const Tracer& tracer, const ActivityCounters& counters
                 hot.size(), hart_note);
   out += buf;
   for (const auto& [pc, entry] : hot) {
-    std::snprintf(buf, sizeof(buf), "  0x%-8x %8llu  %s\n", pc,
+    // Symbolized as `label+0xNN` when the program (and a label at or below
+    // the PC) is available, so hot loops are recognizable at a glance.
+    const std::string sym = program != nullptr ? program->symbolize(pc) : std::string();
+    std::snprintf(buf, sizeof(buf), "  0x%-8x %8llu  %-28s%s%s%s\n", pc,
                   static_cast<unsigned long long>(entry.first),
-                  isa::disassemble(entry.second->instr).c_str());
+                  isa::disassemble(entry.second->instr).c_str(), sym.empty() ? "" : " <",
+                  sym.c_str(), sym.empty() ? "" : ">");
     out += buf;
   }
   return out;

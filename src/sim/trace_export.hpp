@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "rvasm/program.hpp"
 #include "sim/counters.hpp"
 #include "sim/trace.hpp"
 
@@ -46,8 +47,10 @@ void write_chrome_trace(std::ostream& os, const Cluster& cluster);
 /// aggregate pass `num_harts` so percentages normalize to the total issue
 /// slots (cycles x harts) and the identity issue+stall+idle == 100% holds;
 /// the trace-derived sections then carry a hart-0 label (pass hart 0's
-/// tracer).
+/// tracer). With `program` supplied, hottest-PC lines are symbolized as
+/// `label+0xNN` via Program::nearest_label.
 [[nodiscard]] std::string render_report(const Tracer& tracer, const ActivityCounters& counters,
-                                        unsigned top_pcs = 10, unsigned num_harts = 1);
+                                        unsigned top_pcs = 10, unsigned num_harts = 1,
+                                        const rvasm::Program* program = nullptr);
 
 }  // namespace copift::sim

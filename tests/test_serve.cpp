@@ -4,8 +4,10 @@
 // server exercised over real sockets.
 #include <arpa/inet.h>
 #include <chrono>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
+#include <sstream>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -409,6 +411,166 @@ TEST(ServeCache, ParamsFingerprintTracksEveryField) {
   sim::SimParams lat = base;
   lat.fpu.fma += 1;
   EXPECT_NE(serve::params_fingerprint(lat), before);
+}
+
+// --- cache persistence -------------------------------------------------------
+
+/// A key in the canonical serving configuration (the only kind save()
+/// persists): default SimParams at the key's core count.
+serve::ResultKey persist_key(std::uint32_t seed, std::uint32_t cores = 1) {
+  serve::ResultKey key;
+  key.workload = "exp";
+  key.n = 64;
+  key.block = 16;
+  key.seed = seed;
+  key.cores = cores;
+  sim::SimParams params;
+  params.num_cores = cores;
+  key.params_fingerprint = serve::params_fingerprint(params);
+  return key;
+}
+
+/// A row with distinctive bits in every persisted field.
+engine::ResultRow persist_row(std::uint32_t cores) {
+  engine::ResultRow row;
+  row.run.result.halted = true;
+  row.run.result.cycles = 0xdeadbeefcafeull;
+  row.run.result.exit_code = 7;
+  row.run.verified = true;
+  row.run.total.cycles = 1111;
+  row.run.total.fp_retired = 2222;
+  row.run.region.cycles = 333;
+  row.run.region_energy.total_pj = 1.25e6;
+  row.run.region_energy.memory_pj = 0.1;  // not exactly representable: bit test
+  row.run.region_energy.cycles = 333;
+  for (std::uint32_t h = 0; h < cores; ++h) {
+    sim::ActivityCounters hc;
+    hc.cycles = 1000 + h;
+    row.run.hart_region.push_back(hc);
+    energy::EnergyReport he;
+    he.total_pj = 10.5 + h;
+    row.run.hart_energy.push_back(he);
+  }
+  return row;
+}
+
+std::shared_ptr<const workload::Workload> registry_resolver(const std::string& name) {
+  return workload::WorkloadRegistry::instance().find(name);
+}
+
+TEST(ServeCachePersist, SaveLoadRoundTripsEveryField) {
+  serve::ResultCache cache(8);
+  serve::ResultCache::EntryPtr entry;
+  ASSERT_EQ(cache.lookup_or_claim(persist_key(1, 4), entry), serve::ResultCache::Claim::kOwned);
+  cache.publish(entry, persist_row(4));
+
+  std::stringstream file;
+  EXPECT_EQ(cache.save(file), 1u);
+
+  serve::ResultCache reloaded(8);
+  EXPECT_EQ(reloaded.load(file, registry_resolver), 1u);
+  EXPECT_EQ(reloaded.stats().reloaded, 1u);
+
+  serve::ResultCache::EntryPtr hit;
+  ASSERT_EQ(reloaded.lookup_or_claim(persist_key(1, 4), hit), serve::ResultCache::Claim::kHit);
+  const engine::ResultRow& row = hit->wait();
+  const engine::ResultRow want = persist_row(4);
+  EXPECT_EQ(row.run.result.halted, want.run.result.halted);
+  EXPECT_EQ(row.run.result.cycles, want.run.result.cycles);
+  EXPECT_EQ(row.run.result.exit_code, want.run.result.exit_code);
+  EXPECT_EQ(row.run.verified, want.run.verified);
+  EXPECT_EQ(std::memcmp(&row.run.total, &want.run.total, sizeof(sim::ActivityCounters)), 0);
+  EXPECT_EQ(std::memcmp(&row.run.region, &want.run.region, sizeof(sim::ActivityCounters)), 0);
+  // Doubles persist as bit patterns, so equality is exact.
+  EXPECT_EQ(row.run.region_energy.total_pj, want.run.region_energy.total_pj);
+  EXPECT_EQ(row.run.region_energy.memory_pj, want.run.region_energy.memory_pj);
+  ASSERT_EQ(row.run.hart_region.size(), 4u);
+  ASSERT_EQ(row.run.hart_energy.size(), 4u);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(row.run.hart_region[h].cycles, 1000u + h);
+    EXPECT_EQ(row.run.hart_energy[h].total_pj, 10.5 + h);
+  }
+  // The point was reconstructed from the key + registry.
+  ASSERT_NE(row.point.workload, nullptr);
+  EXPECT_EQ(row.point.workload->name(), "exp");
+  EXPECT_EQ(row.point.config.seed, 1u);
+  EXPECT_EQ(row.point.config.cores, 4u);
+  EXPECT_EQ(row.point.params.num_cores, 4u);
+}
+
+TEST(ServeCachePersist, RejectsVersionAndLayoutMismatch) {
+  serve::ResultCache cache(4);
+  std::stringstream v2("copift-cache v2 counters=" + std::to_string(sizeof(sim::ActivityCounters)) +
+                       "\n");
+  EXPECT_THROW((void)cache.load(v2, registry_resolver), Error);
+  std::stringstream layout("copift-cache v1 counters=8\n");
+  EXPECT_THROW((void)cache.load(layout, registry_resolver), Error);
+  std::stringstream garbage("not a cache file\n");
+  EXPECT_THROW((void)cache.load(garbage, registry_resolver), Error);
+  EXPECT_EQ(cache.stats().reloaded, 0u);
+}
+
+TEST(ServeCachePersist, SkipsInFlightAndNonCanonicalEntries) {
+  serve::ResultCache cache(8);
+  // In flight: claimed but never published.
+  serve::ResultCache::EntryPtr inflight;
+  ASSERT_EQ(cache.lookup_or_claim(persist_key(1), inflight), serve::ResultCache::Claim::kOwned);
+  // Non-canonical fingerprint (a custom-params row; the daemon never makes
+  // one, and load could not reconstruct its SimParams).
+  serve::ResultCache::EntryPtr custom;
+  ASSERT_EQ(cache.lookup_or_claim(test_key(9), custom), serve::ResultCache::Claim::kOwned);
+  cache.publish(custom, dummy_row(9));
+
+  std::stringstream file;
+  EXPECT_EQ(cache.save(file), 0u);
+  cache.publish(inflight, dummy_row(1));
+}
+
+TEST(ServeCachePersist, UnknownWorkloadsAndResidentKeysAreSkipped) {
+  serve::ResultCache cache(8);
+  serve::ResultCache::EntryPtr a, b;
+  auto ghost = persist_key(1);
+  ghost.workload = "workload-from-the-future";
+  ASSERT_EQ(cache.lookup_or_claim(ghost, a), serve::ResultCache::Claim::kOwned);
+  cache.publish(a, dummy_row(1));
+  ASSERT_EQ(cache.lookup_or_claim(persist_key(2), b), serve::ResultCache::Claim::kOwned);
+  cache.publish(b, dummy_row(2));
+
+  std::stringstream file;
+  EXPECT_EQ(cache.save(file), 2u);
+
+  // Target cache already holds key 2 with different cycles: the live entry
+  // wins; the ghost workload cannot be resolved and is dropped.
+  serve::ResultCache target(8);
+  serve::ResultCache::EntryPtr live;
+  ASSERT_EQ(target.lookup_or_claim(persist_key(2), live), serve::ResultCache::Claim::kOwned);
+  target.publish(live, dummy_row(42));
+  EXPECT_EQ(target.load(file, registry_resolver), 0u);
+  serve::ResultCache::EntryPtr probe;
+  ASSERT_EQ(target.lookup_or_claim(persist_key(2), probe), serve::ResultCache::Claim::kHit);
+  EXPECT_EQ(probe->wait().run.result.cycles, 42u);
+}
+
+TEST(ServeCachePersist, LoadPreservesLruOrder) {
+  serve::ResultCache cache(8);
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    serve::ResultCache::EntryPtr e;
+    ASSERT_EQ(cache.lookup_or_claim(persist_key(seed), e), serve::ResultCache::Claim::kOwned);
+    cache.publish(e, dummy_row(seed));
+  }
+  // Touch seed 1: recency order (MRU first) is now 1, 3, 2.
+  serve::ResultCache::EntryPtr touch;
+  ASSERT_EQ(cache.lookup_or_claim(persist_key(1), touch), serve::ResultCache::Claim::kHit);
+
+  std::stringstream file;
+  EXPECT_EQ(cache.save(file), 3u);
+
+  // Reload into a capacity-2 cache: the LRU entry (seed 2) must be the one
+  // evicted during the reload, proving the order survived the round trip.
+  serve::ResultCache small(2);
+  EXPECT_EQ(small.load(file, registry_resolver), 3u);
+  serve::ResultCache::EntryPtr probe;
+  EXPECT_EQ(small.lookup_or_claim(persist_key(2), probe), serve::ResultCache::Claim::kOwned);
 }
 
 // --- end-to-end server -------------------------------------------------------

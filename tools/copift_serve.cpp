@@ -47,6 +47,9 @@ void print_usage(std::FILE* out) {
                "                     the bound port is printed on startup)\n"
                "  --threads N        SimEngine worker threads (0 = all cores)\n"
                "  --cache-entries N  result-cache capacity in grid points (default 4096)\n"
+               "  --cache-file F     persist completed results to F on graceful shutdown\n"
+               "                     and reload them at startup (stale files from other\n"
+               "                     builds are ignored with a warning)\n"
                "  --idle-timeout S   close connections idle for S seconds (default 120,\n"
                "                     0 = never)\n"
                "  --max-points N     reject requests expanding past N grid points\n"
@@ -101,6 +104,9 @@ int main(int argc, char** argv) {
         config.engine_threads = static_cast<unsigned>(v);
       } else if (arg == "--cache-entries") {
         config.cache_entries = static_cast<std::size_t>(parse_u64("--cache-entries", value_of(arg)));
+      } else if (arg == "--cache-file") {
+        config.cache_file = value_of(arg);
+        if (config.cache_file.empty()) throw Error("--cache-file: path must be non-empty");
       } else if (arg == "--idle-timeout") {
         config.idle_timeout_ms = static_cast<int>(parse_u64("--idle-timeout", value_of(arg)) * 1000);
       } else if (arg == "--max-points") {
@@ -136,7 +142,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "copift_serve: shut down after %llu ms: %llu connections, "
                  "%llu requests served (%llu failed), %llu/%llu points simulated, "
-                 "cache hits %llu / coalesced %llu / evictions %llu\n",
+                 "cache hits %llu / coalesced %llu / evictions %llu / reloaded %llu\n",
                  static_cast<unsigned long long>(s.uptime_ms),
                  static_cast<unsigned long long>(s.connections_accepted),
                  static_cast<unsigned long long>(s.requests_served),
@@ -145,7 +151,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.points_requested),
                  static_cast<unsigned long long>(s.cache.hits),
                  static_cast<unsigned long long>(s.cache.coalesced),
-                 static_cast<unsigned long long>(s.cache.evictions));
+                 static_cast<unsigned long long>(s.cache.evictions),
+                 static_cast<unsigned long long>(s.cache.reloaded));
     // Two signals = hard abort; report it in the exit status.
     return g_signals.load(std::memory_order_relaxed) > 1 ? 1 : 0;
   } catch (const std::exception& e) {

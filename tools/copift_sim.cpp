@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "debug/stub.hpp"
 #include "energy/energy.hpp"
 #include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
@@ -89,6 +90,13 @@ void print_usage(std::FILE* out) {
                "  --threads N            engine worker threads (0 = all cores)\n"
                "  --json                 emit the sweep result table as JSON, not CSV\n"
                "  --no-verify            skip golden-reference output verification\n"
+               "\n"
+               "debugging (single-run mode):\n"
+               "  --gdb PORT             serve a GDB remote-serial-protocol stub on\n"
+               "                         127.0.0.1:PORT (0 = ephemeral; the bound port is\n"
+               "                         printed) and wait for a client before cycle 0.\n"
+               "                         Attach with `gdb -ex 'target remote :PORT'` or\n"
+               "                         tools/rsp_client.py; see docs/debugging.md\n"
                "\n"
                "misc:\n"
                "  --profile              print host-side timing after a single run:\n"
@@ -320,6 +328,8 @@ int main(int argc, char** argv) {
   std::int64_t cores = -1;
   std::int64_t tile = -1;
   bool dram = false;
+  // -1 = no stub; 0..65535 = serve the gdb stub on that port (0 = ephemeral).
+  std::int32_t gdb_port = -1;
   unsigned threads = 0;
   std::vector<SweepSpec> sweeps;
   try {
@@ -359,6 +369,14 @@ int main(int argc, char** argv) {
     else if (arg == "--dram") dram = true;
     // (numeric flag values are parsed as uint32 and stored widened, so -1
     // never collides with a user-supplied value)
+    else if (arg == "--gdb") {
+      // Strict numeric parse, same convention as --threads: `--gdb` as the
+      // last argument or with a non-numeric value is an error, never a
+      // silent default.
+      const std::uint32_t port = parse_u32_flag("--gdb", value_of(arg));
+      if (port > 65535) throw copift::Error("--gdb: port out of range (0-65535)");
+      gdb_port = static_cast<std::int32_t>(port);
+    }
     else if (arg == "--max-cycles") max_cycles = parse_u64_flag("--max-cycles", value_of(arg));
     else if (arg == "--threads") threads = parse_u32_flag("--threads", value_of(arg));
     else if (arg == "--sweep") {
@@ -387,6 +405,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --report/--trace-json trace a single run; drop --sweep\n"
                  "(sweep CSV/JSON already carries per-point stall-cause columns)\n");
+    return 2;
+  }
+  if (gdb_port >= 0 && !sweeps.empty()) {
+    std::fprintf(stderr, "error: --gdb debugs a single run; drop --sweep\n");
     return 2;
   }
 
@@ -491,7 +513,17 @@ int main(int argc, char** argv) {
     cluster.set_tracing(trace || report || !trace_json.empty());
     if (have_kernel) kernels::populate_inputs(cluster, generated);
     const auto t2 = clock::now();
-    const auto result = cluster.run();
+    sim::RunResult result;
+    if (gdb_port >= 0) {
+      // Wait-for-attach before cycle 0: the stub accepts one client, then
+      // the client owns execution until the program exits or it detaches.
+      debug::GdbStub stub(cluster, {static_cast<std::uint16_t>(gdb_port), false});
+      std::printf("gdb stub listening on 127.0.0.1:%u\n", stub.port());
+      std::fflush(stdout);
+      result = stub.serve();
+    } else {
+      result = cluster.run();
+    }
     const auto t3 = clock::now();
     std::printf("halted after %llu cycles (exit code %u)\n",
                 static_cast<unsigned long long>(result.cycles), result.exit_code);
@@ -537,7 +569,7 @@ int main(int argc, char** argv) {
     if (report) {
       std::printf("\n%s\n%s\n%s\n%s",
                   sim::render_report(cluster.tracer(), cluster.counters(), 10,
-                                     cluster.num_cores())
+                                     cluster.num_cores(), &cluster.program())
                       .c_str(),
                   sim::render_hart_summary(cluster).c_str(),
                   render_dma_report(cluster).c_str(),

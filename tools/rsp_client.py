@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Dependency-free GDB remote-serial-protocol client for the copift_sim stub.
+
+Library half: RspClient speaks framed RSP (`$...#xx`, acks, escaping) over a
+loopback TCP socket and exposes typed helpers for registers, memory,
+breakpoints, stepping and `monitor` commands.
+
+CLI half: a headless smoke scenario used by CI and the test suite against
+`copift_sim --gdb` — set a breakpoint at a label, hit it on every hart, read
+GPR/FPR/TCDM state and stall counters, single-step, then continue to a clean
+exit:
+
+    copift_sim --kernel axpy --cores 4 --gdb 0 &   # prints the bound port
+    python3 tools/rsp_client.py --port PORT --harts 4 smoke
+
+Exits 0 when every check passed, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import binascii
+import re
+import socket
+import sys
+
+
+def checksum(payload: bytes) -> int:
+    return sum(payload) % 256
+
+
+def escape(payload: bytes) -> bytes:
+    out = bytearray()
+    for b in payload:
+        if b in (0x23, 0x24, 0x7D):  # '#', '$', '}'
+            out += bytes((0x7D, b ^ 0x20))
+        else:
+            out.append(b)
+    return bytes(out)
+
+
+def unescape(raw: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(raw):
+        if raw[i] == 0x7D and i + 1 < len(raw):
+            out.append(raw[i + 1] ^ 0x20)
+            i += 2
+        else:
+            out.append(raw[i])
+            i += 1
+    return bytes(out)
+
+
+def frame(payload: bytes) -> bytes:
+    body = escape(payload)
+    return b"$" + body + b"#" + f"{checksum(body):02x}".encode()
+
+
+class RspError(Exception):
+    pass
+
+
+class RspClient:
+    """One RSP session. Ack mode stays on (the stub never negotiates it off)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0, verbose: bool = False):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+        self.verbose = verbose
+
+    def close(self):
+        self.sock.close()
+
+    def _recv_more(self):
+        chunk = self.sock.recv(4096)
+        if not chunk:
+            raise RspError("connection closed by stub")
+        self.buf += chunk
+
+    def _recv_packet(self) -> bytes:
+        """Read one framed packet, answer '+', return the unescaped payload."""
+        while True:
+            start = self.buf.find(b"$")
+            if start >= 0:
+                end = self.buf.find(b"#", start)
+                if end >= 0 and end + 2 < len(self.buf):
+                    body = self.buf[start + 1:end]
+                    want = int(self.buf[end + 1:end + 3], 16)
+                    self.buf = self.buf[end + 3:]
+                    if checksum(body) != want:
+                        self.sock.sendall(b"-")
+                        continue
+                    self.sock.sendall(b"+")
+                    payload = unescape(body)
+                    if self.verbose:
+                        print(f"<- {payload.decode(errors='replace')}", file=sys.stderr)
+                    return payload
+            self._recv_more()
+
+    def _recv_ack(self):
+        while True:
+            for i, b in enumerate(self.buf):
+                if b in (0x2B, 0x2D):  # '+', '-'
+                    ack = self.buf[i]
+                    self.buf = self.buf[:i] + self.buf[i + 1:]
+                    if ack == 0x2D:
+                        raise RspError("stub rejected packet checksum (NACK)")
+                    return
+            self._recv_more()
+
+    def cmd(self, payload: str) -> str:
+        """Send one command, return the stub's reply payload."""
+        if self.verbose:
+            print(f"-> {payload}", file=sys.stderr)
+        self.sock.sendall(frame(payload.encode()))
+        self._recv_ack()
+        return self._recv_packet().decode(errors="replace")
+
+    def interrupt(self):
+        """Ctrl-C: a bare 0x03 byte; the stop reply follows."""
+        self.sock.sendall(b"\x03")
+        return self._recv_packet().decode(errors="replace")
+
+    # --- typed helpers ------------------------------------------------------
+
+    def monitor(self, text: str) -> str:
+        reply = self.cmd("qRcmd," + text.encode().hex())
+        if reply in ("", "OK"):
+            return ""
+        if reply.startswith("E"):
+            raise RspError(f"monitor {text!r} failed: {reply}")
+        return bytes.fromhex(reply).decode(errors="replace")
+
+    def set_thread(self, hart: int):
+        reply = self.cmd(f"Hg{hart + 1:x}")
+        if reply != "OK":
+            raise RspError(f"Hg failed: {reply}")
+
+    def read_registers(self):
+        """Returns (gprs[32], pc, fprs[32]) for the focus hart."""
+        reply = self.cmd("g")
+        if reply.startswith("E"):
+            raise RspError(f"g failed: {reply}")
+        raw = bytes.fromhex(reply)
+        gprs = [int.from_bytes(raw[i * 4:i * 4 + 4], "little") for i in range(32)]
+        pc = int.from_bytes(raw[128:132], "little")
+        fprs = [int.from_bytes(raw[132 + i * 8:140 + i * 8], "little")
+                for i in range(32)] if len(raw) >= 132 + 256 else []
+        return gprs, pc, fprs
+
+    def read_reg(self, regnum: int) -> int:
+        reply = self.cmd(f"p{regnum:x}")
+        if reply.startswith("E"):
+            raise RspError(f"p{regnum:x} failed: {reply}")
+        return int.from_bytes(bytes.fromhex(reply), "little")
+
+    def write_reg(self, regnum: int, value: int, bits: int = 32):
+        data = value.to_bytes(bits // 8, "little").hex()
+        reply = self.cmd(f"P{regnum:x}={data}")
+        if reply != "OK":
+            raise RspError(f"P{regnum:x} failed: {reply}")
+
+    def read_mem(self, addr: int, length: int) -> bytes:
+        reply = self.cmd(f"m{addr:x},{length:x}")
+        if reply.startswith("E"):
+            raise RspError(f"m failed at 0x{addr:x}: {reply}")
+        return bytes.fromhex(reply)
+
+    def write_mem(self, addr: int, data: bytes):
+        reply = self.cmd(f"M{addr:x},{len(data):x}:{data.hex()}")
+        if reply != "OK":
+            raise RspError(f"M failed at 0x{addr:x}: {reply}")
+
+    def set_breakpoint(self, addr: int):
+        reply = self.cmd(f"Z0,{addr:x},4")
+        if reply != "OK":
+            raise RspError(f"Z0 failed: {reply}")
+
+    def clear_breakpoint(self, addr: int):
+        reply = self.cmd(f"z0,{addr:x},4")
+        if reply != "OK":
+            raise RspError(f"z0 failed: {reply}")
+
+    def set_watchpoint(self, addr: int, length: int, kind: int = 2):
+        reply = self.cmd(f"Z{kind},{addr:x},{length:x}")
+        if reply != "OK":
+            raise RspError(f"Z{kind} failed: {reply}")
+
+    def cont(self) -> str:
+        return self.cmd("c")
+
+    def step(self) -> str:
+        return self.cmd("s")
+
+    def label_addr(self, label: str) -> int:
+        text = self.monitor(f"addr {label}").strip()
+        if not text.startswith("0x"):
+            raise RspError(f"monitor addr {label}: unexpected reply {text!r}")
+        return int(text, 16)
+
+    @staticmethod
+    def stop_thread(reply: str):
+        """Hart index from a T stop reply's thread:<tid>; pair, else None."""
+        m = re.search(r"thread:([0-9a-fA-F]+);", reply)
+        return int(m.group(1), 16) - 1 if m else None
+
+
+# --- CI smoke scenario ------------------------------------------------------
+
+def fail(msg: str) -> int:
+    print(f"rsp smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def smoke(args) -> int:
+    c = RspClient(args.host, args.port, timeout=args.timeout, verbose=args.verbose)
+    try:
+        supported = c.cmd("qSupported:swbreak+")
+        if "PacketSize" not in supported:
+            return fail(f"qSupported reply looks wrong: {supported!r}")
+        first = c.cmd("?")
+        if not first.startswith("T"):
+            return fail(f"expected initial stop reply, got {first!r}")
+
+        # Thread enumeration must list every hart.
+        threads = c.cmd("qfThreadInfo")
+        tids = threads[1:].split(",") if threads.startswith("m") else []
+        if len(tids) != args.harts:
+            return fail(f"expected {args.harts} threads, got {threads!r}")
+
+        # Breakpoint at the label every hart executes.
+        bp = c.label_addr(args.label)
+        c.set_breakpoint(bp)
+        print(f"rsp smoke: breakpoint at {args.label} = 0x{bp:x}")
+
+        # Continue until the breakpoint reported on every hart.
+        seen = set()
+        for _ in range(args.harts * 16):
+            reply = c.cont()
+            if reply.startswith("W"):
+                return fail(f"program exited before every hart hit the "
+                            f"breakpoint (saw harts {sorted(seen)})")
+            hart = c.stop_thread(reply)
+            if hart is None or "swbreak" not in reply:
+                return fail(f"unexpected stop reply {reply!r}")
+            seen.add(hart)
+            if len(seen) == args.harts:
+                break
+        if len(seen) != args.harts:
+            return fail(f"breakpoint hit only on harts {sorted(seen)} "
+                        f"of {args.harts}")
+        print(f"rsp smoke: breakpoint hit on all {args.harts} harts")
+
+        # Registers: every hart must be stopped at the breakpoint PC, with
+        # mhartid-consistent state reachable per thread.
+        for hart in range(args.harts):
+            c.set_thread(hart)
+            _, pc, fprs = c.read_registers()
+            if pc != bp:
+                return fail(f"hart {hart} stopped at 0x{pc:x}, expected 0x{bp:x}")
+            if c.read_reg(2) == 0:  # sp is never 0 on a running hart
+                return fail(f"hart {hart} has sp == 0")
+            if len(fprs) != 32:
+                return fail("g reply carries no FPRs (target.xml ignored?)")
+            c.read_reg(33)  # ft0 must be readable via p as well
+        c.set_thread(0)
+
+        # Memory: the breakpoint instruction itself, plus a TCDM window.
+        insn = c.read_mem(bp, 4)
+        if len(insn) != 4:
+            return fail("m at breakpoint returned wrong length")
+        if args.mem_label:
+            addr = c.label_addr(args.mem_label)
+            data = c.read_mem(addr, 32)
+            if len(data) != 32:
+                return fail(f"m at {args.mem_label} returned wrong length")
+            print(f"rsp smoke: {args.mem_label}[0:32] = {data[:8].hex()}...")
+
+        # Monitor commands: stall counters and symbolized PCs.
+        stalls = c.monitor("stalls")
+        if "hart 0" not in stalls:
+            return fail(f"monitor stalls reply looks wrong: {stalls!r}")
+        where = c.monitor("where")
+        if args.label.split("+")[0] not in where:
+            return fail(f"monitor where not symbolized: {where!r}")
+        c.monitor("energy")
+        c.monitor("dma")
+
+        # Single-step: the focus hart advances by exactly one instruction.
+        _, pc_before, _ = c.read_registers()
+        reply = c.step()
+        if not reply.startswith("T"):
+            return fail(f"step reply {reply!r}")
+        _, pc_after, _ = c.read_registers()
+        if pc_after == pc_before:
+            return fail("single-step did not advance the PC")
+        print(f"rsp smoke: stepped 0x{pc_before:x} -> 0x{pc_after:x}")
+
+        # Clear the breakpoint and run to a clean exit.
+        c.clear_breakpoint(bp)
+        reply = c.cont()
+        if not reply.startswith("W"):
+            return fail(f"expected exit reply, got {reply!r}")
+        code = int(reply[1:3], 16)
+        if code != 0:
+            return fail(f"program exited with code {code}")
+        print("rsp smoke: PASS (clean exit)")
+        return 0
+    except (RspError, socket.timeout, binascii.Error, ValueError) as e:
+        return fail(str(e))
+    finally:
+        c.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("mode", choices=["smoke"], nargs="?", default="smoke")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--harts", type=int, default=1,
+                        help="expected hart count (default 1)")
+    parser.add_argument("--label", default="body_begin",
+                        help="breakpoint label every hart executes")
+    parser.add_argument("--mem-label", default="xarr",
+                        help="data label to read 32 TCDM bytes from ('' skips)")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+    return smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
