@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "kernels/prng.hpp"
+#include "lint/lint.hpp"
 #include "rvasm/assembler.hpp"
 
 namespace copift::kernels {
@@ -35,7 +36,11 @@ void verify_outputs(sim::Cluster& cluster, const GeneratedKernel& kernel) {
 }
 
 std::shared_ptr<const rvasm::Program> assemble_kernel(const GeneratedKernel& kernel) {
-  return std::make_shared<const rvasm::Program>(rvasm::assemble(kernel.source));
+  auto program = std::make_shared<const rvasm::Program>(rvasm::assemble(kernel.source));
+  // Every generated program funnels through here (CLI single runs, engine
+  // sweeps, serve jobs), so this is the one post-assembly lint hook.
+  lint::pipeline_check(*program, kernel.config.cores, kernel.name());
+  return program;
 }
 
 KernelRun run_kernel(const GeneratedKernel& kernel, const sim::SimParams& params, bool verify,

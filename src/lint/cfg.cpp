@@ -1,0 +1,146 @@
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+
+#include "isa/instr.hpp"
+
+namespace copift::lint {
+
+namespace {
+
+using isa::ExecUnit;
+using isa::Mnemonic;
+
+bool is_halt(Mnemonic m) noexcept {
+  // ecall halts the hart; ebreak raises SimError — either way execution of
+  // this hart ends here. fence shares ExecUnit::kSys but falls through.
+  return m == Mnemonic::kEcall || m == Mnemonic::kEbreak;
+}
+
+bool is_terminator(const isa::Instr& instr) noexcept {
+  return instr.meta().is_control_flow() || is_halt(instr.mnemonic);
+}
+
+}  // namespace
+
+InstrIndex resolve_target(const Cfg& cfg, const rvasm::Program& program,
+                          InstrIndex from) {
+  const auto n = static_cast<InstrIndex>(program.text.size());
+  const std::int64_t pc =
+      static_cast<std::int64_t>(cfg.pc_of(from)) + program.text[from].imm;
+  const std::int64_t off = pc - program.text_base;
+  if (off < 0 || off % 4 != 0 || off / 4 >= n) return kNoInstr;
+  return static_cast<InstrIndex>(off / 4);
+}
+
+Cfg build_cfg(const rvasm::Program& program) {
+  Cfg cfg;
+  cfg.text_base = program.text_base;
+  const auto n = static_cast<InstrIndex>(program.text.size());
+  cfg.block_of.assign(n, 0);
+  cfg.frep_region_of.assign(n, kNoInstr);
+  if (n == 0) {
+    cfg.blocks.push_back(BasicBlock{});
+    return cfg;
+  }
+
+
+  // --- leaders ---
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (InstrIndex i = 0; i < n; ++i) {
+    const isa::Instr& instr = program.text[i];
+    if (!is_terminator(instr)) continue;
+    if (i + 1 < n) leader[i + 1] = true;
+    if (instr.meta().unit == ExecUnit::kBranch ||
+        instr.mnemonic == Mnemonic::kJal) {
+      const InstrIndex t = resolve_target(cfg, program, i);
+      if (t != kNoInstr) leader[t] = true;
+    }
+  }
+  // The entry point may not be instruction 0.
+  const std::int64_t entry_off =
+      static_cast<std::int64_t>(program.entry) - program.text_base;
+  InstrIndex entry_idx = 0;
+  if (entry_off >= 0 && entry_off % 4 == 0 && entry_off / 4 < n) {
+    entry_idx = static_cast<InstrIndex>(entry_off / 4);
+    leader[entry_idx] = true;
+  }
+
+  // --- blocks ---
+  for (InstrIndex i = 0; i < n; ++i) {
+    if (leader[i]) {
+      cfg.blocks.push_back(BasicBlock{i, i, {}, false});
+    }
+    cfg.block_of[i] = static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+    cfg.blocks.back().last = i;
+  }
+  cfg.entry_block = cfg.block_of[entry_idx];
+
+  // --- edges ---
+  for (auto& block : cfg.blocks) {
+    const isa::Instr& term = program.text[block.last];
+    const InstrIndex next = block.last + 1;
+    const auto add_fallthrough = [&] {
+      if (next < n) {
+        block.succs.push_back(cfg.block_of[next]);
+      } else {
+        block.falls_off_end = true;
+      }
+    };
+    if (term.meta().unit == ExecUnit::kBranch) {
+      add_fallthrough();
+      const InstrIndex t = resolve_target(cfg, program, block.last);
+      if (t != kNoInstr) {
+        block.succs.push_back(cfg.block_of[t]);  // deduplicated below
+      } else {
+        block.falls_off_end = true;  // branch leaves the text section
+      }
+    } else if (term.mnemonic == Mnemonic::kJal) {
+      const InstrIndex t = resolve_target(cfg, program, block.last);
+      if (t != kNoInstr) {
+        block.succs.push_back(cfg.block_of[t]);
+      } else {
+        block.falls_off_end = true;
+      }
+    } else if (term.mnemonic == Mnemonic::kJalr) {
+      // Indirect: targets unknown. Reachability-based rules are suppressed
+      // via has_indirect_jump instead of guessing.
+      cfg.has_indirect_jump = true;
+    } else if (is_halt(term.mnemonic)) {
+      // Execution ends; no successors.
+    } else {
+      add_fallthrough();
+    }
+    // Deduplicate a conditional branch whose target equals its fall-through.
+    std::sort(block.succs.begin(), block.succs.end());
+    block.succs.erase(std::unique(block.succs.begin(), block.succs.end()),
+                      block.succs.end());
+  }
+
+  // --- FREP regions ---
+  for (InstrIndex i = 0; i < n; ++i) {
+    const Mnemonic m = program.text[i].mnemonic;
+    if (m != Mnemonic::kFrepO && m != Mnemonic::kFrepI) continue;
+    FrepRegion region;
+    region.frep = i;
+    const auto n_instr = static_cast<std::uint32_t>(
+        std::max<std::int32_t>(program.text[i].imm, 0));
+    region.body_first = i + 1;
+    const std::uint64_t want_last = static_cast<std::uint64_t>(i) + n_instr;
+    region.truncated = want_last >= n || n_instr == 0;
+    region.body_last =
+        static_cast<InstrIndex>(std::min<std::uint64_t>(want_last, n - 1));
+    const auto id = static_cast<std::uint32_t>(cfg.frep_regions.size());
+    for (InstrIndex j = region.body_first; j <= region.body_last && j < n; ++j) {
+      // Nested bodies keep the innermost region (the outer frep-body-non-fp
+      // diagnostic already fires on the inner frep instruction itself).
+      cfg.frep_region_of[j] = id;
+    }
+    cfg.frep_regions.push_back(region);
+  }
+
+  return cfg;
+}
+
+}  // namespace copift::lint

@@ -1,0 +1,71 @@
+// Control-flow graph over an assembled rvasm::Program's text section.
+//
+// Basic blocks are maximal straight-line instruction runs; edges follow
+// branch/jump targets resolved through the program's (already-relocated)
+// pc-relative immediates. `frep.o`/`frep.i` bodies — the n_instr
+// instructions after the frep — are recorded as implicit loop regions on
+// the side: the integer core runs them exactly once in program order (the
+// FPSS replays them), so they do NOT create back edges, but rules need to
+// know which instructions live inside which region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rvasm/program.hpp"
+
+namespace copift::lint {
+
+/// Index of an instruction within Program::text.
+using InstrIndex = std::uint32_t;
+inline constexpr InstrIndex kNoInstr = ~InstrIndex{0};
+
+struct BasicBlock {
+  InstrIndex first = 0;  // inclusive
+  InstrIndex last = 0;   // inclusive index of the terminator / last instr
+  /// Successor block ids. Empty for halting terminators (ecall/ebreak) and
+  /// for indirect jumps (jalr), which instead set Cfg::has_indirect_jump.
+  std::vector<std::uint32_t> succs;
+  /// True when execution can fall past `last` off the end of .text (the
+  /// block is last in text and its terminator does not end execution).
+  bool falls_off_end = false;
+};
+
+/// One FREP region: the frep instruction plus its recorded body.
+struct FrepRegion {
+  InstrIndex frep = 0;        // index of the frep.o / frep.i instruction
+  InstrIndex body_first = 0;  // frep + 1
+  InstrIndex body_last = 0;   // frep + n_instr (inclusive); clamped to text end
+  bool truncated = false;     // body extends past the end of .text
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;       // ordered by first instruction index
+  std::vector<std::uint32_t> block_of;  // instruction index -> block id
+  std::uint32_t entry_block = 0;
+  std::vector<FrepRegion> frep_regions;
+  /// frep region id per instruction (index into frep_regions), or kNoInstr
+  /// when the instruction is outside every body. The frep instruction
+  /// itself is NOT part of its body.
+  std::vector<std::uint32_t> frep_region_of;
+  bool has_indirect_jump = false;
+
+  [[nodiscard]] std::uint32_t pc_of(InstrIndex i) const noexcept {
+    return text_base + i * 4;
+  }
+  std::uint32_t text_base = 0;
+};
+
+/// Build the CFG for `program`. Branch targets that leave the text section
+/// terminate their block with no successor (the fall-off-end rule reports
+/// them); an empty text section yields a single empty-block CFG.
+[[nodiscard]] Cfg build_cfg(const rvasm::Program& program);
+
+/// Resolve the pc-relative target of the branch/jal at instruction `from`
+/// to an instruction index; kNoInstr when the target leaves .text. The
+/// dataflow engine uses this to tell the taken edge from the fall-through
+/// when it folds a constant branch condition.
+[[nodiscard]] InstrIndex resolve_target(const Cfg& cfg, const rvasm::Program& program,
+                                        InstrIndex from);
+
+}  // namespace copift::lint

@@ -1,0 +1,147 @@
+// Per-hart forward dataflow analysis over the lint CFG.
+//
+// The abstract domain is small and purpose-built for generated code:
+//
+//   * integer registers carry a definedness + constant lattice
+//     (undef < const(c) < unknown, with a maybe-undef top for merges), so
+//     `mhartid` folds to the analyzed hart and address arithmetic over
+//     `la`/`li`/`addi`/`add`/shifts stays concrete;
+//   * FP registers carry definedness only;
+//   * each SSR lane runs a protocol automaton (idle / armed read / armed
+//     write) plus an element countdown: when the geometry written before the
+//     arm is constant, the analysis knows exactly how many elements the
+//     stream produces and how many the FP instructions seen so far consumed
+//     (FREP bodies multiply by the replay count), which is what lets the
+//     reconfigure-while-streaming rule fire only on *proven* in-flight
+//     streams;
+//   * the DMA engine tracks the last programmed src/dst and the set of
+//     constant destination windows with no `dmwait` behind them.
+//
+// Everything degrades to "unknown" rather than guessing: a rule backed by an
+// unknown value stays silent (see lint.hpp for the conservatism contract).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lint/cfg.hpp"
+#include "lint/lint.hpp"
+#include "rvasm/program.hpp"
+
+namespace copift::lint {
+
+/// Constant-propagation lattice for one integer register.
+struct Value {
+  enum class Tag : std::uint8_t {
+    kUndef,       // never written on any path reaching here
+    kMaybeUndef,  // written on some paths, not all
+    kConst,       // written on every path, same known value
+    kUnknown,     // written on every path, value not tracked
+  };
+  Tag tag = Tag::kUndef;
+  std::uint32_t c = 0;
+
+  static Value undef() noexcept { return {}; }
+  static Value konst(std::uint32_t v) noexcept { return {Tag::kConst, v}; }
+  static Value unknown() noexcept { return {Tag::kUnknown, 0}; }
+
+  [[nodiscard]] bool is_const() const noexcept { return tag == Tag::kConst; }
+  [[nodiscard]] bool is_undef() const noexcept { return tag == Tag::kUndef; }
+
+  [[nodiscard]] Value join(const Value& o) const noexcept;
+  friend bool operator==(const Value& a, const Value& b) = default;
+};
+
+/// Definedness lattice for one FP register.
+enum class FpDef : std::uint8_t { kUndef, kMaybeUndef, kDef };
+[[nodiscard]] FpDef join(FpDef a, FpDef b) noexcept;
+
+/// A constant-or-unknown element counter.
+struct Count {
+  bool known = false;
+  std::uint64_t v = 0;
+
+  static Count of(std::uint64_t n) noexcept { return {true, n}; }
+  static Count unknown() noexcept { return {}; }
+  friend bool operator==(const Count& a, const Count& b) = default;
+};
+
+/// One SSR lane's protocol state.
+struct LaneState {
+  enum class Armed : std::uint8_t { kIdle, kRead, kWrite, kTop };
+  Armed armed = Armed::kIdle;
+  /// Elements the armed stream will still produce/accept; meaningful only
+  /// when armed and known (constant geometry at arm, constant consumption).
+  Count remaining;
+  /// Geometry words as last written: repeat, bound0..bound3 (SsrCfgReg 0-4).
+  std::array<Value, 5> cfg{};
+  /// ISSR index configuration touched: stream totals become unknowable.
+  bool idx_touched = false;
+
+  [[nodiscard]] bool join_from(const LaneState& o) noexcept;  // true if changed
+  friend bool operator==(const LaneState& a, const LaneState& b) = default;
+};
+
+/// Three-valued boolean (SSR enable bit).
+enum class Tri : std::uint8_t { kFalse, kTrue, kTop };
+[[nodiscard]] Tri join(Tri a, Tri b) noexcept;
+
+/// [lo, hi) byte window.
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  friend bool operator==(const Interval& a, const Interval& b) = default;
+};
+
+/// DMA engine state: last programmed addresses plus the constant destination
+/// windows of transfers issued since the last `dmwait`.
+struct DmaState {
+  Value src;
+  Value dst;
+  std::vector<Interval> pending;  // sorted by lo, capped
+  bool saturated = false;         // cap overflow: tracking abandoned (absorbing)
+
+  static constexpr std::size_t kMaxPending = 8;
+  [[nodiscard]] bool join_from(const DmaState& o);
+  void add_pending(std::uint32_t lo, std::uint32_t hi);
+  friend bool operator==(const DmaState& a, const DmaState& b) = default;
+};
+
+/// The whole per-hart abstract state at one program point.
+struct HartState {
+  bool reachable = false;  // false = bottom; remaining fields meaningless
+  std::array<Value, 32> gpr{};
+  std::array<FpDef, 32> fpr{};
+  Tri ssr_enabled = Tri::kFalse;
+  std::array<LaneState, isa::kNumSsrLanes> lane{};
+  DmaState dma;
+
+  /// Entry state for `hart` of a `cores`-hart cluster: x0 = 0, sp = the
+  /// hart's stack top, everything else undefined.
+  static HartState entry(unsigned hart);
+
+  [[nodiscard]] bool join_from(const HartState& o);  // true if changed
+};
+
+/// Result of analyzing one hart: final (fixpoint) block in-states plus the
+/// facts the cross-hart rules need.
+struct HartAnalysis {
+  unsigned hart = 0;
+  std::vector<HartState> block_in;       // indexed by block id
+  std::vector<InstrIndex> barrier_sites; // reachable hw-barrier CSR accesses
+  /// Diagnostics this hart's dataflow rules produced (use-before-def, OOB,
+  /// SSR protocol, DMA-wait), in instruction order.
+  std::vector<LintDiag> diags;
+
+  [[nodiscard]] bool block_reachable(std::uint32_t block) const {
+    return block < block_in.size() && block_in[block].reachable;
+  }
+};
+
+/// Run the forward dataflow for one hart to fixpoint, then walk the stable
+/// states once to collect diagnostics. Pure function of its inputs.
+[[nodiscard]] HartAnalysis analyze_hart(const rvasm::Program& program, const Cfg& cfg,
+                                        unsigned hart, unsigned cores);
+
+}  // namespace copift::lint

@@ -1,0 +1,544 @@
+// rvlint tests: one broken and one clean program per rule (asserting the
+// exact rule id, PC, hart and nearest label), the registry-wide zero-diag
+// sweep over workloads x variants x cores x tiling, the observation-only
+// guarantee (linting never perturbs simulation results), and strict-mode
+// error propagation through the assemble_kernel pipeline hook.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "kernels/runner.hpp"
+#include "lint/lint.hpp"
+#include "rvasm/assembler.hpp"
+#include "workload/workload.hpp"
+
+namespace copift::lint {
+namespace {
+
+/// Restores the process-wide pipeline lint mode on scope exit so tests that
+/// flip it cannot leak into later tests (or the other way round).
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode mode) : saved_(pipeline_mode()) { set_pipeline_mode(mode); }
+  ~ModeGuard() { set_pipeline_mode(saved_); }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+/// Asserts the report has exactly one diagnostic and returns it (by value:
+/// the report is usually a temporary).
+LintDiag single_diag(const LintReport& report) {
+  EXPECT_EQ(report.diags.size(), 1u) << report.summary();
+  return report.diags.empty() ? LintDiag{} : report.diags.front();
+}
+
+// --- one broken + one clean program per rule --------------------------------
+
+TEST(LintRules, UseBeforeDef) {
+  const auto report = lint_source(
+      "_start:\n"
+      "  add a0, a1, a2\n"
+      "  ecall\n");
+  ASSERT_EQ(report.diags.size(), 2u) << report.summary();  // a1 and a2
+  for (const auto& d : report.diags) {
+    EXPECT_EQ(d.rule, Rule::kUseBeforeDef);
+    EXPECT_EQ(d.pc, 0x1000u);
+    EXPECT_EQ(d.hart, 0u);
+    EXPECT_EQ(d.label, "_start");
+  }
+  EXPECT_NE(report.diags[0].message.find("a1"), std::string::npos);
+  EXPECT_NE(report.diags[1].message.find("a2"), std::string::npos);
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li a1, 1\n"
+                  "  li a2, 2\n"
+                  "  add a0, a1, a2\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, OobAccess) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  li a0, 0x20000000\n"
+      "  lw a1, 0(a0)\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kOobAccess);
+  EXPECT_EQ(d.pc, 0x1004u);
+  EXPECT_EQ(d.hart, 0u);
+  EXPECT_EQ(d.label, "_start+0x4");
+  EXPECT_NE(d.message.find("0x20000000"), std::string::npos);
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li a0, 0x10000000\n"  // TCDM base: in bounds
+                  "  lw a1, 0(a0)\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, SsrReadBeforeConfig) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  csrsi ssr, 1\n"
+      "  fadd.d ft3, ft0, ft0\n"
+      "  csrci ssr, 1\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kSsrReadBeforeConfig);
+  EXPECT_EQ(d.pc, 0x1004u);
+  EXPECT_EQ(d.hart, 0u);
+  EXPECT_EQ(d.label, "_start+0x4");
+  EXPECT_NE(d.message.find("lane 0"), std::string::npos);
+
+  // Arming lane 0 first (rptr write = one streamed element) makes the same
+  // read legal.
+  EXPECT_TRUE(lint_source(
+                  ".data\n"
+                  "  .align 3\n"
+                  "buf:\n"
+                  "  .space 64\n"
+                  ".text\n"
+                  "_start:\n"
+                  "  la a0, buf\n"
+                  "  scfgwi a0, 24\n"
+                  "  csrsi ssr, 1\n"
+                  "  fmv.d ft4, ft0\n"
+                  "  csrci ssr, 1\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, SsrReconfigWhileStreaming) {
+  // bound0=31 arms 32 elements; one fmv.d pops 1, so the geometry rewrite
+  // happens with 30 elements provably still in flight (30 not 31: the first
+  // element is consumed at arm time by the stream prefetch abstraction).
+  const auto d = single_diag(lint_source(
+      ".data\n"
+      "  .align 3\n"
+      "buf:\n"
+      "  .space 256\n"
+      ".text\n"
+      "_start:\n"
+      "  csrsi ssr, 1\n"
+      "  li t0, 31\n"
+      "  scfgwi t0, 1\n"
+      "  li t0, 8\n"
+      "  scfgwi t0, 5\n"
+      "  la a0, buf\n"
+      "  scfgwi a0, 24\n"
+      "  fmv.d ft4, ft0\n"
+      "  li t0, 15\n"
+      "  scfgwi t0, 1\n"
+      "  csrci ssr, 1\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kSsrReconfigWhileStreaming);
+  EXPECT_EQ(d.pc, 0x1028u);
+  EXPECT_EQ(d.hart, 0u);
+  EXPECT_EQ(d.label, "_start+0x28");
+  EXPECT_NE(d.message.find("30 elements"), std::string::npos);
+
+  // Draining the stream first (arm exactly one element, pop it) makes the
+  // rewrite legal.
+  EXPECT_TRUE(lint_source(
+                  ".data\n"
+                  "  .align 3\n"
+                  "buf:\n"
+                  "  .space 64\n"
+                  ".text\n"
+                  "_start:\n"
+                  "  csrsi ssr, 1\n"
+                  "  la a0, buf\n"
+                  "  scfgwi a0, 24\n"
+                  "  fmv.d ft4, ft0\n"
+                  "  li t0, 15\n"
+                  "  scfgwi t0, 1\n"
+                  "  csrci ssr, 1\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, FrepBodyNonFp) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  li t0, 3\n"
+      "  fcvt.d.w ft3, t0\n"
+      "  frep.o t0, 2\n"
+      "  fadd.d ft3, ft3, ft3\n"
+      "  addi t1, t0, 1\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kFrepBodyNonFp);
+  EXPECT_EQ(d.pc, 0x1010u);
+  EXPECT_EQ(d.hart, kAnyHart);
+  EXPECT_EQ(d.label, "_start+0x10");
+  EXPECT_NE(d.message.find("addi"), std::string::npos);
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li t0, 3\n"
+                  "  fcvt.d.w ft3, t0\n"
+                  "  frep.o t0, 2\n"
+                  "  fadd.d ft3, ft3, ft3\n"
+                  "  fmul.d ft4, ft3, ft3\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, FrepBranchIntoBody) {
+  const auto report = lint_source(
+      "_start:\n"
+      "  li t0, 3\n"
+      "  fcvt.d.w ft3, t0\n"
+      "  j inside\n"
+      "  frep.o t0, 2\n"
+      "  fadd.d ft3, ft3, ft3\n"
+      "inside:\n"
+      "  fmul.d ft3, ft3, ft3\n"
+      "  ecall\n");
+  // The unconditional jump both enters the frep body from outside and makes
+  // the frep itself unreachable — two distinct defects, two diagnostics.
+  ASSERT_EQ(report.diags.size(), 2u) << report.summary();
+  EXPECT_EQ(report.diags[0].rule, Rule::kFrepBranchIntoBody);
+  EXPECT_EQ(report.diags[0].pc, 0x1008u);
+  EXPECT_EQ(report.diags[0].hart, kAnyHart);
+  EXPECT_EQ(report.diags[0].label, "_start+0x8");
+  EXPECT_EQ(report.diags[1].rule, Rule::kUnreachableCode);
+
+  // A branch whose target lies *after* the body (with the frep reachable via
+  // an unknown-condition fallthrough) is fine.
+  EXPECT_TRUE(lint_source(
+                  ".data\n"
+                  "  .align 3\n"
+                  "buf:\n"
+                  "  .space 8\n"
+                  ".text\n"
+                  "_start:\n"
+                  "  la a0, buf\n"
+                  "  lw a1, 0(a0)\n"  // unknown: both branch paths live
+                  "  li t0, 3\n"
+                  "  fcvt.d.w ft3, t0\n"
+                  "  bnez a1, after\n"
+                  "  frep.o t0, 1\n"
+                  "  fadd.d ft3, ft3, ft3\n"
+                  "after:\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, DmaLoadBeforeWait) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  li a0, 0x80000000\n"
+      "  li a1, 0x10000000\n"
+      "  li a2, 256\n"
+      "  dmsrc a0\n"
+      "  dmdst a1\n"
+      "  dmcpy t0, a2\n"
+      "  lw a3, 16(a1)\n"
+      "  dmwait\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kDmaLoadBeforeWait);
+  EXPECT_EQ(d.pc, 0x1018u);
+  EXPECT_EQ(d.hart, 0u);
+  EXPECT_EQ(d.label, "_start+0x18");
+  EXPECT_NE(d.message.find("dmwait"), std::string::npos);
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li a0, 0x80000000\n"
+                  "  li a1, 0x10000000\n"
+                  "  li a2, 256\n"
+                  "  dmsrc a0\n"
+                  "  dmdst a1\n"
+                  "  dmcpy t0, a2\n"
+                  "  dmwait\n"
+                  "  lw a3, 16(a1)\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, BarrierDivergence) {
+  // Hart 1 branches around the barrier; hart 0 blocks forever.
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  csrr a0, mhartid\n"
+      "  bnez a0, done\n"
+      "  csrr zero, barrier\n"
+      "done:\n"
+      "  ecall\n",
+      /*cores=*/2));
+  EXPECT_EQ(d.rule, Rule::kBarrierDivergence);
+  EXPECT_EQ(d.pc, 0x1008u);
+  EXPECT_EQ(d.hart, 1u);  // the hart that cannot reach the barrier
+  EXPECT_EQ(d.label, "_start+0x8");
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  csrr zero, barrier\n"
+                  "  ecall\n",
+                  /*cores=*/2)
+                  .clean());
+}
+
+TEST(LintRules, TiledRegClobber) {
+  const auto d = single_diag(lint_source(
+      ".data\n"
+      "  .align 3\n"
+      "buf:\n"
+      "  .space 64\n"
+      ".text\n"
+      "_start:\n"
+      "  li gp, 4\n"
+      "  li ra, 0\n"
+      "  li tp, 0\n"
+      "tile_loop:\n"
+      "  la a0, buf\n"
+      "  lw t0, 0(a0)\n"
+      "  xor ra, ra, t0\n"
+      "  add tp, tp, t0\n"
+      "  li ra, 7\n"
+      "  addi gp, gp, -1\n"
+      "  bnez gp, tile_loop\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kTiledRegClobber);
+  EXPECT_EQ(d.pc, 0x1020u);
+  EXPECT_EQ(d.hart, kAnyHart);
+  EXPECT_EQ(d.label, "tile_loop+0x14");
+  EXPECT_NE(d.message.find("ra"), std::string::npos);
+
+  // The same loop without the stray write follows the convention exactly.
+  EXPECT_TRUE(lint_source(
+                  ".data\n"
+                  "  .align 3\n"
+                  "buf:\n"
+                  "  .space 64\n"
+                  ".text\n"
+                  "_start:\n"
+                  "  li gp, 4\n"
+                  "  li ra, 0\n"
+                  "  li tp, 0\n"
+                  "tile_loop:\n"
+                  "  la a0, buf\n"
+                  "  lw t0, 0(a0)\n"
+                  "  xor ra, ra, t0\n"
+                  "  add tp, tp, t0\n"
+                  "  addi gp, gp, -1\n"
+                  "  bnez gp, tile_loop\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, UnreachableCode) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  j end\n"
+      "  li a0, 42\n"
+      "end:\n"
+      "  ecall\n"));
+  EXPECT_EQ(d.rule, Rule::kUnreachableCode);
+  EXPECT_EQ(d.pc, 0x1004u);
+  EXPECT_EQ(d.hart, kAnyHart);
+  EXPECT_EQ(d.label, "_start+0x4");
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li a0, 42\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+TEST(LintRules, FallOffEnd) {
+  const auto d = single_diag(lint_source(
+      "_start:\n"
+      "  li a0, 1\n"
+      "  addi a0, a0, 1\n"));
+  EXPECT_EQ(d.rule, Rule::kFallOffEnd);
+  EXPECT_EQ(d.pc, 0x1004u);  // the last instruction of the falling block
+  EXPECT_EQ(d.hart, kAnyHart);
+  EXPECT_EQ(d.label, "_start+0x4");
+
+  EXPECT_TRUE(lint_source(
+                  "_start:\n"
+                  "  li a0, 1\n"
+                  "  addi a0, a0, 1\n"
+                  "  ecall\n")
+                  .clean());
+}
+
+// --- identifiers, rendering, modes ------------------------------------------
+
+TEST(LintApi, RuleIdsAreStableKebabCase) {
+  const char* expected[kNumRules] = {
+      "use-before-def",
+      "oob-access",
+      "ssr-read-before-config",
+      "ssr-reconfig-while-streaming",
+      "frep-body-non-fp",
+      "frep-branch-into-body",
+      "dma-load-before-wait",
+      "barrier-divergence",
+      "tiled-reg-clobber",
+      "unreachable-code",
+      "fall-off-end",
+  };
+  for (std::size_t i = 0; i < kNumRules; ++i) {
+    EXPECT_STREQ(rule_id(static_cast<Rule>(i)), expected[i]);
+  }
+}
+
+TEST(LintApi, DiagFormatCarriesPcLabelAndHart) {
+  const auto report = lint_source(
+      "_start:\n"
+      "  li a0, 0x20000000\n"
+      "  lw a1, 0(a0)\n"
+      "  ecall\n");
+  ASSERT_EQ(report.diags.size(), 1u);
+  const std::string line = report.diags[0].format();
+  EXPECT_EQ(line.find("oob-access @ 0x1004 (_start+0x4) [hart 0]: "), 0u) << line;
+
+  // Structural diagnostics omit the hart clause.
+  const auto structural = lint_source("_start:\n  li a0, 1\n");
+  ASSERT_EQ(structural.diags.size(), 1u);
+  EXPECT_EQ(structural.diags[0].format().find("[hart"), std::string::npos);
+}
+
+TEST(LintApi, JsonReportShape) {
+  const auto report = lint_source(
+      "_start:\n"
+      "  li a0, 0x20000000\n"
+      "  lw a1, 0(a0)\n"
+      "  ecall\n");
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rules\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"oob-access\""), std::string::npos);
+  EXPECT_NE(json.find("\"pc\":4100"), std::string::npos);
+  EXPECT_NE(json.find("\"hart\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"_start+0x4\""), std::string::npos);
+
+  // Structural rules serialize hart as null, and a clean report says so.
+  const auto clean = lint_source("_start:\n  ecall\n");
+  EXPECT_NE(clean.json().find("\"clean\":true"), std::string::npos);
+  EXPECT_NE(lint_source("_start:\n  li a0, 1\n").json().find("\"hart\":null"),
+            std::string::npos);
+}
+
+TEST(LintApi, ModeParsingIsStrict) {
+  EXPECT_EQ(mode_from("off"), Mode::kOff);
+  EXPECT_EQ(mode_from("warn"), Mode::kWarn);
+  EXPECT_EQ(mode_from("strict"), Mode::kStrict);
+  EXPECT_THROW((void)mode_from(""), Error);
+  EXPECT_THROW((void)mode_from("Strict"), Error);
+  EXPECT_THROW((void)mode_from("warn "), Error);
+  EXPECT_THROW((void)mode_from("lax"), Error);
+  for (const auto m : {Mode::kOff, Mode::kWarn, Mode::kStrict}) {
+    EXPECT_EQ(mode_from(mode_name(m)), m);
+  }
+}
+
+// --- registry-wide sweep: every generated program lints clean ---------------
+
+TEST(LintRegistry, EveryGeneratedProgramIsClean) {
+  const auto& registry = workload::WorkloadRegistry::instance();
+  unsigned checked = 0;
+  for (const auto& name : registry.names()) {
+    const auto handle = registry.at(name);
+    for (const auto variant : handle->variants()) {
+      for (const std::uint32_t cores : {1u, 2u, 4u}) {
+        for (const std::uint32_t tile : {0u, 96u}) {
+          workload::WorkloadConfig config;
+          config.cores = cores;
+          config.tile = tile;
+          try {
+            handle->validate(variant, config);
+          } catch (const workload::ConfigError&) {
+            continue;  // e.g. single-hart workloads at cores>1, untileable
+          }
+          const auto generated = handle->instantiate(variant, config);
+          const auto program = rvasm::assemble(generated.source);
+          const auto report = lint_program(program, cores);
+          EXPECT_TRUE(report.clean())
+              << generated.name() << " cores=" << cores << " tile=" << tile << "\n"
+              << report.summary();
+          EXPECT_TRUE(report.analysis_complete) << generated.name();
+          ++checked;
+        }
+      }
+    }
+  }
+  // The registry ships 8 workloads; make sure the skip logic did not silently
+  // swallow the sweep.
+  EXPECT_GE(checked, 40u);
+}
+
+// --- observation-only: linting never perturbs simulation --------------------
+
+TEST(LintPipeline, ObservationOnly) {
+  const auto handle = workload::WorkloadRegistry::instance().at("exp");
+  workload::WorkloadConfig config;
+  config.n = 192;
+  config.block = 32;
+  const auto kernel = handle->instantiate(workload::Variant::kCopift, config);
+
+  kernels::KernelRun off_run;
+  {
+    ModeGuard guard(Mode::kOff);
+    off_run = kernels::run_kernel(kernel, {}, /*verify=*/true);
+  }
+  kernels::KernelRun strict_run;
+  {
+    ModeGuard guard(Mode::kStrict);
+    strict_run = kernels::run_kernel(kernel, {}, /*verify=*/true);
+  }
+  EXPECT_TRUE(off_run.verified);
+  EXPECT_TRUE(strict_run.verified);
+  EXPECT_EQ(off_run.result.cycles, strict_run.result.cycles);
+  EXPECT_EQ(off_run.result.exit_code, strict_run.result.exit_code);
+  EXPECT_EQ(off_run.total.cycles, strict_run.total.cycles);
+  EXPECT_EQ(off_run.total.retired(), strict_run.total.retired());
+  EXPECT_EQ(off_run.region.cycles, strict_run.region.cycles);
+}
+
+// --- strict mode propagates through the pipeline hook -----------------------
+
+TEST(LintPipeline, StrictModeThrowsFromAssembleKernel) {
+  ModeGuard guard(Mode::kStrict);
+  kernels::GeneratedKernel kernel;
+  kernel.source =
+      "_start:\n"
+      "  add a0, a1, a2\n"
+      "  ecall\n";
+  kernel.config.cores = 1;
+  try {
+    (void)kernels::assemble_kernel(kernel);
+    FAIL() << "expected a lint error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lint"), std::string::npos) << what;
+    EXPECT_NE(what.find("use-before-def"), std::string::npos) << what;
+    EXPECT_NE(what.find("_start"), std::string::npos) << what;
+  }
+
+  // A clean program sails through unchanged under strict.
+  kernel.source = "_start:\n  ecall\n";
+  EXPECT_NE(kernels::assemble_kernel(kernel), nullptr);
+}
+
+TEST(LintPipeline, WarnModeContinues) {
+  ModeGuard guard(Mode::kWarn);
+  kernels::GeneratedKernel kernel;
+  kernel.source =
+      "_start:\n"
+      "  add a0, a1, a2\n"
+      "  ecall\n";
+  kernel.config.cores = 1;
+  EXPECT_NE(kernels::assemble_kernel(kernel), nullptr);  // warns on stderr only
+}
+
+}  // namespace
+}  // namespace copift::lint

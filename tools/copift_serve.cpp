@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "lint/lint.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -54,6 +55,9 @@ void print_usage(std::FILE* out) {
                "                     0 = never)\n"
                "  --max-points N     reject requests expanding past N grid points\n"
                "                     (default 65536)\n"
+               "  --lint MODE        lint every generated program (off, warn, strict);\n"
+               "                     strict turns lint diagnostics into per-request\n"
+               "                     error events carrying the rule, PC and label\n"
                "  --help, -h         this message\n"
                "  --version          print the version and exit\n"
                "\n"
@@ -111,6 +115,12 @@ int main(int argc, char** argv) {
         config.idle_timeout_ms = static_cast<int>(parse_u64("--idle-timeout", value_of(arg)) * 1000);
       } else if (arg == "--max-points") {
         config.max_grid_points = static_cast<std::size_t>(parse_u64("--max-points", value_of(arg)));
+      } else if (arg == "--lint") {
+        // Strict enum parse (mode_from throws on anything unknown). The mode
+        // applies process-wide: every program the engine assembles for a
+        // request is linted post-assembly, and strict-mode failures surface
+        // as error events on the requesting connection.
+        lint::set_pipeline_mode(lint::mode_from(value_of(arg)));
       } else {
         std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
         print_usage(stderr);

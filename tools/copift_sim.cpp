@@ -31,6 +31,7 @@
 #include "energy/energy.hpp"
 #include "engine/experiment.hpp"
 #include "kernels/runner.hpp"
+#include "lint/lint.hpp"
 #include "rvasm/assembler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace_export.hpp"
@@ -98,6 +99,18 @@ void print_usage(std::FILE* out) {
                "                         Attach with `gdb -ex 'target remote :PORT'` or\n"
                "                         tools/rsp_client.py; see docs/debugging.md\n"
                "\n"
+               "linting:\n"
+               "  --lint[=MODE]          statically verify the program before running it\n"
+               "                         (MODE: off, warn, strict; bare --lint = warn).\n"
+               "                         warn prints diagnostics and continues, strict\n"
+               "                         makes any diagnostic a hard error; the mode also\n"
+               "                         applies to every program a --sweep generates.\n"
+               "                         Default: warn in debug builds, off in release\n"
+               "                         (override with COPIFT_LINT=off|warn|strict)\n"
+               "  --lint-json            lint only (no simulation): print the machine-\n"
+               "                         readable lint report as JSON and exit 0 when\n"
+               "                         clean, 1 when diagnostics fired\n"
+               "\n"
                "misc:\n"
                "  --profile              print host-side timing after a single run:\n"
                "                         assemble+decode time, simulation time, simulated\n"
@@ -124,10 +137,26 @@ int usage() {
   return 2;
 }
 
+/// Lint status of a workload for `--list`: every supported variant at the
+/// default config, on the default core count.
+std::string list_lint_status(const workload::Workload& w) {
+  std::size_t diags = 0;
+  try {
+    const auto cfg = w.default_config();
+    for (const auto v : w.variants()) {
+      const auto generated = w.instantiate(v, cfg);
+      diags += lint::lint_program(rvasm::assemble(generated.source), cfg.cores).diags.size();
+    }
+  } catch (const std::exception&) {
+    return "error";
+  }
+  return diags == 0 ? "clean" : std::to_string(diags) + " diags";
+}
+
 int list_workloads() {
   const auto& registry = workload::WorkloadRegistry::instance();
-  std::printf("%-18s %-18s %-10s %-26s %s\n", "workload", "variants", "cores",
-              "default config", "description");
+  std::printf("%-18s %-18s %-10s %-26s %-8s %s\n", "workload", "variants", "cores",
+              "default config", "lint", "description");
   for (const auto& name : registry.names()) {
     const auto w = registry.find(name);
     const auto cfg = w->default_config();
@@ -135,8 +164,9 @@ int list_workloads() {
     for (const auto v : w->variants()) multi_hart = multi_hart || w->multi_hart_capable(v);
     char cfgbuf[64];
     std::snprintf(cfgbuf, sizeof(cfgbuf), "n=%u block=%u seed=%u", cfg.n, cfg.block, cfg.seed);
-    std::printf("%-18s %-18s %-10s %-26s %s\n", name.c_str(), w->variants_list().c_str(),
-                multi_hart ? "multi-hart" : "1", cfgbuf, w->description().c_str());
+    std::printf("%-18s %-18s %-10s %-26s %-8s %s\n", name.c_str(), w->variants_list().c_str(),
+                multi_hart ? "multi-hart" : "1", cfgbuf, list_lint_status(*w).c_str(),
+                w->description().c_str());
   }
   return 0;
 }
@@ -331,6 +361,8 @@ int main(int argc, char** argv) {
   // -1 = no stub; 0..65535 = serve the gdb stub on that port (0 = ephemeral).
   std::int32_t gdb_port = -1;
   unsigned threads = 0;
+  bool lint_flag = false;  // --lint[=MODE] given: mode set explicitly below
+  bool lint_json = false;
   std::vector<SweepSpec> sweeps;
   try {
   int i = 1;
@@ -377,6 +409,17 @@ int main(int argc, char** argv) {
       if (port > 65535) throw copift::Error("--gdb: port out of range (0-65535)");
       gdb_port = static_cast<std::int32_t>(port);
     }
+    else if (arg == "--lint") {
+      lint_flag = true;
+      lint::set_pipeline_mode(lint::Mode::kWarn);
+    }
+    else if (arg.rfind("--lint=", 0) == 0) {
+      // Strict enum parse: anything but off/warn/strict is an error, same
+      // convention as the numeric flags.
+      lint_flag = true;
+      lint::set_pipeline_mode(lint::mode_from(arg.substr(7)));
+    }
+    else if (arg == "--lint-json") lint_json = true;
     else if (arg == "--max-cycles") max_cycles = parse_u64_flag("--max-cycles", value_of(arg));
     else if (arg == "--threads") threads = parse_u32_flag("--threads", value_of(arg));
     else if (arg == "--sweep") {
@@ -409,6 +452,10 @@ int main(int argc, char** argv) {
   }
   if (gdb_port >= 0 && !sweeps.empty()) {
     std::fprintf(stderr, "error: --gdb debugs a single run; drop --sweep\n");
+    return 2;
+  }
+  if (lint_json && !sweeps.empty()) {
+    std::fprintf(stderr, "error: --lint-json lints a single program; drop --sweep\n");
     return 2;
   }
 
@@ -508,7 +555,32 @@ int main(int argc, char** argv) {
 
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
-    sim::Cluster cluster(rvasm::assemble(source), params);
+    rvasm::Program program = rvasm::assemble(source);
+    const std::string lint_what = have_kernel ? generated.name() : file;
+    if (lint_json) {
+      // Lint-only mode: machine-readable report, no simulation.
+      const auto lint_report = lint::lint_program(program, params.num_cores);
+      std::printf("%s\n", lint_report.json().c_str());
+      return lint_report.clean() ? 0 : 1;
+    }
+    // Warn or fail before spending cycles on a broken program (strict mode
+    // throws; the catch below renders the value-carrying diagnostics).
+    if (lint::pipeline_mode() != lint::Mode::kOff) {
+      const auto lint_report = lint::lint_program(program, params.num_cores);
+      if (!lint_report.clean()) {
+        const std::string header =
+            "lint: " + lint_what + ": " + std::to_string(lint_report.diags.size()) +
+            " diagnostic" + (lint_report.diags.size() == 1 ? "" : "s");
+        if (lint::pipeline_mode() == lint::Mode::kStrict) {
+          throw copift::Error(header + "\n" + lint_report.summary());
+        }
+        std::fprintf(stderr, "%s\n%s\n", header.c_str(), lint_report.summary().c_str());
+      } else if (lint_flag) {
+        std::printf("lint:          clean (%zu rules, %u hart%s)\n", lint::kNumRules,
+                    params.num_cores, params.num_cores == 1 ? "" : "s");
+      }
+    }
+    sim::Cluster cluster(std::move(program), params);
     const auto t1 = clock::now();
     cluster.set_tracing(trace || report || !trace_json.empty());
     if (have_kernel) kernels::populate_inputs(cluster, generated);
@@ -574,6 +646,13 @@ int main(int argc, char** argv) {
                   sim::render_hart_summary(cluster).c_str(),
                   render_dma_report(cluster).c_str(),
                   sim::stall_taxonomy_legend().c_str());
+      const auto lint_report = lint::lint_program(cluster.program(), cluster.num_cores());
+      if (lint_report.clean()) {
+        std::printf("lint: clean (%zu rules)\n", lint::kNumRules);
+      } else {
+        std::printf("lint: %zu diagnostics (rerun with --lint for details)\n",
+                    lint_report.diags.size());
+      }
     }
     if (trace) {
       std::printf("\n--- first 64 trace entries ---\n");
